@@ -1,0 +1,202 @@
+// Command armine runs the interpretable analysis workflow on a trace CSV:
+// merge (optional node file), preprocess, mine frequent itemsets with
+// FP-Growth, generate association rules and print the pruned keyword
+// analysis as a rule table.
+//
+// With -pipeline pai|supercloud|philly the canonical case-study pipeline is
+// used; with -pipeline auto a generic pipeline is derived from the file:
+// every numeric column is quartile-binned (with a zero bin when -zero lists
+// the column), every column named by -tier is activity-tiered, and -skip
+// columns are excluded.
+//
+// Examples:
+//
+//	tracegen -trace pai -jobs 20000 -out /tmp/t
+//	armine -scheduler /tmp/t/pai_scheduler.csv -node /tmp/t/pai_node.csv \
+//	       -pipeline pai -keyword 'sm_util=0%'
+//
+//	armine -scheduler jobs.csv -pipeline auto -tier user -skip job_id \
+//	       -zero gpu_util -keyword 'status=failed' -rows 15
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/rules"
+)
+
+func main() {
+	schedPath := flag.String("scheduler", "", "scheduler-level CSV (required)")
+	nodePath := flag.String("node", "", "node-level CSV to join on job_id (optional)")
+	pipeline := flag.String("pipeline", "auto", "pipeline: pai, supercloud, philly or auto")
+	keyword := flag.String("keyword", "", "keyword item to analyze (required), e.g. 'status=failed'")
+	rows := flag.Int("rows", 10, "max rows per table section")
+	minSupport := flag.Float64("min-support", 0.05, "minimum itemset support")
+	minLift := flag.Float64("min-lift", 1.5, "minimum rule lift")
+	maxLen := flag.Int("max-len", 5, "maximum itemset length")
+	cLift := flag.Float64("c-lift", 1.5, "pruning lift slack C_lift")
+	cSupp := flag.Float64("c-supp", 1.5, "pruning support slack C_supp")
+	tiers := flag.String("tier", "", "comma-separated columns to activity-tier (auto pipeline)")
+	skips := flag.String("skip", "job_id,submit_s", "comma-separated columns to skip (auto pipeline)")
+	zeros := flag.String("zero", "", "comma-separated numeric columns given a zero bin (auto pipeline)")
+	negative := flag.Bool("negative", false, "also print protective rules (antecedents that suppress the keyword)")
+	export := flag.String("export", "", "also export the analysis: 'csv' or 'markdown' to stdout")
+	describe := flag.Bool("describe", false, "only print per-column summaries of the (joined) trace and exit")
+	flag.Parse()
+
+	if err := run(config{
+		schedPath: *schedPath, nodePath: *nodePath, pipeline: *pipeline,
+		keyword: *keyword, rows: *rows,
+		minSupport: *minSupport, minLift: *minLift, maxLen: *maxLen,
+		cLift: *cLift, cSupp: *cSupp,
+		tiers: splitList(*tiers), skips: splitList(*skips), zeros: splitList(*zeros),
+		negative: *negative, export: *export, describe: *describe,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "armine:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	schedPath, nodePath, pipeline, keyword string
+	rows, maxLen                           int
+	minSupport, minLift, cLift, cSupp      float64
+	tiers, skips, zeros                    []string
+	negative                               bool
+	export                                 string
+	describe                               bool
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func run(cfg config) error {
+	if cfg.schedPath == "" {
+		return fmt.Errorf("-scheduler is required")
+	}
+	if cfg.keyword == "" && !cfg.describe {
+		return fmt.Errorf("-keyword is required")
+	}
+	frame, err := dataset.ReadCSVFile(cfg.schedPath)
+	if err != nil {
+		return err
+	}
+	if cfg.nodePath != "" {
+		node, err := dataset.ReadCSVFile(cfg.nodePath)
+		if err != nil {
+			return err
+		}
+		frame, err = frame.InnerJoin(node, "job_id", "job_id")
+		if err != nil {
+			return fmt.Errorf("joining on job_id: %w", err)
+		}
+	}
+	if cfg.describe {
+		dataset.WriteDescription(os.Stdout, frame.Describe())
+		return nil
+	}
+
+	p, err := buildPipeline(cfg, frame)
+	if err != nil {
+		return err
+	}
+	p.Opts.MinSupport = cfg.minSupport
+	p.Opts.MinLift = cfg.minLift
+	p.Opts.MaxItemsetLen = cfg.maxLen
+	p.Opts.CLift = cfg.cLift
+	p.Opts.CSupp = cfg.cSupp
+
+	res, err := p.Mine(frame)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mined %d transactions: %d frequent itemsets, %d rules\n",
+		res.NumTransactions, len(res.Frequent), len(res.Rules()))
+	a, err := res.Analyze(cfg.keyword)
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.FormatTable(a, cfg.rows))
+	if cfg.negative {
+		neg, err := res.AnalyzeNegative(cfg.keyword, rules.NegativeOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nprotective rules (suppressing %s):\n%s", cfg.keyword, core.FormatNegative(neg, cfg.rows))
+	}
+	switch cfg.export {
+	case "":
+	case "csv":
+		fmt.Println()
+		if err := core.WriteRulesCSV(os.Stdout, a); err != nil {
+			return err
+		}
+	case "markdown":
+		fmt.Println()
+		if err := core.WriteRulesMarkdown(os.Stdout, a, cfg.rows); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown export format %q", cfg.export)
+	}
+	return nil
+}
+
+func buildPipeline(cfg config, frame *dataset.Frame) (*core.Pipeline, error) {
+	switch cfg.pipeline {
+	case "pai":
+		return core.PAIPipeline(), nil
+	case "supercloud":
+		return core.SuperCloudPipeline(), nil
+	case "philly":
+		return core.PhillyPipeline(), nil
+	case "auto":
+		return autoPipeline(cfg, frame), nil
+	default:
+		return nil, fmt.Errorf("unknown pipeline %q", cfg.pipeline)
+	}
+}
+
+// autoPipeline derives a generic pipeline: quartile-bin every numeric
+// column (zero bins where requested), tier the named categorical columns.
+func autoPipeline(cfg config, frame *dataset.Frame) *core.Pipeline {
+	p := &core.Pipeline{Skip: cfg.skips}
+	skip := make(map[string]bool)
+	for _, s := range cfg.skips {
+		skip[s] = true
+	}
+	zero := make(map[string]bool)
+	for _, z := range cfg.zeros {
+		zero[z] = true
+	}
+	for i := 0; i < frame.NumCols(); i++ {
+		col := frame.ColumnAt(i)
+		if skip[col.Name()] || col.Kind() == dataset.Bool || col.Kind() == dataset.String {
+			continue
+		}
+		p.Features = append(p.Features, core.FeatureSpec{
+			Column:      col.Name(),
+			ZeroSpecial: zero[col.Name()],
+		})
+	}
+	for _, tier := range cfg.tiers {
+		p.Tiers = append(p.Tiers, core.TierSpec{Column: tier, Out: tier + "_tier"})
+	}
+	return p
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func writeTestTrace(t *testing.T) (sched, node string) {
+	t.Helper()
+	tr, err := trace.GeneratePAI(trace.Config{Jobs: 2000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	sched = filepath.Join(dir, "sched.csv")
+	node = filepath.Join(dir, "node.csv")
+	if err := tr.Scheduler.WriteCSVFile(sched); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Node.WriteCSVFile(node); err != nil {
+		t.Fatal(err)
+	}
+	return sched, node
+}
+
+func baseConfig(sched, node string) config {
+	return config{
+		schedPath: sched, nodePath: node,
+		pipeline: "pai", keyword: "sm_util=0%", rows: 5,
+		minSupport: 0.05, minLift: 1.5, maxLen: 5, cLift: 1.5, cSupp: 1.5,
+	}
+}
+
+func TestRunCanonicalPipeline(t *testing.T) {
+	sched, node := writeTestTrace(t)
+	if err := run(baseConfig(sched, node)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAutoPipeline(t *testing.T) {
+	sched, node := writeTestTrace(t)
+	cfg := baseConfig(sched, node)
+	cfg.pipeline = "auto"
+	cfg.keyword = "status=failed"
+	cfg.tiers = []string{"user", "group"}
+	cfg.skips = []string{"job_id", "submit_s", "num_tasks", "model"}
+	cfg.zeros = []string{"sm_util", "gmem_used_gb"}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	sched, node := writeTestTrace(t)
+	cases := []func(*config){
+		func(c *config) { c.schedPath = "" },
+		func(c *config) { c.keyword = "" },
+		func(c *config) { c.pipeline = "bogus" },
+		func(c *config) { c.schedPath = "/nonexistent.csv" },
+		func(c *config) { c.nodePath = "/nonexistent.csv" },
+		func(c *config) { c.keyword = "no=such_item" },
+	}
+	for i, mutate := range cases {
+		cfg := baseConfig(sched, node)
+		mutate(&cfg)
+		if err := run(cfg); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+}
+
+func TestRunWithoutNodeFile(t *testing.T) {
+	sched, _ := writeTestTrace(t)
+	cfg := baseConfig(sched, "")
+	cfg.pipeline = "auto"
+	cfg.keyword = "status=failed"
+	cfg.tiers = []string{"user"}
+	cfg.skips = []string{"job_id", "submit_s", "num_tasks", "model", "group"}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" a, b ,,c ")
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("splitList = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("splitList[%d] = %q", i, got[i])
+		}
+	}
+	if splitList("") != nil {
+		t.Error("empty list should be nil")
+	}
+}
+
+func TestRunNegativeAndExport(t *testing.T) {
+	sched, node := writeTestTrace(t)
+	cfg := baseConfig(sched, node)
+	cfg.keyword = "status=failed"
+	cfg.negative = true
+	cfg.export = "markdown"
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.export = "csv"
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.export = "bogus"
+	if err := run(cfg); err == nil {
+		t.Error("bogus export format should error")
+	}
+}
+
+func TestRunDescribe(t *testing.T) {
+	sched, node := writeTestTrace(t)
+	cfg := baseConfig(sched, node)
+	cfg.keyword = ""
+	cfg.describe = true
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}

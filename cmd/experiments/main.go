@@ -1,0 +1,62 @@
+// Command experiments regenerates every table and figure in the paper's
+// evaluation section and prints the reproduction report (paper value vs
+// measured value per row).
+//
+// Usage:
+//
+//	experiments [-jobs N] [-seed S]
+//
+// With -jobs 0 each trace uses its default scale (85k / 49k / 50k jobs —
+// about half to a tenth of the paper's counts; the rule structure is
+// scale-invariant).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	jobs := flag.Int("jobs", 20000, "jobs per trace (0 = trace defaults)")
+	seed := flag.Int64("seed", 42, "generator seed")
+	figures := flag.Bool("figures", false, "also draw the figures as text charts")
+	extras := flag.Bool("extras", false, "also run the ablations and the failure-prediction study")
+	flag.Parse()
+
+	ts, err := experiments.Generate(*jobs, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "generating traces:", err)
+		os.Exit(1)
+	}
+	if err := ts.WriteReport(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "running experiments:", err)
+		os.Exit(1)
+	}
+	if *figures {
+		fmt.Println()
+		if err := ts.WriteFigures(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "drawing figures:", err)
+			os.Exit(1)
+		}
+	}
+	if *extras {
+		fmt.Println()
+		if err := ts.WriteExtras(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "running extras:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		if err := ts.WriteTakeaways(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "running takeaway studies:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		if err := ts.WriteStability(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "running stability studies:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestReportSmoke runs the whole report path at a tiny scale — the same
+// code main executes — and checks the section structure.
+func TestReportSmoke(t *testing.T) {
+	ts, err := experiments.Generate(4000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := ts.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.WriteFigures(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.WriteExtras(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Table I", "Fig 5", "Table VIII", "Fig 4: CDF", "Ablation", "failure prediction",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Command predict trains the rule-based failure classifier (the paper's
+// Table V takeaway) on a trace CSV and reports its held-out scorecard: the
+// first half of the jobs trains the rule list, the second half evaluates
+// it. It also prints the strongest rules in the list, which are directly
+// deployable as scheduler-side screening conditions.
+//
+// Example:
+//
+//	tracegen -trace pai -jobs 20000 -out /tmp/t
+//	predict -scheduler /tmp/t/pai_scheduler.csv -node /tmp/t/pai_node.csv \
+//	        -pipeline pai -target 'status=failed' -submission-only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fpgrowth"
+	"repro/internal/rules"
+	"repro/internal/transaction"
+)
+
+func main() {
+	schedPath := flag.String("scheduler", "", "scheduler-level CSV (required)")
+	nodePath := flag.String("node", "", "node-level CSV to join on job_id (optional)")
+	pipeline := flag.String("pipeline", "pai", "pipeline: pai, supercloud or philly")
+	target := flag.String("target", "status=failed", "target item to predict")
+	minConf := flag.Float64("min-confidence", 0.75, "rule confidence floor")
+	maxRules := flag.Int("max-rules", 0, "cap the rule list (0 = unlimited)")
+	showRules := flag.Int("show-rules", 5, "print the strongest N rules")
+	submissionOnly := flag.Bool("submission-only", false, "drop post-execution features (PAI pipeline)")
+	flag.Parse()
+
+	if err := run(runConfig{
+		schedPath: *schedPath, nodePath: *nodePath, pipeline: *pipeline,
+		target: *target, minConf: *minConf, maxRules: *maxRules,
+		showRules: *showRules, submissionOnly: *submissionOnly,
+	}, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "predict:", err)
+		os.Exit(1)
+	}
+}
+
+type runConfig struct {
+	schedPath, nodePath, pipeline, target string
+	minConf                               float64
+	maxRules, showRules                   int
+	submissionOnly                        bool
+}
+
+func run(cfg runConfig, out *os.File) error {
+	if cfg.schedPath == "" {
+		return fmt.Errorf("-scheduler is required")
+	}
+	frame, err := dataset.ReadCSVFile(cfg.schedPath)
+	if err != nil {
+		return err
+	}
+	if cfg.nodePath != "" {
+		node, err := dataset.ReadCSVFile(cfg.nodePath)
+		if err != nil {
+			return err
+		}
+		if frame, err = frame.InnerJoin(node, "job_id", "job_id"); err != nil {
+			return err
+		}
+	}
+	var p *core.Pipeline
+	switch cfg.pipeline {
+	case "pai":
+		p = core.PAIPipeline()
+	case "supercloud":
+		p = core.SuperCloudPipeline()
+	case "philly":
+		p = core.PhillyPipeline()
+	default:
+		return fmt.Errorf("unknown pipeline %q", cfg.pipeline)
+	}
+	if cfg.submissionOnly {
+		p.Skip = append(p.Skip, "cpu_util", "sm_util", "mem_used_gb", "gmem_used_gb", "runtime_s", "queue_s",
+			"sm_util_var", "gmem_util", "gmem_util_var", "gpu_power_w", "sm_util_min", "sm_util_max")
+	}
+	pre, err := p.Preprocess(frame)
+	if err != nil {
+		return err
+	}
+	db, err := transaction.Encode(pre, transaction.EncodeOptions{KeepAlways: []string{cfg.target}})
+	if err != nil {
+		return err
+	}
+	targetItem, ok := db.Catalog().Lookup(cfg.target)
+	if !ok {
+		return fmt.Errorf("target item %q not present in the encoded trace", cfg.target)
+	}
+
+	half := db.Len() / 2
+	if half == 0 {
+		return fmt.Errorf("trace too small to split")
+	}
+	train := transaction.NewDB(db.Catalog())
+	for i := 0; i < half; i++ {
+		train.Add(db.Txn(i)...)
+	}
+	minCount := train.Len() / 20
+	if minCount < 1 {
+		minCount = 1
+	}
+	frequent := fpgrowth.Mine(train, fpgrowth.Options{MinCount: minCount, MaxLen: 5})
+	trainRules := rules.Generate(frequent, train.Len(), rules.Options{MinLift: 1.5})
+
+	clf, err := classify.Train(trainRules, targetItem, classify.Options{
+		MinConfidence: cfg.minConf,
+		MaxRules:      cfg.maxRules,
+	})
+	if err != nil {
+		return fmt.Errorf("%w — this system likely needs a more complex model (paper Sec. IV-C)", err)
+	}
+	m := clf.Evaluate(db, half, db.Len())
+	fmt.Fprintf(out, "trained %d rules on %d jobs; evaluated on %d held-out jobs\n",
+		clf.NumRules(), half, m.N)
+	fmt.Fprintf(out, "base rate %.3f | accuracy %.3f | precision %.3f | recall %.3f | F1 %.3f\n",
+		m.BaseRate(), m.Accuracy(), m.Precision(), m.Recall(), m.F1())
+
+	if cfg.showRules > 0 {
+		fmt.Fprintf(out, "\nstrongest screening rules:\n")
+		shown := 0
+		for _, r := range trainRules {
+			if len(r.Consequent) != 1 || r.Consequent[0] != targetItem || r.Confidence < cfg.minConf {
+				continue
+			}
+			names := db.Catalog().Names(r.Antecedent)
+			fmt.Fprintf(out, "  if {%s} then %s (conf %.2f, supp %.2f)\n",
+				strings.Join(names, ", "), cfg.target, r.Confidence, r.Support)
+			shown++
+			if shown == cfg.showRules {
+				break
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func writePAI(t *testing.T) (sched, node string) {
+	t.Helper()
+	tr, err := trace.GeneratePAI(trace.Config{Jobs: 4000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	sched = filepath.Join(dir, "s.csv")
+	node = filepath.Join(dir, "n.csv")
+	if err := tr.Scheduler.WriteCSVFile(sched); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Node.WriteCSVFile(node); err != nil {
+		t.Fatal(err)
+	}
+	return
+}
+
+func TestRunPAI(t *testing.T) {
+	sched, node := writePAI(t)
+	cfg := runConfig{
+		schedPath: sched, nodePath: node, pipeline: "pai",
+		target: "status=failed", minConf: 0.75, showRules: 3, submissionOnly: true,
+	}
+	if err := run(cfg, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	sched, node := writePAI(t)
+	good := runConfig{
+		schedPath: sched, nodePath: node, pipeline: "pai",
+		target: "status=failed", minConf: 0.75,
+	}
+	cases := []func(*runConfig){
+		func(c *runConfig) { c.schedPath = "" },
+		func(c *runConfig) { c.schedPath = "/nope.csv" },
+		func(c *runConfig) { c.nodePath = "/nope.csv" },
+		func(c *runConfig) { c.pipeline = "bogus" },
+		func(c *runConfig) { c.target = "not=an_item" },
+		func(c *runConfig) { c.minConf = 0.999999 }, // nothing clears the floor
+	}
+	for i, mutate := range cases {
+		cfg := good
+		mutate(&cfg)
+		if err := run(cfg, os.Stdout); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Command tracegen generates the synthetic PAI, SuperCloud and Philly
+// traces and writes them in the raw two-file CSV layout (a scheduler-level
+// file and a node-level measurement file per trace, joined on job_id).
+//
+// Usage:
+//
+//	tracegen -trace all -jobs 20000 -seed 42 -out ./traces
+//
+// The produced files are <out>/<trace>_scheduler.csv and
+// <out>/<trace>_node.csv, consumable by cmd/armine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	which := flag.String("trace", "all", "trace to generate: pai, supercloud, philly or all")
+	jobs := flag.Int("jobs", 0, "number of jobs (0 = trace default scale)")
+	seed := flag.Int64("seed", 42, "generator seed")
+	out := flag.String("out", ".", "output directory")
+	flag.Parse()
+
+	if err := run(*which, *jobs, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(which string, jobs int, seed int64, out string) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	cfg := trace.Config{Jobs: jobs, Seed: seed}
+	generators := map[string]func(trace.Config) (*trace.Trace, error){
+		"pai":        trace.GeneratePAI,
+		"supercloud": trace.GenerateSuperCloud,
+		"philly":     trace.GeneratePhilly,
+	}
+	names := []string{"pai", "supercloud", "philly"}
+	if which != "all" {
+		if _, ok := generators[which]; !ok {
+			return fmt.Errorf("unknown trace %q", which)
+		}
+		names = []string{which}
+	}
+	for _, name := range names {
+		tr, err := generators[name](cfg)
+		if err != nil {
+			return err
+		}
+		sched := filepath.Join(out, name+"_scheduler.csv")
+		node := filepath.Join(out, name+"_node.csv")
+		if err := tr.Scheduler.WriteCSVFile(sched); err != nil {
+			return err
+		}
+		if err := tr.Node.WriteCSVFile(node); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d jobs -> %s, %s\n", name, tr.Scheduler.NumRows(), sched, node)
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestRunGeneratesFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("pai", 500, 1, dir); err != nil {
+		t.Fatal(err)
+	}
+	sched, err := dataset.ReadCSVFile(filepath.Join(dir, "pai_scheduler.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.NumRows() != 500 {
+		t.Errorf("rows = %d", sched.NumRows())
+	}
+	node, err := dataset.ReadCSVFile(filepath.Join(dir, "pai_node.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, err := sched.InnerJoin(node, "job_id", "job_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined.NumRows() != 500 {
+		t.Errorf("join lost rows: %d", joined.NumRows())
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("all", 200, 2, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"pai", "supercloud", "philly"} {
+		for _, suffix := range []string{"_scheduler.csv", "_node.csv"} {
+			if _, err := os.Stat(filepath.Join(dir, name+suffix)); err != nil {
+				t.Errorf("missing %s%s: %v", name, suffix, err)
+			}
+		}
+	}
+}
+
+func TestRunUnknownTrace(t *testing.T) {
+	if err := run("nope", 10, 1, t.TempDir()); err == nil {
+		t.Error("unknown trace should error")
+	}
+}
+
+func TestRunBadDirectory(t *testing.T) {
+	if err := run("pai", 10, 1, string([]byte{0})); err == nil {
+		t.Error("invalid directory should error")
+	}
+}

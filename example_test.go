@@ -1,0 +1,76 @@
+package repro_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// The canonical workflow: frame → pipeline → mine → keyword analysis.
+func Example() {
+	// Six jobs; zero-GPU-utilization jobs come from the "heavy" user.
+	frame, err := repro.NewFrame(
+		repro.NewStringColumn("user", []string{"heavy", "heavy", "heavy", "a", "b", "c"}),
+		repro.NewFloatColumn("gpu_util", []float64{0, 0, 0, 60, 70, 80}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipe := repro.NewPipeline()
+	pipe.Features = []repro.FeatureSpec{{Column: "gpu_util", ZeroSpecial: true}}
+	pipe.Tiers = []repro.TierSpec{{Column: "user", Out: "user_tier"}}
+	pipe.Opts.MinSupport = 0.3 // tiny toy database
+
+	res, err := pipe.Mine(frame)
+	if err != nil {
+		log.Fatal(err)
+	}
+	analysis, err := res.Analyze("gpu_util=0%")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(repro.FormatRule(analysis.Cause[0]))
+	// Output:
+	// {user_tier=frequent} => {gpu_util=0%}  supp=0.50 conf=1.00 lift=2.00
+}
+
+// Mining a transaction database directly, without a frame.
+func ExampleMineSON() {
+	db := repro.NewTransactionDB(nil)
+	for i := 0; i < 8; i++ {
+		db.AddNames("bread", "butter")
+	}
+	for i := 0; i < 2; i++ {
+		db.AddNames("milk")
+	}
+	frequent := repro.MineSON(db, repro.SONOptions{MinCount: 5, Partitions: 2})
+	rules := repro.GenerateRules(frequent, db.Len(), repro.RuleOptions{MinLift: 1.1})
+	for _, r := range rules {
+		fmt.Println(r.Format(db.Catalog()))
+	}
+	// Output:
+	// {bread} => {butter}  supp=0.80 conf=1.00 lift=1.25
+	// {butter} => {bread}  supp=0.80 conf=1.00 lift=1.25
+}
+
+// Protective rules: what makes the keyword unlikely.
+func ExampleGenerateNegativeRules() {
+	db := repro.NewTransactionDB(nil)
+	for i := 0; i < 40; i++ {
+		db.AddNames("pool=a") // pool a never fails
+	}
+	for i := 0; i < 30; i++ {
+		db.AddNames("pool=b", "failed")
+	}
+	for i := 0; i < 30; i++ {
+		db.AddNames("pool=b")
+	}
+	frequent := repro.MineSON(db, repro.SONOptions{MinCount: 5})
+	failed, _ := db.Catalog().Lookup("failed")
+	neg := repro.GenerateNegativeRules(frequent, db.Len(), 5, failed, repro.NegativeOptions{})
+	fmt.Printf("{%s} => NOT failed (conf >= %.2f)\n",
+		db.Catalog().Names(neg[0].Antecedent)[0], neg[0].Confidence)
+	// Output:
+	// {pool=a} => NOT failed (conf >= 0.90)
+}

@@ -1,0 +1,70 @@
+// Job failure case study (paper Sec. IV-C): run the failure-keyword
+// analysis across all three traces — reproducing the structure of Tables
+// V, VI and VII — and show how the same portable workflow yields
+// system-specific insights.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	type study struct {
+		name     string
+		generate func(repro.TraceConfig) (*repro.Trace, error)
+		pipeline func() *repro.Pipeline
+	}
+	studies := []study{
+		{"PAI", repro.GeneratePAI, repro.NewPAIPipeline},
+		{"SuperCloud", repro.GenerateSuperCloud, repro.NewSuperCloudPipeline},
+		{"Philly", repro.GeneratePhilly, repro.NewPhillyPipeline},
+	}
+
+	for _, s := range studies {
+		tr, err := s.generate(repro.TraceConfig{Jobs: 12000, Seed: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+		joined, err := tr.Join()
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := s.pipeline().Mine(joined)
+		if err != nil {
+			log.Fatal(err)
+		}
+		analysis, err := res.Analyze(repro.KeywordFailed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("==== %s ====\n", s.name)
+		fmt.Print(repro.FormatTable(analysis, 6))
+		fmt.Println()
+	}
+
+	// Trace-specific extra: SuperCloud's new users tend to kill their own
+	// jobs (paper Table VIII, rule CIR1).
+	sc, err := repro.GenerateSuperCloud(repro.TraceConfig{Jobs: 12000, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	joined, err := sc.Join()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := repro.NewSuperCloudPipeline().Mine(joined)
+	if err != nil {
+		log.Fatal(err)
+	}
+	analysis, err := res.Analyze(repro.KeywordKilled)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rule, ok := repro.FindRule(analysis.Cause, []string{"user_tier=new"}, []string{repro.KeywordKilled}); ok {
+		fmt.Println("SuperCloud CIR1: new users kill their jobs")
+		fmt.Println("  " + repro.FormatRule(rule))
+	}
+}

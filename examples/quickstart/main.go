@@ -1,0 +1,48 @@
+// Quickstart: association rule mining on the classic market-basket example
+// using the public API. Transactions are rows of a frame; each product is a
+// bool presence column. The same workflow scales from this toy to the
+// 85k-job cluster traces.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// Five shopping transactions over five products.
+	frame, err := repro.NewFrame(
+		repro.NewBoolColumn("bread", []bool{true, true, false, true, true}),
+		repro.NewBoolColumn("milk", []bool{true, false, true, true, true}),
+		repro.NewBoolColumn("diapers", []bool{false, true, true, true, true}),
+		repro.NewBoolColumn("beer", []bool{false, true, true, true, false}),
+		repro.NewBoolColumn("cola", []bool{false, false, true, false, true}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// An empty pipeline: no preprocessing needed, the columns are already
+	// nominal. Thresholds relax below the paper defaults because five
+	// transactions cannot support a 5% granularity.
+	pipe := repro.NewPipeline()
+	pipe.Opts.MinSupport = 0.4
+	pipe.Opts.MinLift = 1.05
+
+	res, err := pipe.Mine(frame)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d transactions -> %d frequent itemsets, %d rules\n\n",
+		res.NumTransactions, len(res.Frequent), len(res.Rules()))
+
+	// What goes with beer? Cause rules answer "what predicts beer in the
+	// basket"; characteristic rules answer "what else beer buyers take".
+	analysis, err := res.Analyze("beer")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(repro.FormatTable(analysis, 5))
+}

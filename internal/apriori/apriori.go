@@ -1,0 +1,193 @@
+// Package apriori implements the classical Apriori frequent-itemset miner
+// (Agrawal & Srikant, VLDB'94). The paper uses FP-Growth in production and
+// cites Apriori as the traditional alternative whose candidate-generation
+// cost FP-Growth avoids; this implementation is the correctness baseline the
+// FP-Growth output is tested against, and the slow side of the miner
+// comparison benchmark.
+package apriori
+
+import (
+	"sort"
+
+	"repro/internal/itemset"
+	"repro/internal/transaction"
+)
+
+// Options configures Mine.
+type Options struct {
+	// MinCount is the absolute minimum support count (>= 1).
+	MinCount int
+	// MaxLen caps itemset length; zero means unlimited.
+	MaxLen int
+}
+
+// Mine returns every itemset with support count >= opts.MinCount and length
+// <= opts.MaxLen, in canonical order, with exact counts.
+func Mine(db *transaction.DB, opts Options) []itemset.Frequent {
+	if opts.MinCount < 1 {
+		opts.MinCount = 1
+	}
+	var results []itemset.Frequent
+
+	// L1: frequent single items.
+	counts := db.ItemCounts()
+	var current []itemset.Frequent
+	for id, c := range counts {
+		if c >= opts.MinCount {
+			current = append(current, itemset.Frequent{Items: itemset.NewSet(itemset.Item(id)), Count: c})
+		}
+	}
+	sortByItems(current)
+	results = append(results, current...)
+
+	k := 1
+	for len(current) > 0 {
+		if opts.MaxLen > 0 && k >= opts.MaxLen {
+			break
+		}
+		candidates := generateCandidates(current)
+		if len(candidates) == 0 {
+			break
+		}
+		counted := countCandidates(db, candidates, k+1)
+		var next []itemset.Frequent
+		for i, cand := range candidates {
+			if counted[i] >= opts.MinCount {
+				next = append(next, itemset.Frequent{Items: cand, Count: counted[i]})
+			}
+		}
+		sortByItems(next)
+		results = append(results, next...)
+		current = next
+		k++
+	}
+	itemset.SortFrequent(results)
+	return results
+}
+
+func sortByItems(fs []itemset.Frequent) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i].Items, fs[j].Items
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// generateCandidates joins frequent k-itemsets sharing a (k-1)-prefix, then
+// prunes candidates that have an infrequent k-subset (the Apriori property).
+func generateCandidates(frequent []itemset.Frequent) []itemset.Set {
+	freqKeys := make(map[string]bool, len(frequent))
+	for _, f := range frequent {
+		freqKeys[f.Items.Key()] = true
+	}
+	var out []itemset.Set
+	// frequent is sorted lexicographically, so sets sharing a prefix are
+	// adjacent; join each pair within a prefix block.
+	for i := 0; i < len(frequent); i++ {
+		a := frequent[i].Items
+		for j := i + 1; j < len(frequent); j++ {
+			b := frequent[j].Items
+			if !samePrefix(a, b) {
+				break
+			}
+			cand := a.With(b[len(b)-1])
+			if hasInfrequentSubset(cand, freqKeys) {
+				continue
+			}
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+func samePrefix(a, b itemset.Set) bool {
+	for k := 0; k < len(a)-1; k++ {
+		if a[k] != b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// hasInfrequentSubset checks every (k-1)-subset of cand against the frequent
+// set keys.
+func hasInfrequentSubset(cand itemset.Set, freqKeys map[string]bool) bool {
+	sub := make(itemset.Set, 0, len(cand)-1)
+	for drop := range cand {
+		sub = sub[:0]
+		for i, it := range cand {
+			if i != drop {
+				sub = append(sub, it)
+			}
+		}
+		if !freqKeys[sub.Key()] {
+			return true
+		}
+	}
+	return false
+}
+
+// countCandidates counts the support of each candidate k-itemset with one
+// database pass. Per transaction it either enumerates the transaction's
+// k-subsets (cheap for short transactions) or tests each candidate by
+// sorted-merge containment, whichever is cheaper.
+func countCandidates(db *transaction.DB, candidates []itemset.Set, k int) []int {
+	counts := make([]int, len(candidates))
+	index := make(map[string]int, len(candidates))
+	for i, c := range candidates {
+		index[c.Key()] = i
+	}
+	sub := make(itemset.Set, k)
+	for ti := 0; ti < db.Len(); ti++ {
+		txn := itemset.Set(db.Txn(ti))
+		if len(txn) < k {
+			continue
+		}
+		if combinations(len(txn), k) <= int64(len(candidates)) {
+			enumerateSubsets(txn, sub, 0, 0, func(s itemset.Set) {
+				if i, ok := index[s.Key()]; ok {
+					counts[i]++
+				}
+			})
+		} else {
+			for i, cand := range candidates {
+				if txn.ContainsAll(cand) {
+					counts[i]++
+				}
+			}
+		}
+	}
+	return counts
+}
+
+// combinations returns C(n, k) saturating at a large sentinel to avoid
+// overflow.
+func combinations(n, k int) int64 {
+	if k > n {
+		return 0
+	}
+	var r int64 = 1
+	for i := 0; i < k; i++ {
+		r = r * int64(n-i) / int64(i+1)
+		if r > 1<<40 {
+			return 1 << 40
+		}
+	}
+	return r
+}
+
+// enumerateSubsets visits every k-subset of txn (k == len(buf)), reusing buf.
+func enumerateSubsets(txn itemset.Set, buf itemset.Set, start, depth int, visit func(itemset.Set)) {
+	if depth == len(buf) {
+		visit(buf)
+		return
+	}
+	for i := start; i <= len(txn)-(len(buf)-depth); i++ {
+		buf[depth] = txn[i]
+		enumerateSubsets(txn, buf, i+1, depth+1, visit)
+	}
+}

@@ -1,0 +1,113 @@
+package apriori
+
+import (
+	"testing"
+
+	"repro/internal/itemset"
+	"repro/internal/transaction"
+)
+
+func marketDB() *transaction.DB {
+	db := transaction.NewDB(nil)
+	db.AddNames("bread", "milk")
+	db.AddNames("bread", "diapers", "beer", "eggs")
+	db.AddNames("milk", "diapers", "beer", "cola")
+	db.AddNames("bread", "milk", "diapers", "beer")
+	db.AddNames("bread", "milk", "diapers", "cola")
+	return db
+}
+
+func get(t *testing.T, db *transaction.DB, names ...string) itemset.Set {
+	t.Helper()
+	items := make([]itemset.Item, len(names))
+	for i, n := range names {
+		id, ok := db.Catalog().Lookup(n)
+		if !ok {
+			t.Fatalf("no item %q", n)
+		}
+		items[i] = id
+	}
+	return itemset.NewSet(items...)
+}
+
+func TestMarketBasket(t *testing.T) {
+	db := marketDB()
+	got := Mine(db, Options{MinCount: 3})
+	want := map[string]int{
+		get(t, db, "bread").Key():            4,
+		get(t, db, "milk").Key():             4,
+		get(t, db, "diapers").Key():          4,
+		get(t, db, "beer").Key():             3,
+		get(t, db, "bread", "milk").Key():    3,
+		get(t, db, "bread", "diapers").Key(): 3,
+		get(t, db, "milk", "diapers").Key():  3,
+		get(t, db, "beer", "diapers").Key():  3,
+	}
+	if len(got) != len(want) {
+		t.Errorf("got %d itemsets, want %d", len(got), len(want))
+	}
+	for _, f := range got {
+		if want[f.Items.Key()] != f.Count {
+			t.Errorf("itemset %v count = %d, want %d", db.Catalog().Names(f.Items), f.Count, want[f.Items.Key()])
+		}
+	}
+}
+
+func TestMaxLen(t *testing.T) {
+	db := marketDB()
+	got := Mine(db, Options{MinCount: 2, MaxLen: 1})
+	for _, f := range got {
+		if len(f.Items) != 1 {
+			t.Fatalf("MaxLen 1 violated: %v", f.Items)
+		}
+	}
+}
+
+func TestCountsMatchOracle(t *testing.T) {
+	db := marketDB()
+	for _, f := range Mine(db, Options{MinCount: 2}) {
+		if want := db.SupportCount(f.Items); want != f.Count {
+			t.Errorf("count(%v) = %d, scan says %d", f.Items, f.Count, want)
+		}
+	}
+}
+
+func TestEmptyDB(t *testing.T) {
+	db := transaction.NewDB(nil)
+	if got := Mine(db, Options{MinCount: 1}); len(got) != 0 {
+		t.Errorf("empty DB should yield nothing, got %d", len(got))
+	}
+}
+
+func TestCombinations(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{{5, 2, 10}, {10, 3, 120}, {4, 5, 0}, {4, 4, 1}, {0, 0, 1}}
+	for _, c := range cases {
+		if got := combinations(c.n, c.k); got != c.want {
+			t.Errorf("C(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+	if got := combinations(100, 50); got != 1<<40 {
+		t.Errorf("large C should saturate, got %d", got)
+	}
+}
+
+func TestGenerateCandidatesPrunes(t *testing.T) {
+	// Frequent pairs {1,2}, {1,3} but NOT {2,3}: candidate {1,2,3} must be
+	// pruned by the Apriori property.
+	frequent := []itemset.Frequent{
+		{Items: itemset.NewSet(1, 2), Count: 5},
+		{Items: itemset.NewSet(1, 3), Count: 5},
+	}
+	if got := generateCandidates(frequent); len(got) != 0 {
+		t.Errorf("candidate with infrequent subset should be pruned, got %v", got)
+	}
+	frequent = append(frequent, itemset.Frequent{Items: itemset.NewSet(2, 3), Count: 5})
+	sortByItems(frequent)
+	got := generateCandidates(frequent)
+	if len(got) != 1 || !got[0].Equal(itemset.NewSet(1, 2, 3)) {
+		t.Errorf("expected single candidate {1,2,3}, got %v", got)
+	}
+}

@@ -1,0 +1,200 @@
+package classify
+
+import (
+	"testing"
+
+	"repro/internal/fpgrowth"
+	"repro/internal/itemset"
+	"repro/internal/rules"
+	"repro/internal/stats"
+	"repro/internal/transaction"
+)
+
+// plantedDB builds a database where item "fail" is strongly implied by the
+// pair {badUser, lowCPU} and weakly by anything else.
+func plantedDB(g *stats.RNG, n int) (*transaction.DB, itemset.Item) {
+	db := transaction.NewDB(nil)
+	fail := db.Catalog().Intern("fail")
+	badUser := db.Catalog().Intern("user=bad")
+	lowCPU := db.Catalog().Intern("cpu=low")
+	okUser := db.Catalog().Intern("user=ok")
+	highCPU := db.Catalog().Intern("cpu=high")
+	extra := db.Catalog().Intern("framework=tf")
+	for i := 0; i < n; i++ {
+		var items []itemset.Item
+		if g.Bernoulli(0.3) {
+			items = append(items, badUser, lowCPU)
+			if g.Bernoulli(0.9) {
+				items = append(items, fail)
+			}
+		} else {
+			items = append(items, okUser, highCPU)
+			if g.Bernoulli(0.05) {
+				items = append(items, fail)
+			}
+		}
+		if g.Bernoulli(0.5) {
+			items = append(items, extra)
+		}
+		db.Add(items...)
+	}
+	return db, fail
+}
+
+func trainOn(t *testing.T, db *transaction.DB, target itemset.Item, upTo int, opts Options) *Classifier {
+	t.Helper()
+	train := transaction.NewDB(db.Catalog())
+	for i := 0; i < upTo; i++ {
+		train.Add(db.Txn(i)...)
+	}
+	fs := fpgrowth.Mine(train, fpgrowth.Options{MinCount: upTo / 20, MaxLen: 4})
+	rs := rules.Generate(fs, train.Len(), rules.Options{MinLift: 1.2})
+	c, err := Train(rs, target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClassifierBeatsBaseRate(t *testing.T) {
+	g := stats.NewRNG(1)
+	db, fail := plantedDB(g, 4000)
+	c := trainOn(t, db, fail, 2000, Options{})
+	m := c.Evaluate(db, 2000, 4000)
+	if m.N != 2000 {
+		t.Fatalf("N = %d", m.N)
+	}
+	if m.Precision() < 0.7 {
+		t.Errorf("precision = %.2f, planted rule should be precise", m.Precision())
+	}
+	if m.Recall() < 0.7 {
+		t.Errorf("recall = %.2f, planted rule should cover most failures", m.Recall())
+	}
+	if m.Accuracy() <= 1-m.BaseRate() {
+		t.Errorf("accuracy %.2f no better than always-negative %.2f", m.Accuracy(), 1-m.BaseRate())
+	}
+	if m.F1() <= 0 {
+		t.Error("F1 should be positive")
+	}
+}
+
+func TestNoLabelLeak(t *testing.T) {
+	// A rule {fail-ish feature} => fail must drive predictions, never the
+	// label itself: a transaction containing ONLY the label must predict
+	// negative (features are stripped before matching).
+	g := stats.NewRNG(2)
+	db, fail := plantedDB(g, 2000)
+	c := trainOn(t, db, fail, 2000, Options{})
+	if got, _ := c.Predict(itemset.NewSet(fail)); got {
+		t.Error("label-only transaction should not self-predict")
+	}
+}
+
+func TestPredictConfidence(t *testing.T) {
+	g := stats.NewRNG(3)
+	db, fail := plantedDB(g, 2000)
+	c := trainOn(t, db, fail, 2000, Options{})
+	bad, _ := db.Catalog().Lookup("user=bad")
+	low, _ := db.Catalog().Lookup("cpu=low")
+	pred, conf := c.Predict(itemset.NewSet(bad, low))
+	if !pred {
+		t.Fatal("planted antecedent should fire")
+	}
+	if conf < 0.5 || conf > 1 {
+		t.Errorf("confidence = %v", conf)
+	}
+	ok, _ := db.Catalog().Lookup("user=ok")
+	high, _ := db.Catalog().Lookup("cpu=high")
+	if pred, _ := c.Predict(itemset.NewSet(ok, high)); pred {
+		t.Error("healthy transaction should not fire")
+	}
+}
+
+func TestTrainErrorsWithoutRules(t *testing.T) {
+	if _, err := Train(nil, 1, Options{}); err == nil {
+		t.Error("no rules should error")
+	}
+	rs := []rules.Rule{{
+		Antecedent: itemset.NewSet(2),
+		Consequent: itemset.NewSet(1),
+		Confidence: 0.2, // below default threshold
+	}}
+	if _, err := Train(rs, 1, Options{}); err == nil {
+		t.Error("all rules below MinConfidence should error")
+	}
+}
+
+func TestTrainFiltersConsequent(t *testing.T) {
+	rs := []rules.Rule{
+		{Antecedent: itemset.NewSet(2), Consequent: itemset.NewSet(1), Confidence: 0.9, Support: 0.2},
+		{Antecedent: itemset.NewSet(3), Consequent: itemset.NewSet(1, 4), Confidence: 0.95, Support: 0.2}, // multi-item consequent: excluded
+		{Antecedent: itemset.NewSet(5), Consequent: itemset.NewSet(4), Confidence: 0.99, Support: 0.2},    // wrong target: excluded
+	}
+	c, err := Train(rs, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumRules() != 1 {
+		t.Errorf("NumRules = %d, want 1", c.NumRules())
+	}
+}
+
+func TestMaxRules(t *testing.T) {
+	var rs []rules.Rule
+	for i := 2; i < 12; i++ {
+		rs = append(rs, rules.Rule{
+			Antecedent: itemset.NewSet(itemset.Item(i)),
+			Consequent: itemset.NewSet(1),
+			Confidence: 0.5 + float64(i)/100,
+			Support:    0.1,
+		})
+	}
+	c, err := Train(rs, 1, Options{MaxRules: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumRules() != 3 {
+		t.Errorf("NumRules = %d, want 3", c.NumRules())
+	}
+	// The kept rules must be the most confident ones.
+	if _, conf := c.Predict(itemset.NewSet(11)); conf < 0.6 {
+		t.Errorf("strongest rule missing after cap: conf=%v", conf)
+	}
+}
+
+func TestRuleOrderPrefersConfidence(t *testing.T) {
+	rs := []rules.Rule{
+		{Antecedent: itemset.NewSet(2), Consequent: itemset.NewSet(1), Confidence: 0.6, Support: 0.3},
+		{Antecedent: itemset.NewSet(2, 3), Consequent: itemset.NewSet(1), Confidence: 0.95, Support: 0.1},
+	}
+	c, err := Train(rs, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A transaction matching both antecedents must report the confident
+	// rule's confidence.
+	_, conf := c.Predict(itemset.NewSet(2, 3))
+	if conf != 0.95 {
+		t.Errorf("fired conf = %v, want the 0.95 rule first", conf)
+	}
+}
+
+func TestMetricsArithmetic(t *testing.T) {
+	m := Metrics{N: 10, Positives: 4, TP: 3, FN: 1, FP: 2, TN: 4}
+	if m.BaseRate() != 0.4 {
+		t.Errorf("BaseRate = %v", m.BaseRate())
+	}
+	if m.Accuracy() != 0.7 {
+		t.Errorf("Accuracy = %v", m.Accuracy())
+	}
+	if m.Precision() != 0.6 {
+		t.Errorf("Precision = %v", m.Precision())
+	}
+	if m.Recall() != 0.75 {
+		t.Errorf("Recall = %v", m.Recall())
+	}
+	var zero Metrics
+	if zero.Accuracy() != 0 || zero.Precision() != 0 || zero.Recall() != 0 || zero.F1() != 0 || zero.BaseRate() != 0 {
+		t.Error("zero metrics should all be 0")
+	}
+}

@@ -1,0 +1,126 @@
+package classify
+
+import (
+	"testing"
+
+	"repro/internal/fpgrowth"
+	"repro/internal/itemset"
+	"repro/internal/rules"
+	"repro/internal/stats"
+	"repro/internal/transaction"
+)
+
+// residualDB plants the pathology coverage selection exists for: a broad
+// marker "m" implies the target at 90% overall, but the 10% residue not
+// covered by the precise marker pair {m, p} is almost never the target. A
+// marginal-confidence list would keep rule {m} at conf 0.9 and fire it on
+// the residue with terrible precision; coverage selection must reject it.
+func residualDB(g *stats.RNG, n int) (*transaction.DB, itemset.Item) {
+	db := transaction.NewDB(nil)
+	target := db.Catalog().Intern("target")
+	m := db.Catalog().Intern("m")
+	p := db.Catalog().Intern("p")
+	q := db.Catalog().Intern("q")
+	for i := 0; i < n; i++ {
+		switch {
+		case g.Bernoulli(0.45): // precise population: {m, p} → target
+			db.Add(m, p, target)
+		case g.Bernoulli(0.12): // residue: {m, q}, target only rarely
+			if g.Bernoulli(0.1) {
+				db.Add(m, q, target)
+			} else {
+				db.Add(m, q)
+			}
+		default:
+			db.Add(q)
+		}
+	}
+	return db, target
+}
+
+func minedRules(t *testing.T, db *transaction.DB, upTo int) []rules.Rule {
+	t.Helper()
+	train := transaction.NewDB(db.Catalog())
+	for i := 0; i < upTo; i++ {
+		train.Add(db.Txn(i)...)
+	}
+	fs := fpgrowth.Mine(train, fpgrowth.Options{MinCount: upTo / 50, MaxLen: 4})
+	return rules.Generate(fs, train.Len(), rules.Options{MinLift: 1.1})
+}
+
+func TestCoverageRejectsResiduallyWeakRules(t *testing.T) {
+	g := stats.NewRNG(21)
+	db, target := residualDB(g, 6000)
+	rs := minedRules(t, db, 3000)
+
+	marginal, err := Train(rs, target, Options{MinConfidence: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coverage, err := TrainWithCoverage(rs, db, 0, 3000, target, Options{MinConfidence: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm := marginal.Evaluate(db, 3000, 6000)
+	mc := coverage.Evaluate(db, 3000, 6000)
+	if mc.Precision() < 0.85 {
+		t.Errorf("coverage precision = %.2f, want the residual-weak rule rejected", mc.Precision())
+	}
+	if mc.Precision() <= mm.Precision() {
+		t.Errorf("coverage (%.2f) should beat marginal (%.2f) on this pathology",
+			mc.Precision(), mm.Precision())
+	}
+	// Recall must not collapse: the precise rule still covers the bulk.
+	if mc.Recall() < 0.8 {
+		t.Errorf("coverage recall = %.2f", mc.Recall())
+	}
+}
+
+func TestCoverageReportsResidualConfidence(t *testing.T) {
+	g := stats.NewRNG(22)
+	db, target := residualDB(g, 4000)
+	rs := minedRules(t, db, 4000)
+	c, err := TrainWithCoverage(rs, db, 0, 4000, target, Options{MinConfidence: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, pItem := itemset.Item(1), itemset.Item(2) // interning order in residualDB
+	pred, conf := c.Predict(itemset.NewSet(m, pItem))
+	if !pred {
+		t.Fatal("precise antecedent should fire")
+	}
+	if conf < 0.8 {
+		t.Errorf("reported residual confidence = %.2f", conf)
+	}
+}
+
+func TestCoverageMinCoverage(t *testing.T) {
+	g := stats.NewRNG(23)
+	db, target := residualDB(g, 2000)
+	rs := minedRules(t, db, 2000)
+	// A huge MinCoverage excludes everything.
+	if _, err := TrainWithCoverage(rs, db, 0, 2000, target, Options{MinConfidence: 0.5, MinCoverage: 10_000}); err == nil {
+		t.Error("impossible coverage floor should error")
+	}
+}
+
+func TestCoverageMaxRules(t *testing.T) {
+	g := stats.NewRNG(24)
+	db, target := residualDB(g, 3000)
+	rs := minedRules(t, db, 3000)
+	c, err := TrainWithCoverage(rs, db, 0, 3000, target, Options{MinConfidence: 0.5, MaxRules: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumRules() != 1 {
+		t.Errorf("NumRules = %d, want 1", c.NumRules())
+	}
+}
+
+func TestCoverageNoCandidates(t *testing.T) {
+	db := transaction.NewDB(nil)
+	db.AddNames("a")
+	if _, err := TrainWithCoverage(nil, db, 0, 1, 0, Options{}); err == nil {
+		t.Error("no rules should error")
+	}
+}

@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// EASY backfill scheduling (Lifka's EASY-LoadLeveler policy): the head of
+// the FIFO queue gets a reservation at its earliest possible start (the
+// "shadow time"); any later queued job may jump ahead if it fits in the
+// currently free GPUs and either finishes before the shadow time or fits in
+// the GPUs that remain free once the head starts. Backfill never delays the
+// head — the property the tests pin — while filling the holes strict FIFO
+// leaves. The takeaway simulations use it to check that the paper's
+// debug-tier conclusions are not artifacts of a naive scheduler.
+
+// RunEASY schedules the requests with EASY backfill per pool and returns a
+// placement per request, in input order.
+func (s *Scheduler) RunEASY(reqs []Request) ([]Placement, error) {
+	byPool := make(map[string][]int)
+	for i, r := range reqs {
+		capacity, ok := s.pools[r.Type]
+		if !ok {
+			return nil, fmt.Errorf("cluster: request %q: unknown pool %q", r.ID, r.Type)
+		}
+		if r.GPUs < 1 || r.GPUs > capacity {
+			return nil, fmt.Errorf("cluster: request %q wants %d GPUs, pool %q has %d", r.ID, r.GPUs, r.Type, capacity)
+		}
+		if r.Duration < 0 || r.Submit < 0 {
+			return nil, fmt.Errorf("cluster: request %q has negative time", r.ID)
+		}
+		byPool[r.Type] = append(byPool[r.Type], i)
+	}
+	out := make([]Placement, len(reqs))
+	for pool, idxs := range byPool {
+		s.runEASYPool(reqs, idxs, s.pools[pool], out)
+	}
+	return out, nil
+}
+
+// runEASYPool simulates one pool event-driven: arrivals and completions in
+// time order, scheduling after every event.
+func (s *Scheduler) runEASYPool(reqs []Request, idxs []int, capacity int, out []Placement) {
+	sort.SliceStable(idxs, func(a, b int) bool {
+		ra, rb := reqs[idxs[a]], reqs[idxs[b]]
+		if ra.Submit != rb.Submit {
+			return ra.Submit < rb.Submit
+		}
+		return ra.ID < rb.ID
+	})
+	free := capacity
+	var running endHeap
+	var queue []int // request indices, FIFO
+	next := 0       // next arrival
+
+	start := func(idx int, now float64) {
+		r := reqs[idx]
+		free -= r.GPUs
+		end := now + r.Duration
+		heap.Push(&running, endEvent{end: end, gpus: r.GPUs})
+		out[idx] = Placement{ID: r.ID, QueueWait: now - r.Submit, Start: now, End: end}
+	}
+
+	schedule := func(now float64) {
+		// Start the FIFO head(s) while they fit.
+		for len(queue) > 0 && reqs[queue[0]].GPUs <= free {
+			start(queue[0], now)
+			queue = queue[1:]
+		}
+		if len(queue) == 0 {
+			return
+		}
+		// Reservation for the head: walk the running jobs by end time
+		// until enough GPUs accumulate.
+		head := reqs[queue[0]]
+		shadow := now
+		avail := free
+		// Copy of the heap contents sorted by end.
+		ends := make([]endEvent, len(running))
+		copy(ends, running)
+		sort.Slice(ends, func(i, j int) bool { return ends[i].end < ends[j].end })
+		for _, ev := range ends {
+			if avail >= head.GPUs {
+				break
+			}
+			avail += ev.gpus
+			shadow = ev.end
+		}
+		extraAtShadow := avail - head.GPUs // GPUs left once the head starts
+
+		// Backfill the remaining queue in order.
+		kept := queue[:1]
+		for _, idx := range queue[1:] {
+			r := reqs[idx]
+			fitsNow := r.GPUs <= free
+			endsBeforeShadow := now+r.Duration <= shadow
+			fitsBesideHead := r.GPUs <= extraAtShadow
+			if fitsNow && (endsBeforeShadow || fitsBesideHead) {
+				start(idx, now)
+				if !endsBeforeShadow {
+					extraAtShadow -= r.GPUs
+				}
+				continue
+			}
+			kept = append(kept, idx)
+		}
+		queue = kept
+	}
+
+	for next < len(idxs) || len(queue) > 0 || len(running) > 0 {
+		// Choose the next event time.
+		var now float64
+		hasArrival := next < len(idxs)
+		hasCompletion := len(running) > 0
+		switch {
+		case hasArrival && (!hasCompletion || reqs[idxs[next]].Submit <= running.Peek().end):
+			now = reqs[idxs[next]].Submit
+			for next < len(idxs) && reqs[idxs[next]].Submit == now {
+				queue = append(queue, idxs[next])
+				next++
+			}
+		case hasCompletion:
+			now = running.Peek().end
+			for len(running) > 0 && running.Peek().end == now {
+				ev := heap.Pop(&running).(endEvent)
+				free += ev.gpus
+			}
+		default:
+			return // queue non-empty but nothing running and no arrivals: impossible (validated sizes)
+		}
+		schedule(now)
+	}
+}

@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestEASYBackfillsSmallJob(t *testing.T) {
+	// Capacity 3: A holds 2 GPUs until t=100; B (2 GPUs) must wait for A;
+	// C (1 GPU, 10s) fits in the hole and ends before B's shadow time.
+	s, _ := New([]Pool{{Type: "v100", Capacity: 3}})
+	reqs := []Request{
+		{ID: "a", Type: "v100", GPUs: 2, Submit: 0, Duration: 100},
+		{ID: "b", Type: "v100", GPUs: 2, Submit: 1, Duration: 100},
+		{ID: "c", Type: "v100", GPUs: 1, Submit: 2, Duration: 10},
+	}
+	ps, err := s.RunEASY(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[2].Start != 2 {
+		t.Errorf("C should backfill immediately, started at %v", ps[2].Start)
+	}
+	if ps[1].Start != 100 {
+		t.Errorf("B's reservation must hold at 100, started at %v", ps[1].Start)
+	}
+	// Strict FIFO keeps C behind B.
+	fifo, err := s.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fifo[2].Start <= 2 {
+		t.Errorf("FIFO comparison broken: C started at %v", fifo[2].Start)
+	}
+}
+
+func TestEASYNeverDelaysHead(t *testing.T) {
+	// Capacity 2: A (1 GPU) until 100; B (2 GPUs) reserves t=100 with no
+	// spare GPUs at shadow time; C (1 GPU, 1000s) fits now but would hold
+	// a GPU past the shadow — it must NOT backfill.
+	s, _ := New([]Pool{{Type: "v100", Capacity: 2}})
+	reqs := []Request{
+		{ID: "a", Type: "v100", GPUs: 1, Submit: 0, Duration: 100},
+		{ID: "b", Type: "v100", GPUs: 2, Submit: 1, Duration: 50},
+		{ID: "c", Type: "v100", GPUs: 1, Submit: 2, Duration: 1000},
+	}
+	ps, err := s.RunEASY(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[1].Start != 100 {
+		t.Errorf("head delayed: B started at %v, want 100", ps[1].Start)
+	}
+	if ps[2].Start < 150 {
+		t.Errorf("C should wait behind the reservation, started at %v", ps[2].Start)
+	}
+}
+
+func TestEASYBackfillBesideReservation(t *testing.T) {
+	// Capacity 3: A (2 GPUs) until 100; B (2 GPUs) reserves t=100 leaving
+	// 1 spare GPU at shadow time; C (1 GPU, long) fits beside the
+	// reservation and may start now even though it outlives the shadow.
+	s, _ := New([]Pool{{Type: "v100", Capacity: 3}})
+	reqs := []Request{
+		{ID: "a", Type: "v100", GPUs: 2, Submit: 0, Duration: 100},
+		{ID: "b", Type: "v100", GPUs: 2, Submit: 1, Duration: 50},
+		{ID: "c", Type: "v100", GPUs: 1, Submit: 2, Duration: 1000},
+	}
+	ps, err := s.RunEASY(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[2].Start != 2 {
+		t.Errorf("C fits beside the reservation, started at %v", ps[2].Start)
+	}
+	if ps[1].Start != 100 {
+		t.Errorf("head must still start at 100, got %v", ps[1].Start)
+	}
+}
+
+func TestEASYValidation(t *testing.T) {
+	s, _ := New([]Pool{{Type: "v100", Capacity: 2}})
+	if _, err := s.RunEASY([]Request{{ID: "x", Type: "nope", GPUs: 1}}); err == nil {
+		t.Error("unknown pool should error")
+	}
+	if _, err := s.RunEASY([]Request{{ID: "x", Type: "v100", GPUs: 5}}); err == nil {
+		t.Error("oversized gang should error")
+	}
+	if _, err := s.RunEASY([]Request{{ID: "x", Type: "v100", GPUs: 1, Submit: -1}}); err == nil {
+		t.Error("negative submit should error")
+	}
+}
+
+func TestEASYConservation(t *testing.T) {
+	s, _ := New([]Pool{{Type: "v100", Capacity: 5}})
+	g := stats.NewRNG(6)
+	var reqs []Request
+	for i := 0; i < 300; i++ {
+		reqs = append(reqs, Request{
+			ID: itoa(i), Type: "v100", GPUs: 1 + g.Intn(5),
+			Submit: g.Float64() * 1000, Duration: 1 + g.Float64()*100,
+		})
+	}
+	ps, err := s.RunEASY(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range ps {
+		if p.Start < reqs[i].Submit {
+			t.Fatalf("job %s started before submit", p.ID)
+		}
+		used := reqs[i].GPUs
+		for j, q := range ps {
+			if j != i && q.Start <= p.Start && p.Start < q.End {
+				used += reqs[j].GPUs
+			}
+		}
+		if used > 5 {
+			t.Fatalf("capacity exceeded at t=%v: %d GPUs", p.Start, used)
+		}
+	}
+}
+
+func TestEASYImprovesOnFIFO(t *testing.T) {
+	// Mixed gangs under contention: EASY's mean wait must not exceed
+	// FIFO's, and should be strictly better for this load.
+	s, _ := New([]Pool{{Type: "v100", Capacity: 8}})
+	g := stats.NewRNG(7)
+	var reqs []Request
+	for i := 0; i < 400; i++ {
+		gpus := 1
+		if g.Bernoulli(0.3) {
+			gpus = 4 + g.Intn(5)
+		}
+		reqs = append(reqs, Request{
+			ID: itoa(i), Type: "v100", GPUs: gpus,
+			Submit: float64(i) * 20, Duration: 50 + g.Float64()*400,
+		})
+	}
+	fifo, err := s.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	easy, err := s.RunEASY(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fifoWait, easyWait float64
+	for i := range reqs {
+		fifoWait += fifo[i].QueueWait
+		easyWait += easy[i].QueueWait
+	}
+	if easyWait > fifoWait {
+		t.Errorf("EASY mean wait %.1f exceeds FIFO %.1f", easyWait/400, fifoWait/400)
+	}
+	if easyWait > 0.95*fifoWait {
+		t.Logf("EASY %.1f vs FIFO %.1f: little contention to exploit", easyWait/400, fifoWait/400)
+	}
+}
+
+func TestEASYEmptyAndTrivial(t *testing.T) {
+	s, _ := New([]Pool{{Type: "v100", Capacity: 2}})
+	ps, err := s.RunEASY(nil)
+	if err != nil || len(ps) != 0 {
+		t.Errorf("empty run: %v %v", ps, err)
+	}
+	ps, err = s.RunEASY([]Request{{ID: "a", Type: "v100", GPUs: 1, Submit: 5, Duration: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[0].Start != 5 || ps[0].End != 15 || ps[0].QueueWait != 0 {
+		t.Errorf("trivial placement wrong: %+v", ps[0])
+	}
+}

@@ -1,0 +1,183 @@
+// Package cluster is a discrete-event simulator of a GPU cluster scheduler.
+// It supplies the queue-wait and node-failure dynamics behind the traces:
+// jobs request a number of GPUs of a specific type, each type is a pool with
+// fixed capacity, and a FIFO gang scheduler starts a job only when its full
+// GPU allocation is available at once. Queue wait is therefore an emergent
+// property of pool contention — the PAI1/PAI2 rules (T4 short queues versus
+// non-T4 long queues at a 1:3.5 capacity ratio) come out of this simulation
+// rather than being painted onto the data.
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Pool declares one GPU type's capacity.
+type Pool struct {
+	Type     string
+	Capacity int
+}
+
+// Request is a job's scheduling request.
+type Request struct {
+	ID       string
+	Type     string  // pool name
+	GPUs     int     // gang size; the job starts only when all are free
+	Submit   float64 // submit time, seconds
+	Duration float64 // requested runtime, seconds
+}
+
+// Placement is the scheduling outcome for one request.
+type Placement struct {
+	ID        string
+	QueueWait float64 // seconds between submit and start
+	Start     float64
+	End       float64 // actual end (possibly truncated by a failure)
+	// Failed reports a node-failure truncation injected by the failure
+	// model; the job ended at End instead of Start+Duration.
+	Failed bool
+}
+
+// FailureModel injects node failures: each GPU independently fails with an
+// exponential MTBF; a job occupying g GPUs for d seconds fails with
+// probability 1 - exp(-g*d/MTBF). A zero MTBF disables injection.
+type FailureModel struct {
+	MTBFHours float64
+}
+
+// endEvent tracks a running job inside a pool.
+type endEvent struct {
+	end  float64
+	gpus int
+}
+
+type endHeap []endEvent
+
+func (h endHeap) Len() int           { return len(h) }
+func (h endHeap) Less(i, j int) bool { return h[i].end < h[j].end }
+func (h endHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *endHeap) Push(x any)        { *h = append(*h, x.(endEvent)) }
+func (h *endHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h endHeap) Peek() endEvent     { return h[0] }
+
+// Scheduler simulates a set of pools.
+type Scheduler struct {
+	pools map[string]int
+}
+
+// New returns a scheduler over the given pools.
+func New(pools []Pool) (*Scheduler, error) {
+	s := &Scheduler{pools: make(map[string]int, len(pools))}
+	for _, p := range pools {
+		if p.Capacity < 1 {
+			return nil, fmt.Errorf("cluster: pool %q has capacity %d", p.Type, p.Capacity)
+		}
+		if _, dup := s.pools[p.Type]; dup {
+			return nil, fmt.Errorf("cluster: duplicate pool %q", p.Type)
+		}
+		s.pools[p.Type] = p.Capacity
+	}
+	return s, nil
+}
+
+// Run schedules the requests FIFO per pool (ordered by submit time, ties by
+// ID) and returns a placement per request, in the input order. Requests for
+// unknown pools or requesting more GPUs than the pool capacity are rejected
+// with an error.
+func (s *Scheduler) Run(reqs []Request) ([]Placement, error) {
+	return s.run(reqs, FailureModel{}, nil)
+}
+
+// RunWithFailures schedules like Run and additionally truncates some jobs
+// with the failure model, drawing from g.
+func (s *Scheduler) RunWithFailures(reqs []Request, fm FailureModel, g *stats.RNG) ([]Placement, error) {
+	return s.run(reqs, fm, g)
+}
+
+func (s *Scheduler) run(reqs []Request, fm FailureModel, g *stats.RNG) ([]Placement, error) {
+	// Validate and index.
+	order := make([]int, len(reqs))
+	for i, r := range reqs {
+		cap, ok := s.pools[r.Type]
+		if !ok {
+			return nil, fmt.Errorf("cluster: request %q: unknown pool %q", r.ID, r.Type)
+		}
+		if r.GPUs < 1 || r.GPUs > cap {
+			return nil, fmt.Errorf("cluster: request %q wants %d GPUs, pool %q has %d", r.ID, r.GPUs, r.Type, cap)
+		}
+		if r.Duration < 0 || r.Submit < 0 {
+			return nil, fmt.Errorf("cluster: request %q has negative time", r.ID)
+		}
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := reqs[order[a]], reqs[order[b]]
+		if ra.Submit != rb.Submit {
+			return ra.Submit < rb.Submit
+		}
+		return ra.ID < rb.ID
+	})
+
+	type poolState struct {
+		free    int
+		running endHeap
+		// clock enforces FIFO: a job may not start before the job queued
+		// ahead of it in the same pool.
+		clock float64
+	}
+	states := make(map[string]*poolState, len(s.pools))
+	for name, capacity := range s.pools {
+		states[name] = &poolState{free: capacity}
+	}
+
+	out := make([]Placement, len(reqs))
+	for _, idx := range order {
+		r := reqs[idx]
+		ps := states[r.Type]
+		t := r.Submit
+		if t < ps.clock {
+			t = ps.clock
+		}
+		// Release everything finished by t.
+		for len(ps.running) > 0 && ps.running.Peek().end <= t {
+			ev := heap.Pop(&ps.running).(endEvent)
+			ps.free += ev.gpus
+		}
+		// Advance time until the gang fits.
+		for ps.free < r.GPUs {
+			ev := heap.Pop(&ps.running).(endEvent)
+			if ev.end > t {
+				t = ev.end
+			}
+			ps.free += ev.gpus
+		}
+		end := t + r.Duration
+		failed := false
+		if fm.MTBFHours > 0 && g != nil {
+			// Probability the gang survives d seconds: exp(-g*d/MTBF).
+			mtbfSec := fm.MTBFHours * 3600
+			pFail := 1 - math.Exp(-float64(r.GPUs)*r.Duration/mtbfSec)
+			if g.Bernoulli(pFail) {
+				failed = true
+				// Failure instant uniform over the runtime.
+				end = t + r.Duration*g.Float64()
+			}
+		}
+		ps.free -= r.GPUs
+		heap.Push(&ps.running, endEvent{end: end, gpus: r.GPUs})
+		ps.clock = t
+		out[idx] = Placement{
+			ID:        r.ID,
+			QueueWait: t - r.Submit,
+			Start:     t,
+			End:       end,
+			Failed:    failed,
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,294 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]Pool{{Type: "t4", Capacity: 0}}); err == nil {
+		t.Error("zero capacity should error")
+	}
+	if _, err := New([]Pool{{Type: "t4", Capacity: 1}, {Type: "t4", Capacity: 2}}); err == nil {
+		t.Error("duplicate pool should error")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	s, err := New([]Pool{{Type: "v100", Capacity: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run([]Request{{ID: "a", Type: "nope", GPUs: 1}}); err == nil {
+		t.Error("unknown pool should error")
+	}
+	if _, err := s.Run([]Request{{ID: "a", Type: "v100", GPUs: 8}}); err == nil {
+		t.Error("oversized gang should error")
+	}
+	if _, err := s.Run([]Request{{ID: "a", Type: "v100", GPUs: 0}}); err == nil {
+		t.Error("zero GPUs should error")
+	}
+	if _, err := s.Run([]Request{{ID: "a", Type: "v100", GPUs: 1, Submit: -1}}); err == nil {
+		t.Error("negative submit should error")
+	}
+}
+
+func TestNoContentionNoWait(t *testing.T) {
+	s, _ := New([]Pool{{Type: "v100", Capacity: 10}})
+	ps, err := s.Run([]Request{
+		{ID: "a", Type: "v100", GPUs: 2, Submit: 0, Duration: 100},
+		{ID: "b", Type: "v100", GPUs: 2, Submit: 5, Duration: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ps {
+		if p.QueueWait != 0 {
+			t.Errorf("job %s waited %v with free capacity", p.ID, p.QueueWait)
+		}
+	}
+}
+
+func TestContentionQueues(t *testing.T) {
+	s, _ := New([]Pool{{Type: "v100", Capacity: 2}})
+	ps, err := s.Run([]Request{
+		{ID: "a", Type: "v100", GPUs: 2, Submit: 0, Duration: 100},
+		{ID: "b", Type: "v100", GPUs: 2, Submit: 10, Duration: 50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[0].QueueWait != 0 {
+		t.Errorf("first job should start immediately")
+	}
+	if ps[1].QueueWait != 90 {
+		t.Errorf("second job wait = %v, want 90", ps[1].QueueWait)
+	}
+	if ps[1].Start != 100 || ps[1].End != 150 {
+		t.Errorf("second job window = [%v, %v]", ps[1].Start, ps[1].End)
+	}
+}
+
+func TestGangScheduling(t *testing.T) {
+	// One 3-GPU job running; a 2-GPU job must wait even though 1 GPU is
+	// free (gang semantics).
+	s, _ := New([]Pool{{Type: "v100", Capacity: 4}})
+	ps, err := s.Run([]Request{
+		{ID: "big", Type: "v100", GPUs: 3, Submit: 0, Duration: 100},
+		{ID: "pair", Type: "v100", GPUs: 2, Submit: 1, Duration: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[1].Start != 100 {
+		t.Errorf("gang of 2 should wait for the 3-GPU job, start = %v", ps[1].Start)
+	}
+}
+
+func TestFIFOOrdering(t *testing.T) {
+	// A small job submitted after a large queued job must not jump ahead
+	// (no backfill).
+	s, _ := New([]Pool{{Type: "v100", Capacity: 2}})
+	ps, err := s.Run([]Request{
+		{ID: "a", Type: "v100", GPUs: 2, Submit: 0, Duration: 100},
+		{ID: "b", Type: "v100", GPUs: 2, Submit: 1, Duration: 100}, // queued
+		{ID: "c", Type: "v100", GPUs: 1, Submit: 2, Duration: 1},   // could backfill, must not
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[2].Start < ps[1].Start {
+		t.Errorf("FIFO violated: c starts %v before b %v", ps[2].Start, ps[1].Start)
+	}
+}
+
+func TestPoolsIndependent(t *testing.T) {
+	s, _ := New([]Pool{{Type: "t4", Capacity: 1}, {Type: "v100", Capacity: 1}})
+	ps, err := s.Run([]Request{
+		{ID: "a", Type: "v100", GPUs: 1, Submit: 0, Duration: 1000},
+		{ID: "b", Type: "t4", GPUs: 1, Submit: 1, Duration: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[1].QueueWait != 0 {
+		t.Errorf("t4 job should not wait for v100 contention, waited %v", ps[1].QueueWait)
+	}
+}
+
+func TestContentionAsymmetry(t *testing.T) {
+	// The PAI1/PAI2 setup: T4 pool lightly loaded, non-T4 pool saturated.
+	s, _ := New([]Pool{{Type: "t4", Capacity: 20}, {Type: "v100", Capacity: 70}})
+	g := stats.NewRNG(1)
+	var reqs []Request
+	for i := 0; i < 400; i++ {
+		r := Request{ID: itoa(i), Submit: float64(i), Duration: 500 + g.Float64()*500}
+		if i%8 == 0 { // 1/8 of demand on 2/9 of capacity → light
+			r.Type = "t4"
+			r.GPUs = 1 + g.Intn(2)
+		} else {
+			r.Type = "v100"
+			r.GPUs = 2 + g.Intn(6)
+		}
+		reqs = append(reqs, r)
+	}
+	ps, err := s.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var t4Wait, v100Wait, t4N, v100N float64
+	for i, p := range ps {
+		if reqs[i].Type == "t4" {
+			t4Wait += p.QueueWait
+			t4N++
+		} else {
+			v100Wait += p.QueueWait
+			v100N++
+		}
+	}
+	if t4Wait/t4N >= v100Wait/v100N {
+		t.Errorf("expected T4 queues shorter: t4 avg %v vs v100 avg %v", t4Wait/t4N, v100Wait/v100N)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+func TestConservation(t *testing.T) {
+	// At no point may more GPUs be in use than the pool capacity. Verify
+	// by checking overlap sums at every start instant.
+	s, _ := New([]Pool{{Type: "v100", Capacity: 5}})
+	g := stats.NewRNG(3)
+	var reqs []Request
+	for i := 0; i < 200; i++ {
+		reqs = append(reqs, Request{
+			ID: itoa(i), Type: "v100", GPUs: 1 + g.Intn(5),
+			Submit: g.Float64() * 1000, Duration: 1 + g.Float64()*100,
+		})
+	}
+	ps, err := s.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range ps {
+		used := reqs[i].GPUs
+		for j, q := range ps {
+			if j == i {
+				continue
+			}
+			if q.Start <= p.Start && p.Start < q.End {
+				used += reqs[j].GPUs
+			}
+		}
+		if used > 5 {
+			t.Fatalf("capacity exceeded at t=%v: %d GPUs in use", p.Start, used)
+		}
+	}
+}
+
+func TestStartNeverBeforeSubmit(t *testing.T) {
+	s, _ := New([]Pool{{Type: "v100", Capacity: 3}})
+	g := stats.NewRNG(4)
+	var reqs []Request
+	for i := 0; i < 100; i++ {
+		reqs = append(reqs, Request{
+			ID: itoa(i), Type: "v100", GPUs: 1 + g.Intn(3),
+			Submit: g.Float64() * 500, Duration: g.Float64() * 50,
+		})
+	}
+	ps, err := s.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range ps {
+		if p.Start < reqs[i].Submit {
+			t.Fatalf("job %s started before submit", p.ID)
+		}
+		if p.QueueWait < 0 {
+			t.Fatalf("negative wait for %s", p.ID)
+		}
+		if p.End < p.Start {
+			t.Fatalf("job %s ends before start", p.ID)
+		}
+	}
+}
+
+func TestFailureInjection(t *testing.T) {
+	s, _ := New([]Pool{{Type: "v100", Capacity: 100}})
+	g := stats.NewRNG(5)
+	var reqs []Request
+	for i := 0; i < 500; i++ {
+		reqs = append(reqs, Request{ID: itoa(i), Type: "v100", GPUs: 1, Submit: 0, Duration: 3600})
+	}
+	// MTBF of 10 GPU-hours → P(fail per 1-GPU 1-hour job) ≈ 9.5%.
+	ps, err := s.RunWithFailures(reqs, FailureModel{MTBFHours: 10}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := 0
+	for i, p := range ps {
+		if p.Failed {
+			failed++
+			if p.End >= p.Start+reqs[i].Duration {
+				t.Fatal("failed job should be truncated")
+			}
+		} else if p.End != p.Start+reqs[i].Duration {
+			t.Fatal("healthy job should run to completion")
+		}
+	}
+	if failed < 20 || failed > 90 {
+		t.Errorf("failed = %d/500, want ≈48", failed)
+	}
+}
+
+func TestFailureScalesWithGangSize(t *testing.T) {
+	s, _ := New([]Pool{{Type: "v100", Capacity: 64}})
+	count := func(gpus int, seed int64) int {
+		g := stats.NewRNG(seed)
+		var reqs []Request
+		for i := 0; i < 400; i++ {
+			reqs = append(reqs, Request{ID: itoa(i), Type: "v100", GPUs: gpus, Submit: float64(i * 10000), Duration: 3600})
+		}
+		ps, err := s.RunWithFailures(reqs, FailureModel{MTBFHours: 20}, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, p := range ps {
+			if p.Failed {
+				n++
+			}
+		}
+		return n
+	}
+	single := count(1, 9)
+	multi := count(8, 9)
+	if multi <= single*3 {
+		t.Errorf("8-GPU gangs should fail far more often: %d vs %d", multi, single)
+	}
+}
+
+func TestZeroMTBFDisablesFailures(t *testing.T) {
+	s, _ := New([]Pool{{Type: "v100", Capacity: 4}})
+	ps, err := s.RunWithFailures(
+		[]Request{{ID: "a", Type: "v100", GPUs: 1, Submit: 0, Duration: 1e7}},
+		FailureModel{}, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[0].Failed {
+		t.Error("zero MTBF must disable failure injection")
+	}
+}

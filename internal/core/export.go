@@ -1,0 +1,75 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteRulesCSV exports a keyword analysis as CSV — the format downstream
+// dashboards or spreadsheets ingest. One row per rule: section (cause /
+// characteristic), rank, the two sides rendered as ';'-joined item lists,
+// and the metrics.
+func WriteRulesCSV(w io.Writer, a *Analysis) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"section", "rank", "antecedent", "consequent", "support", "confidence", "lift"}); err != nil {
+		return err
+	}
+	write := func(section string, vs []RuleView) error {
+		for i, v := range vs {
+			rec := []string{
+				section,
+				fmt.Sprint(i + 1),
+				strings.Join(v.Antecedent, ";"),
+				strings.Join(v.Consequent, ";"),
+				fmt.Sprintf("%.6f", v.Support),
+				fmt.Sprintf("%.6f", v.Confidence),
+				fmt.Sprintf("%.6f", v.Lift),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := write("cause", a.Cause); err != nil {
+		return err
+	}
+	if err := write("characteristic", a.Characteristic); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteRulesMarkdown exports a keyword analysis as a Markdown table in the
+// paper's layout, ready to paste into an operational report.
+func WriteRulesMarkdown(w io.Writer, a *Analysis, maxRows int) error {
+	if _, err := fmt.Fprintf(w, "### Rules for keyword `%s`\n\n", a.Keyword); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "| # | Antecedent | Consequent | Supp. | Conf. | Lift |"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "|---|---|---|---|---|---|"); err != nil {
+		return err
+	}
+	row := func(label string, v RuleView) error {
+		_, err := fmt.Fprintf(w, "| %s | %s | %s | %.2f | %.2f | %.2f |\n",
+			label, strings.Join(v.Antecedent, ", "), strings.Join(v.Consequent, ", "),
+			v.Support, v.Confidence, v.Lift)
+		return err
+	}
+	for i, v := range limit(a.Cause, maxRows) {
+		if err := row(fmt.Sprintf("C%d", i+1), v); err != nil {
+			return err
+		}
+	}
+	for i, v := range limit(a.Characteristic, maxRows) {
+		if err := row(fmt.Sprintf("A%d", i+1), v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/rules"
+)
+
+func exportAnalysis(t *testing.T) *Analysis {
+	t.Helper()
+	res, err := toyPipeline().Mine(toyFrame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := res.Analyze("util=0%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestWriteRulesCSV(t *testing.T) {
+	a := exportAnalysis(t)
+	var sb strings.Builder
+	if err := WriteRulesCSV(&sb, a); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "section,rank,antecedent,consequent,support,confidence,lift" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 1+len(a.Cause)+len(a.Characteristic) {
+		t.Errorf("rows = %d, want %d", len(lines)-1, len(a.Cause)+len(a.Characteristic))
+	}
+	// The export must round-trip through the frame's own CSV reader.
+	f, err := dataset.ReadCSV(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumRows() != len(a.Cause)+len(a.Characteristic) {
+		t.Errorf("parsed rows = %d", f.NumRows())
+	}
+	lift, err := f.Column("lift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < lift.Len(); i++ {
+		if lift.Number(i) < 1.5 {
+			t.Errorf("exported lift below threshold: %v", lift.Number(i))
+		}
+	}
+}
+
+func TestWriteRulesMarkdown(t *testing.T) {
+	a := exportAnalysis(t)
+	var sb strings.Builder
+	if err := WriteRulesMarkdown(&sb, a, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "### Rules for keyword `util=0%`") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "| C1 |") {
+		t.Errorf("missing cause row:\n%s", out)
+	}
+	if !strings.Contains(out, "| A1 |") {
+		t.Errorf("missing characteristic row:\n%s", out)
+	}
+	// Row cap respected.
+	if strings.Contains(out, "| C4 |") {
+		t.Errorf("row cap ignored:\n%s", out)
+	}
+}
+
+func TestAnalyzeNegative(t *testing.T) {
+	res, err := toyPipeline().Mine(toyFrame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In the toy frame, non-zero-util jobs never fail: {util=BinX} rules
+	// should protect against "status=failed".
+	neg, err := res.AnalyzeNegative("status=failed", rules.NegativeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(neg) == 0 {
+		t.Fatal("expected protective rules")
+	}
+	for _, v := range neg {
+		if v.Confidence < 0.9 {
+			t.Errorf("protective confidence %v below floor", v.Confidence)
+		}
+		for _, item := range v.Antecedent {
+			if item == "status=failed" {
+				t.Error("antecedent contains the suppressed keyword")
+			}
+		}
+	}
+	out := FormatNegative(neg, 3)
+	if !strings.Contains(out, "NOT status=failed") {
+		t.Errorf("rendering wrong:\n%s", out)
+	}
+	if _, err := res.AnalyzeNegative("no=such", rules.NegativeOptions{}); err == nil {
+		t.Error("unknown keyword should error")
+	}
+}

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// toyFrame builds a small trace-like frame with a planted association:
+// debug jobs (util=0, short runtime, user "heavy") dominate one corner.
+func toyFrame() *dataset.Frame {
+	n := 400
+	users := make([]string, n)
+	util := make([]float64, n)
+	runtime := make([]float64, n)
+	status := make([]string, n)
+	flag := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			users[i] = "heavy"
+			util[i] = 0
+			runtime[i] = float64(1 + i%10)
+			status[i] = "failed"
+			flag[i] = true
+		} else {
+			users[i] = "user-" + string(rune('a'+i%20))
+			util[i] = 10 + float64(i%80)
+			runtime[i] = float64(100 + i%1000)
+			status[i] = "success"
+		}
+	}
+	return dataset.MustNew(
+		dataset.NewString("job_id", make([]string, n)),
+		dataset.NewString("user", users),
+		dataset.NewFloat("util", util),
+		dataset.NewFloat("runtime", runtime),
+		dataset.NewString("status", status),
+		dataset.NewBool("debug_flag", flag),
+	)
+}
+
+func toyPipeline() *Pipeline {
+	return &Pipeline{
+		Features: []FeatureSpec{
+			{Column: "util", ZeroSpecial: true},
+			{Column: "runtime"},
+		},
+		Tiers: []TierSpec{{Column: "user", Out: "user_tier"}},
+		Skip:  []string{"job_id"},
+	}
+}
+
+func TestPreprocessShape(t *testing.T) {
+	p := toyPipeline()
+	pre, err := p.Preprocess(toyFrame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.Has("job_id") {
+		t.Error("skipped column should be dropped")
+	}
+	if pre.Has("user") {
+		t.Error("tiered column should be dropped by default")
+	}
+	if !pre.Has("user_tier") {
+		t.Error("tier column missing")
+	}
+	util := pre.MustColumn("util")
+	if util.Kind() != dataset.String {
+		t.Fatalf("util should be discretized to string, got %v", util.Kind())
+	}
+	if got := util.Str(0); got != "0%" {
+		t.Errorf("zero util label = %q", got)
+	}
+}
+
+func TestPreprocessErrors(t *testing.T) {
+	f := toyFrame()
+	for _, p := range []*Pipeline{
+		{Features: []FeatureSpec{{Column: "missing"}}},
+		{Features: []FeatureSpec{{Column: "user"}}},   // not numeric
+		{Tiers: []TierSpec{{Column: "missing"}}},      // missing tier column
+		{Tiers: []TierSpec{{Column: "util"}}},         // tier needs string
+		{Maps: []MapSpec{{Column: "missing"}}},        // missing map column
+		{Maps: []MapSpec{{Column: "util", Out: "x"}}}, // map needs string
+		{Transforms: []Transform{func(*dataset.Frame) (*dataset.Frame, error) { return nil, errors.New("boom") }}},
+	} {
+		if _, err := p.Preprocess(f); err == nil {
+			t.Errorf("pipeline %+v should error", p)
+		}
+	}
+}
+
+func TestMapSpecInPlaceAndOut(t *testing.T) {
+	f := dataset.MustNew(dataset.NewString("model", []string{"resnet", "bert", "weird"}))
+	p := &Pipeline{Maps: []MapSpec{{
+		Column: "model", Groups: map[string]string{"resnet": "CV", "bert": "NLP"}, Fallback: "other",
+	}}}
+	pre, err := p.Preprocess(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := pre.MustColumn("model")
+	if col.Str(0) != "CV" || col.Str(1) != "NLP" || col.Str(2) != "other" {
+		t.Errorf("in-place map wrong: %v %v %v", col.Str(0), col.Str(1), col.Str(2))
+	}
+
+	p2 := &Pipeline{Maps: []MapSpec{{
+		Column: "model", Out: "family", Groups: map[string]string{"resnet": "CV"},
+	}}}
+	pre2, err := p2.Preprocess(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre2.Has("model") {
+		t.Error("source column should be dropped when Out differs and Keep is false")
+	}
+	fam := pre2.MustColumn("family")
+	if fam.Str(0) != "CV" {
+		t.Errorf("family[0] = %q", fam.Str(0))
+	}
+	// Empty fallback keeps unmatched values unchanged.
+	if fam.Str(1) != "bert" {
+		t.Errorf("family[1] = %q, want passthrough", fam.Str(1))
+	}
+}
+
+func TestMapSpecKeep(t *testing.T) {
+	f := dataset.MustNew(dataset.NewString("model", []string{"resnet"}))
+	p := &Pipeline{Maps: []MapSpec{{
+		Column: "model", Out: "family", Groups: map[string]string{"resnet": "CV"}, Keep: true,
+	}}}
+	pre, err := p.Preprocess(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pre.Has("model") || !pre.Has("family") {
+		t.Errorf("Keep should retain both columns: %v", pre.ColumnNames())
+	}
+}
+
+func TestMineAndAnalyze(t *testing.T) {
+	p := toyPipeline()
+	res, err := p.Mine(toyFrame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumTransactions != 400 {
+		t.Fatalf("transactions = %d", res.NumTransactions)
+	}
+	if len(res.Frequent) == 0 {
+		t.Fatal("no frequent itemsets")
+	}
+	for _, f := range res.Frequent {
+		if len(f.Items) > 5 {
+			t.Fatalf("itemset exceeds paper's max length 5: %v", f.Items)
+		}
+		if float64(f.Count)/float64(res.NumTransactions) < 0.05-1e-9 {
+			t.Fatalf("itemset below 5%% support: %v %d", f.Items, f.Count)
+		}
+	}
+	a, err := res.Analyze("util=0%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Cause) == 0 || len(a.Characteristic) == 0 {
+		t.Fatalf("analysis empty: %d/%d", len(a.Cause), len(a.Characteristic))
+	}
+	// The planted association must surface: zero-util jobs are failed
+	// debug jobs from the heavy user.
+	if _, ok := FindRule(a.Characteristic, []string{"util=0%"}, []string{"status=failed"}); !ok {
+		if _, ok2 := FindRule(a.Characteristic, []string{"util=0%"}, []string{"user_tier=frequent"}); !ok2 {
+			t.Error("planted association not discovered")
+		}
+	}
+	for _, v := range a.Cause {
+		found := false
+		for _, it := range v.Consequent {
+			if it == "util=0%" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("cause rule lacks keyword in consequent: %+v", v)
+		}
+	}
+}
+
+func TestAnalyzeUnknownKeyword(t *testing.T) {
+	res, err := toyPipeline().Mine(toyFrame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Analyze("nope=never"); !errors.Is(err, ErrKeywordUnknown) {
+		t.Errorf("unknown keyword error = %v", err)
+	}
+}
+
+func TestRulesCached(t *testing.T) {
+	res, err := toyPipeline().Mine(toyFrame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Rules()
+	b := res.Rules()
+	if len(a) != len(b) {
+		t.Error("cached rules differ")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	// A high MinSupport leaves fewer itemsets than the default 5%.
+	p := toyPipeline()
+	p.Opts.MinSupport = 0.4
+	res, err := p.Mine(toyFrame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := toyPipeline().Mine(toyFrame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frequent) >= len(def.Frequent) {
+		t.Errorf("higher support should yield fewer itemsets: %d vs %d", len(res.Frequent), len(def.Frequent))
+	}
+}
+
+func TestMaxItemsetLenOption(t *testing.T) {
+	p := toyPipeline()
+	p.Opts.MaxItemsetLen = 2
+	res, err := p.Mine(toyFrame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Frequent {
+		if len(f.Items) > 2 {
+			t.Fatalf("MaxItemsetLen violated: %v", f.Items)
+		}
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	res, err := toyPipeline().Mine(toyFrame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := res.Analyze("util=0%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatTable(a, 3)
+	if !strings.Contains(out, "C1") || !strings.Contains(out, "A1") {
+		t.Errorf("table missing row labels:\n%s", out)
+	}
+	if !strings.Contains(out, "util=0%") {
+		t.Errorf("table missing keyword:\n%s", out)
+	}
+}
+
+func TestFormatRule(t *testing.T) {
+	v := RuleView{Antecedent: []string{"a"}, Consequent: []string{"b"}, Support: 0.5, Confidence: 0.7, Lift: 2}
+	got := FormatRule(v)
+	if !strings.Contains(got, "{a} => {b}") || !strings.Contains(got, "lift=2.00") {
+		t.Errorf("FormatRule = %q", got)
+	}
+}
+
+func TestTopByLift(t *testing.T) {
+	vs := []RuleView{
+		{Antecedent: []string{"a"}, Consequent: []string{"b"}, Lift: 5},
+		{Antecedent: []string{"a", "b", "c"}, Consequent: []string{"d"}, Lift: 4},
+		{Antecedent: []string{"a"}, Consequent: []string{"b", "c"}, Lift: 3},
+	}
+	got := TopByLift(vs, 2, 1, 0)
+	if len(got) != 2 || got[0].Lift != 5 || got[1].Lift != 3 {
+		t.Errorf("TopByLift = %+v", got)
+	}
+	if got := TopByLift(vs, 0, 0, 1); len(got) != 2 {
+		t.Errorf("consequent cap failed: %+v", got)
+	}
+}
+
+func TestHasItemAndFindRule(t *testing.T) {
+	v := RuleView{Antecedent: []string{"x", "y"}, Consequent: []string{"z"}}
+	if !v.HasItem("x") || !v.HasItem("z") || v.HasItem("w") {
+		t.Error("HasItem wrong")
+	}
+	vs := []RuleView{v}
+	if _, ok := FindRule(vs, []string{"y"}, []string{"z"}); !ok {
+		t.Error("FindRule should match supersets")
+	}
+	if _, ok := FindRule(vs, []string{"y", "w"}, []string{"z"}); ok {
+		t.Error("FindRule should reject missing items")
+	}
+}
+
+func TestCanonicalPipelinesConstruct(t *testing.T) {
+	for _, p := range []*Pipeline{PAIPipeline(), SuperCloudPipeline(), PhillyPipeline()} {
+		if len(p.Features) == 0 {
+			t.Error("canonical pipeline has no features")
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatRule renders one rule in the paper's table style.
+func FormatRule(v RuleView) string {
+	return fmt.Sprintf("{%s} => {%s}  supp=%.2f conf=%.2f lift=%.2f",
+		strings.Join(v.Antecedent, ", "), strings.Join(v.Consequent, ", "),
+		v.Support, v.Confidence, v.Lift)
+}
+
+// FormatTable renders a keyword analysis as a text table matching the
+// paper's layout: cause rules labelled C1..Cn, characteristic rules A1..An.
+func FormatTable(a *Analysis, maxRows int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Keyword: %s  (rules before pruning: %d, after: %d)\n",
+		a.Keyword, len(a.RulesBefore), len(a.Cause)+len(a.Characteristic))
+	width := 0
+	rows := make([]struct {
+		label string
+		view  RuleView
+	}, 0, len(a.Cause)+len(a.Characteristic))
+	for i, v := range limit(a.Cause, maxRows) {
+		rows = append(rows, struct {
+			label string
+			view  RuleView
+		}{fmt.Sprintf("C%d", i+1), v})
+	}
+	for i, v := range limit(a.Characteristic, maxRows) {
+		rows = append(rows, struct {
+			label string
+			view  RuleView
+		}{fmt.Sprintf("A%d", i+1), v})
+	}
+	lines := make([][3]string, len(rows))
+	for i, r := range rows {
+		ante := strings.Join(r.view.Antecedent, ", ")
+		cons := strings.Join(r.view.Consequent, ", ")
+		lines[i] = [3]string{r.label, ante, cons}
+		if len(ante) > width {
+			width = len(ante)
+		}
+	}
+	for i, r := range rows {
+		fmt.Fprintf(&sb, "%-3s %-*s => %-40s supp=%.2f conf=%.2f lift=%.2f\n",
+			lines[i][0], width, lines[i][1], lines[i][2],
+			r.view.Support, r.view.Confidence, r.view.Lift)
+	}
+	return sb.String()
+}
+
+func limit(vs []RuleView, n int) []RuleView {
+	if n > 0 && len(vs) > n {
+		return vs[:n]
+	}
+	return vs
+}
+
+// TopByLift returns the first n rules (already lift-sorted) whose
+// antecedent and consequent sizes stay within the given caps; zero caps
+// disable the constraint. Table reproduction uses it to surface the concise
+// headline rules the paper prints.
+func TopByLift(vs []RuleView, n, maxAnte, maxCons int) []RuleView {
+	var out []RuleView
+	for _, v := range vs {
+		if maxAnte > 0 && len(v.Antecedent) > maxAnte {
+			continue
+		}
+		if maxCons > 0 && len(v.Consequent) > maxCons {
+			continue
+		}
+		out = append(out, v)
+		if n > 0 && len(out) == n {
+			break
+		}
+	}
+	return out
+}
+
+// HasItem reports whether the rule mentions the item on either side.
+func (v RuleView) HasItem(item string) bool {
+	for _, it := range v.Antecedent {
+		if it == item {
+			return true
+		}
+	}
+	for _, it := range v.Consequent {
+		if it == item {
+			return true
+		}
+	}
+	return false
+}
+
+// FindRule returns the first rule whose antecedent contains every item in
+// ante and whose consequent contains every item in cons, or false. The
+// experiment index uses it to locate the paper's specific table rows.
+func FindRule(vs []RuleView, ante, cons []string) (RuleView, bool) {
+	for _, v := range vs {
+		if containsAll(v.Antecedent, ante) && containsAll(v.Consequent, cons) {
+			return v, true
+		}
+	}
+	return RuleView{}, false
+}
+
+func containsAll(have, want []string) bool {
+	for _, w := range want {
+		found := false
+		for _, h := range have {
+			if h == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

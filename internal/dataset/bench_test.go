@@ -1,0 +1,78 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+func benchFrame(n int) *Frame {
+	users := make([]string, n)
+	vals := make([]float64, n)
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		users[i] = "u" + string(rune('a'+i%23))
+		vals[i] = float64(i % 997)
+		ids[i] = "job-" + string(rune('a'+i%26)) + string(rune('0'+i%10)) + string(rune('0'+(i/10)%10))
+	}
+	return MustNew(
+		NewString("job_id", ids),
+		NewString("user", users),
+		NewFloat("v", vals),
+	)
+}
+
+func BenchmarkFilter(b *testing.B) {
+	f := benchFrame(100000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Filter(func(r Row) bool { return r.Float("v") > 500 })
+	}
+}
+
+func BenchmarkGroupBy(b *testing.B) {
+	f := benchFrame(100000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.GroupBy("user", AggSpec{Column: "v", Agg: AggMean}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInnerJoin(b *testing.B) {
+	left := benchFrame(50000)
+	right := benchFrame(50000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := left.InnerJoin(right, "job_id", "job_id"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteCSV(b *testing.B) {
+	f := benchFrame(50000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var sb strings.Builder
+		if err := f.WriteCSV(&sb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadCSV(b *testing.B) {
+	f := benchFrame(50000)
+	var sb strings.Builder
+	if err := f.WriteCSV(&sb); err != nil {
+		b.Fatal(err)
+	}
+	data := sb.String()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadCSV(strings.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+// Package dataset implements the columnar data-frame substrate the analysis
+// workflow is built on. Go has no mature dataframe ecosystem, so the frame,
+// typed columns with null masks, CSV I/O, filtering, sorting, joins and
+// group-bys used by the trace preprocessing stage are all implemented here.
+package dataset
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind enumerates the column element types supported by the frame.
+type Kind uint8
+
+// Supported column kinds.
+const (
+	Float Kind = iota
+	Int
+	String
+	Bool
+)
+
+// String returns the lowercase kind name.
+func (k Kind) String() string {
+	switch k {
+	case Float:
+		return "float"
+	case Int:
+		return "int"
+	case String:
+		return "string"
+	case Bool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Column is a typed, named vector with an optional validity (non-null) mask.
+// A nil mask means every element is valid. Columns are immutable once placed
+// in a Frame; transformations produce new columns.
+type Column struct {
+	name  string
+	kind  Kind
+	f     []float64
+	i     []int64
+	s     []string
+	b     []bool
+	valid []bool
+}
+
+// NewFloat returns a float column named name holding vals. The slice is
+// retained, not copied.
+func NewFloat(name string, vals []float64) *Column {
+	return &Column{name: name, kind: Float, f: vals}
+}
+
+// NewInt returns an int column named name holding vals.
+func NewInt(name string, vals []int64) *Column {
+	return &Column{name: name, kind: Int, i: vals}
+}
+
+// NewString returns a string column named name holding vals.
+func NewString(name string, vals []string) *Column {
+	return &Column{name: name, kind: String, s: vals}
+}
+
+// NewBool returns a bool column named name holding vals.
+func NewBool(name string, vals []bool) *Column {
+	return &Column{name: name, kind: Bool, b: vals}
+}
+
+// WithValidity attaches a validity mask to the column: valid[i] == false
+// marks row i as null. The mask length must equal the column length.
+func (c *Column) WithValidity(valid []bool) *Column {
+	if valid != nil && len(valid) != c.Len() {
+		panic(fmt.Sprintf("dataset: validity mask length %d != column length %d", len(valid), c.Len()))
+	}
+	out := *c
+	out.valid = valid
+	return &out
+}
+
+// Name returns the column name.
+func (c *Column) Name() string { return c.name }
+
+// Kind returns the column element kind.
+func (c *Column) Kind() Kind { return c.kind }
+
+// Renamed returns a shallow copy of the column under a new name.
+func (c *Column) Renamed(name string) *Column {
+	out := *c
+	out.name = name
+	return &out
+}
+
+// Len returns the number of rows in the column.
+func (c *Column) Len() int {
+	switch c.kind {
+	case Float:
+		return len(c.f)
+	case Int:
+		return len(c.i)
+	case String:
+		return len(c.s)
+	default:
+		return len(c.b)
+	}
+}
+
+// IsValid reports whether row i is non-null.
+func (c *Column) IsValid(i int) bool {
+	return c.valid == nil || c.valid[i]
+}
+
+// NullCount returns the number of null rows.
+func (c *Column) NullCount() int {
+	if c.valid == nil {
+		return 0
+	}
+	n := 0
+	for _, v := range c.valid {
+		if !v {
+			n++
+		}
+	}
+	return n
+}
+
+// Float returns the float value at row i. It panics if the column kind is
+// not Float; use AsFloat for numeric widening.
+func (c *Column) Float(i int) float64 {
+	if c.kind != Float {
+		panic(fmt.Sprintf("dataset: column %q is %v, not float", c.name, c.kind))
+	}
+	return c.f[i]
+}
+
+// Int returns the int value at row i.
+func (c *Column) Int(i int) int64 {
+	if c.kind != Int {
+		panic(fmt.Sprintf("dataset: column %q is %v, not int", c.name, c.kind))
+	}
+	return c.i[i]
+}
+
+// Str returns the string value at row i.
+func (c *Column) Str(i int) string {
+	if c.kind != String {
+		panic(fmt.Sprintf("dataset: column %q is %v, not string", c.name, c.kind))
+	}
+	return c.s[i]
+}
+
+// Bool returns the bool value at row i.
+func (c *Column) Bool(i int) bool {
+	if c.kind != Bool {
+		panic(fmt.Sprintf("dataset: column %q is %v, not bool", c.name, c.kind))
+	}
+	return c.b[i]
+}
+
+// Number returns the value at row i widened to float64. It panics on string
+// columns. Bool columns map false→0, true→1.
+func (c *Column) Number(i int) float64 {
+	switch c.kind {
+	case Float:
+		return c.f[i]
+	case Int:
+		return float64(c.i[i])
+	case Bool:
+		if c.b[i] {
+			return 1
+		}
+		return 0
+	default:
+		panic(fmt.Sprintf("dataset: column %q is not numeric", c.name))
+	}
+}
+
+// IsNumeric reports whether the column can be read through Number.
+func (c *Column) IsNumeric() bool { return c.kind != String }
+
+// Format renders the value at row i as a string; null rows render as "".
+func (c *Column) Format(i int) string {
+	if !c.IsValid(i) {
+		return ""
+	}
+	switch c.kind {
+	case Float:
+		return strconv.FormatFloat(c.f[i], 'g', -1, 64)
+	case Int:
+		return strconv.FormatInt(c.i[i], 10)
+	case String:
+		return c.s[i]
+	default:
+		return strconv.FormatBool(c.b[i])
+	}
+}
+
+// Floats returns the valid float values of a numeric column, skipping nulls.
+func (c *Column) Floats() []float64 {
+	out := make([]float64, 0, c.Len())
+	for i := 0; i < c.Len(); i++ {
+		if c.IsValid(i) {
+			out = append(out, c.Number(i))
+		}
+	}
+	return out
+}
+
+// Strings returns the valid string values of a string column, skipping nulls.
+func (c *Column) Strings() []string {
+	out := make([]string, 0, c.Len())
+	for i := 0; i < c.Len(); i++ {
+		if c.IsValid(i) {
+			out = append(out, c.Str(i))
+		}
+	}
+	return out
+}
+
+// Gather returns a new column holding rows idx (in order), preserving nulls.
+func (c *Column) Gather(idx []int) *Column {
+	out := &Column{name: c.name, kind: c.kind}
+	if c.valid != nil {
+		out.valid = make([]bool, len(idx))
+		for j, i := range idx {
+			out.valid[j] = c.valid[i]
+		}
+	}
+	switch c.kind {
+	case Float:
+		out.f = make([]float64, len(idx))
+		for j, i := range idx {
+			out.f[j] = c.f[i]
+		}
+	case Int:
+		out.i = make([]int64, len(idx))
+		for j, i := range idx {
+			out.i[j] = c.i[i]
+		}
+	case String:
+		out.s = make([]string, len(idx))
+		for j, i := range idx {
+			out.s[j] = c.s[i]
+		}
+	default:
+		out.b = make([]bool, len(idx))
+		for j, i := range idx {
+			out.b[j] = c.b[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// ReadCSV parses a CSV stream with a header row into a frame, inferring a
+// kind per column: a column is Int if every non-empty cell parses as int64,
+// else Float if every non-empty cell parses as float64, else Bool if every
+// non-empty cell is "true"/"false", else String. Empty cells become nulls.
+func ReadCSV(r io.Reader) (*Frame, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = false
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	if len(header) == 0 {
+		return nil, errors.New("dataset: empty CSV header")
+	}
+	cells := make([][]string, len(header))
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV: %w", err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("dataset: row has %d cells, header has %d", len(rec), len(header))
+		}
+		for i, cell := range rec {
+			cells[i] = append(cells[i], cell)
+		}
+	}
+	cols := make([]*Column, len(header))
+	for i, name := range header {
+		cols[i] = inferColumn(name, cells[i])
+	}
+	return New(cols...)
+}
+
+// ReadCSVFile opens path and parses it with ReadCSV.
+func ReadCSVFile(path string) (*Frame, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}
+
+func inferColumn(name string, cells []string) *Column {
+	isInt, isFloat, isBool := true, true, true
+	hasNull := false
+	for _, cell := range cells {
+		if cell == "" {
+			hasNull = true
+			continue
+		}
+		if isInt {
+			if _, err := strconv.ParseInt(cell, 10, 64); err != nil {
+				isInt = false
+			}
+		}
+		if isFloat {
+			if _, err := strconv.ParseFloat(cell, 64); err != nil {
+				isFloat = false
+			}
+		}
+		if isBool && cell != "true" && cell != "false" {
+			isBool = false
+		}
+	}
+	var valid []bool
+	if hasNull {
+		valid = make([]bool, len(cells))
+		for i, cell := range cells {
+			valid[i] = cell != ""
+		}
+	}
+	switch {
+	case isInt:
+		vals := make([]int64, len(cells))
+		for i, cell := range cells {
+			if cell != "" {
+				vals[i], _ = strconv.ParseInt(cell, 10, 64)
+			}
+		}
+		return NewInt(name, vals).WithValidity(valid)
+	case isFloat:
+		vals := make([]float64, len(cells))
+		for i, cell := range cells {
+			if cell != "" {
+				vals[i], _ = strconv.ParseFloat(cell, 64)
+			}
+		}
+		return NewFloat(name, vals).WithValidity(valid)
+	case isBool:
+		vals := make([]bool, len(cells))
+		for i, cell := range cells {
+			vals[i] = cell == "true"
+		}
+		return NewBool(name, vals).WithValidity(valid)
+	default:
+		return NewString(name, append([]string(nil), cells...)).WithValidity(valid)
+	}
+}
+
+// WriteCSV writes the frame as CSV with a header row. Null cells are written
+// as empty strings, so a ReadCSV round trip preserves nullity.
+func (f *Frame) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(f.ColumnNames()); err != nil {
+		return err
+	}
+	rec := make([]string, f.NumCols())
+	for i := 0; i < f.nrows; i++ {
+		for j, c := range f.cols {
+			rec[j] = c.Format(i)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the frame to path, creating or truncating it.
+func (f *Frame) WriteCSVFile(path string) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.WriteCSV(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}

@@ -1,0 +1,142 @@
+package dataset
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// ColumnSummary is the per-column descriptive summary Describe produces —
+// the first thing an operator looks at before declaring a pipeline (which
+// features need a zero bin? where is the request spike? how skewed is the
+// categorical?).
+type ColumnSummary struct {
+	Name  string
+	Kind  Kind
+	Nulls int
+
+	// Numeric columns.
+	Mean, Std                float64
+	Min, Q1, Median, Q3, Max float64
+	ZeroFraction             float64
+	// ModalValue and ModalFraction identify request-default spikes.
+	ModalValue    float64
+	ModalFraction float64
+
+	// String columns.
+	Distinct int
+	// TopValues lists the most common values with their counts.
+	TopValues []ValueCount
+
+	// Bool columns.
+	TrueFraction float64
+}
+
+// ValueCount pairs a categorical value with its row count.
+type ValueCount struct {
+	Value string
+	Count int
+}
+
+// Describe summarizes every column of the frame.
+func (f *Frame) Describe() []ColumnSummary {
+	out := make([]ColumnSummary, 0, f.NumCols())
+	for i := 0; i < f.NumCols(); i++ {
+		out = append(out, describeColumn(f.ColumnAt(i)))
+	}
+	return out
+}
+
+func describeColumn(c *Column) ColumnSummary {
+	s := ColumnSummary{Name: c.Name(), Kind: c.Kind(), Nulls: c.NullCount()}
+	switch c.Kind() {
+	case String:
+		counts := map[string]int{}
+		for i := 0; i < c.Len(); i++ {
+			if c.IsValid(i) {
+				counts[c.Str(i)]++
+			}
+		}
+		s.Distinct = len(counts)
+		for v, n := range counts {
+			s.TopValues = append(s.TopValues, ValueCount{Value: v, Count: n})
+		}
+		sort.Slice(s.TopValues, func(a, b int) bool {
+			if s.TopValues[a].Count != s.TopValues[b].Count {
+				return s.TopValues[a].Count > s.TopValues[b].Count
+			}
+			return s.TopValues[a].Value < s.TopValues[b].Value
+		})
+		if len(s.TopValues) > 5 {
+			s.TopValues = s.TopValues[:5]
+		}
+	case Bool:
+		trues, valid := 0, 0
+		for i := 0; i < c.Len(); i++ {
+			if !c.IsValid(i) {
+				continue
+			}
+			valid++
+			if c.Bool(i) {
+				trues++
+			}
+		}
+		if valid > 0 {
+			s.TrueFraction = float64(trues) / float64(valid)
+		}
+	default: // Float, Int
+		vals := c.Floats()
+		if len(vals) == 0 {
+			return s
+		}
+		s.Mean = stats.Mean(vals)
+		s.Std = stats.StdDev(vals)
+		if five, err := stats.BoxPlot(vals); err == nil {
+			s.Min, s.Q1, s.Median, s.Q3, s.Max = five.Min, five.Q1, five.Median, five.Q3, five.Max
+		}
+		zeros := 0
+		modal := map[float64]int{}
+		best, bestN := 0.0, 0
+		for _, v := range vals {
+			if v == 0 {
+				zeros++
+			}
+			modal[v]++
+			if modal[v] > bestN {
+				best, bestN = v, modal[v]
+			}
+		}
+		s.ZeroFraction = float64(zeros) / float64(len(vals))
+		s.ModalValue = best
+		s.ModalFraction = float64(bestN) / float64(len(vals))
+	}
+	return s
+}
+
+// WriteDescription renders the summaries as a readable table.
+func WriteDescription(w io.Writer, summaries []ColumnSummary) {
+	for _, s := range summaries {
+		switch s.Kind {
+		case String:
+			fmt.Fprintf(w, "%-16s %-6s distinct=%d nulls=%d top=", s.Name, s.Kind, s.Distinct, s.Nulls)
+			for i, tv := range s.TopValues {
+				if i > 0 {
+					fmt.Fprint(w, ", ")
+				}
+				fmt.Fprintf(w, "%s(%d)", tv.Value, tv.Count)
+			}
+			fmt.Fprintln(w)
+		case Bool:
+			fmt.Fprintf(w, "%-16s %-6s true=%.1f%% nulls=%d\n", s.Name, s.Kind, 100*s.TrueFraction, s.Nulls)
+		default:
+			fmt.Fprintf(w, "%-16s %-6s mean=%.3g std=%.3g quartiles=[%.3g %.3g %.3g %.3g %.3g] zero=%.1f%%",
+				s.Name, s.Kind, s.Mean, s.Std, s.Min, s.Q1, s.Median, s.Q3, s.Max, 100*s.ZeroFraction)
+			if s.ModalFraction >= 0.2 {
+				fmt.Fprintf(w, " spike=%.3g(%.0f%%)", s.ModalValue, 100*s.ModalFraction)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDescribeNumeric(t *testing.T) {
+	f := MustNew(NewFloat("x", []float64{0, 0, 600, 600, 600, 10, 20, 30}))
+	s := f.Describe()[0]
+	if s.Kind != Float || s.Name != "x" {
+		t.Fatalf("summary header wrong: %+v", s)
+	}
+	if s.ZeroFraction != 0.25 {
+		t.Errorf("ZeroFraction = %v", s.ZeroFraction)
+	}
+	if s.ModalValue != 600 || s.ModalFraction != 3.0/8 {
+		t.Errorf("modal = %v (%v)", s.ModalValue, s.ModalFraction)
+	}
+	if s.Min != 0 || s.Max != 600 {
+		t.Errorf("range = [%v, %v]", s.Min, s.Max)
+	}
+	if s.Mean <= 0 || s.Std <= 0 {
+		t.Errorf("moments = %v/%v", s.Mean, s.Std)
+	}
+}
+
+func TestDescribeString(t *testing.T) {
+	f := MustNew(NewString("user", []string{"a", "a", "a", "b", "c", "d", "e", "f", "g"}))
+	s := f.Describe()[0]
+	if s.Distinct != 7 {
+		t.Errorf("Distinct = %d", s.Distinct)
+	}
+	if len(s.TopValues) != 5 {
+		t.Errorf("TopValues = %d entries", len(s.TopValues))
+	}
+	if s.TopValues[0].Value != "a" || s.TopValues[0].Count != 3 {
+		t.Errorf("top value = %+v", s.TopValues[0])
+	}
+}
+
+func TestDescribeBoolAndNulls(t *testing.T) {
+	f := MustNew(
+		NewBool("flag", []bool{true, true, false, false}).WithValidity([]bool{true, true, true, false}),
+	)
+	s := f.Describe()[0]
+	if s.Nulls != 1 {
+		t.Errorf("Nulls = %d", s.Nulls)
+	}
+	if s.TrueFraction < 0.66 || s.TrueFraction > 0.67 {
+		t.Errorf("TrueFraction = %v, want 2/3", s.TrueFraction)
+	}
+}
+
+func TestDescribeEmptyNumeric(t *testing.T) {
+	f := MustNew(NewFloat("x", []float64{1}).WithValidity([]bool{false}))
+	s := f.Describe()[0]
+	if s.Mean != 0 || s.Max != 0 {
+		t.Errorf("all-null column should yield zero summary: %+v", s)
+	}
+}
+
+func TestWriteDescription(t *testing.T) {
+	f := MustNew(
+		NewFloat("cpu_request", []float64{600, 600, 600, 100, 200}),
+		NewString("user", []string{"a", "a", "b", "c", "d"}),
+		NewBool("failed", []bool{true, false, false, false, false}),
+	)
+	var sb strings.Builder
+	WriteDescription(&sb, f.Describe())
+	out := sb.String()
+	if !strings.Contains(out, "spike=600") {
+		t.Errorf("spike annotation missing:\n%s", out)
+	}
+	if !strings.Contains(out, "distinct=4") {
+		t.Errorf("distinct count missing:\n%s", out)
+	}
+	if !strings.Contains(out, "true=20.0%") {
+		t.Errorf("bool fraction missing:\n%s", out)
+	}
+}

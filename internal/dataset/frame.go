@@ -1,0 +1,361 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Frame is an immutable-by-convention columnar table: a set of equal-length
+// named columns. All transformation methods return new frames sharing
+// unmodified column storage with the receiver.
+type Frame struct {
+	cols   []*Column
+	byName map[string]int
+	nrows  int
+}
+
+// ErrNoColumn is wrapped by lookups of columns that do not exist.
+var ErrNoColumn = errors.New("dataset: no such column")
+
+// New builds a frame from cols. All columns must have distinct names and
+// equal lengths.
+func New(cols ...*Column) (*Frame, error) {
+	f := &Frame{byName: make(map[string]int, len(cols))}
+	for _, c := range cols {
+		if err := f.add(c); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// MustNew is New but panics on error; intended for tests and literals.
+func MustNew(cols ...*Column) *Frame {
+	f, err := New(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func (f *Frame) add(c *Column) error {
+	if _, dup := f.byName[c.name]; dup {
+		return fmt.Errorf("dataset: duplicate column %q", c.name)
+	}
+	if len(f.cols) == 0 {
+		f.nrows = c.Len()
+	} else if c.Len() != f.nrows {
+		return fmt.Errorf("dataset: column %q has %d rows, frame has %d", c.name, c.Len(), f.nrows)
+	}
+	f.byName[c.name] = len(f.cols)
+	f.cols = append(f.cols, c)
+	return nil
+}
+
+// NumRows returns the number of rows.
+func (f *Frame) NumRows() int { return f.nrows }
+
+// NumCols returns the number of columns.
+func (f *Frame) NumCols() int { return len(f.cols) }
+
+// ColumnNames returns the column names in frame order.
+func (f *Frame) ColumnNames() []string {
+	names := make([]string, len(f.cols))
+	for i, c := range f.cols {
+		names[i] = c.name
+	}
+	return names
+}
+
+// Has reports whether the frame has a column named name.
+func (f *Frame) Has(name string) bool {
+	_, ok := f.byName[name]
+	return ok
+}
+
+// Column returns the column named name.
+func (f *Frame) Column(name string) (*Column, error) {
+	i, ok := f.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoColumn, name)
+	}
+	return f.cols[i], nil
+}
+
+// MustColumn is Column but panics when the column is missing.
+func (f *Frame) MustColumn(name string) *Column {
+	c, err := f.Column(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// ColumnAt returns the i-th column.
+func (f *Frame) ColumnAt(i int) *Column { return f.cols[i] }
+
+// WithColumn returns a new frame with c appended (or replacing an existing
+// column of the same name).
+func (f *Frame) WithColumn(c *Column) (*Frame, error) {
+	if f.NumCols() > 0 && c.Len() != f.nrows {
+		return nil, fmt.Errorf("dataset: column %q has %d rows, frame has %d", c.name, c.Len(), f.nrows)
+	}
+	out := &Frame{byName: make(map[string]int, len(f.cols)+1), nrows: f.nrows}
+	if f.NumCols() == 0 {
+		out.nrows = c.Len()
+	}
+	replaced := false
+	for _, old := range f.cols {
+		if old.name == c.name {
+			out.byName[c.name] = len(out.cols)
+			out.cols = append(out.cols, c)
+			replaced = true
+			continue
+		}
+		out.byName[old.name] = len(out.cols)
+		out.cols = append(out.cols, old)
+	}
+	if !replaced {
+		out.byName[c.name] = len(out.cols)
+		out.cols = append(out.cols, c)
+	}
+	return out, nil
+}
+
+// Drop returns a new frame without the named columns. Unknown names are
+// ignored so callers can drop optional features unconditionally.
+func (f *Frame) Drop(names ...string) *Frame {
+	dropping := make(map[string]bool, len(names))
+	for _, n := range names {
+		dropping[n] = true
+	}
+	out := &Frame{byName: make(map[string]int), nrows: f.nrows}
+	for _, c := range f.cols {
+		if dropping[c.name] {
+			continue
+		}
+		out.byName[c.name] = len(out.cols)
+		out.cols = append(out.cols, c)
+	}
+	return out
+}
+
+// Select returns a new frame containing exactly the named columns in the
+// given order.
+func (f *Frame) Select(names ...string) (*Frame, error) {
+	out := &Frame{byName: make(map[string]int, len(names)), nrows: f.nrows}
+	for _, n := range names {
+		c, err := f.Column(n)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.add(c); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Row is a cursor over one frame row, passed to Filter predicates.
+type Row struct {
+	f *Frame
+	i int
+}
+
+// Index returns the row index inside the source frame.
+func (r Row) Index() int { return r.i }
+
+// Valid reports whether the named column is non-null at this row.
+func (r Row) Valid(col string) bool { return r.f.MustColumn(col).IsValid(r.i) }
+
+// Float returns the named float column value at this row.
+func (r Row) Float(col string) float64 { return r.f.MustColumn(col).Float(r.i) }
+
+// Int returns the named int column value at this row.
+func (r Row) Int(col string) int64 { return r.f.MustColumn(col).Int(r.i) }
+
+// Str returns the named string column value at this row.
+func (r Row) Str(col string) string { return r.f.MustColumn(col).Str(r.i) }
+
+// Bool returns the named bool column value at this row.
+func (r Row) Bool(col string) bool { return r.f.MustColumn(col).Bool(r.i) }
+
+// Number returns the named numeric column value widened to float64.
+func (r Row) Number(col string) float64 { return r.f.MustColumn(col).Number(r.i) }
+
+// Filter returns the rows for which keep returns true.
+func (f *Frame) Filter(keep func(Row) bool) *Frame {
+	idx := make([]int, 0, f.nrows)
+	for i := 0; i < f.nrows; i++ {
+		if keep(Row{f: f, i: i}) {
+			idx = append(idx, i)
+		}
+	}
+	return f.Take(idx)
+}
+
+// Take returns a new frame holding the rows idx, in order. Indices may
+// repeat.
+func (f *Frame) Take(idx []int) *Frame {
+	out := &Frame{byName: make(map[string]int, len(f.cols)), nrows: len(idx)}
+	for _, c := range f.cols {
+		out.byName[c.name] = len(out.cols)
+		out.cols = append(out.cols, c.Gather(idx))
+	}
+	return out
+}
+
+// Head returns the first n rows (all rows if n exceeds the frame length).
+func (f *Frame) Head(n int) *Frame {
+	if n > f.nrows {
+		n = f.nrows
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return f.Take(idx)
+}
+
+// SortBy returns a new frame sorted by the named column. Numeric columns
+// sort numerically, string columns lexicographically; null rows sort first.
+// The sort is stable.
+func (f *Frame) SortBy(name string, ascending bool) (*Frame, error) {
+	c, err := f.Column(name)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, f.nrows)
+	for i := range idx {
+		idx[i] = i
+	}
+	less := func(a, b int) bool {
+		va, vb := c.IsValid(a), c.IsValid(b)
+		if !va || !vb {
+			return !va && vb
+		}
+		if c.kind == String {
+			return c.s[a] < c.s[b]
+		}
+		return c.Number(a) < c.Number(b)
+	}
+	sort.SliceStable(idx, func(x, y int) bool {
+		if ascending {
+			return less(idx[x], idx[y])
+		}
+		return less(idx[y], idx[x])
+	})
+	return f.Take(idx), nil
+}
+
+// GroupIndices groups row indices by the value of the named string column.
+// Null rows are skipped.
+func (f *Frame) GroupIndices(name string) (map[string][]int, error) {
+	c, err := f.Column(name)
+	if err != nil {
+		return nil, err
+	}
+	if c.kind != String {
+		return nil, fmt.Errorf("dataset: GroupIndices needs a string column, %q is %v", name, c.kind)
+	}
+	groups := make(map[string][]int)
+	for i := 0; i < f.nrows; i++ {
+		if !c.IsValid(i) {
+			continue
+		}
+		groups[c.s[i]] = append(groups[c.s[i]], i)
+	}
+	return groups, nil
+}
+
+// ValueCounts returns the number of occurrences of each value of the named
+// string column, skipping nulls.
+func (f *Frame) ValueCounts(name string) (map[string]int, error) {
+	groups, err := f.GroupIndices(name)
+	if err != nil {
+		return nil, err
+	}
+	counts := make(map[string]int, len(groups))
+	for v, idx := range groups {
+		counts[v] = len(idx)
+	}
+	return counts, nil
+}
+
+// InnerJoin joins f with right on string key columns leftKey/rightKey,
+// producing one output row per matching pair. Right-side columns keep their
+// names; a right column whose name collides with a left column is suffixed
+// with "_right". This implements the multi-file merge step of trace
+// preprocessing (scheduler-level joined with node-level measurements).
+func (f *Frame) InnerJoin(right *Frame, leftKey, rightKey string) (*Frame, error) {
+	lk, err := f.Column(leftKey)
+	if err != nil {
+		return nil, err
+	}
+	rk, err := right.Column(rightKey)
+	if err != nil {
+		return nil, err
+	}
+	if lk.kind != String || rk.kind != String {
+		return nil, errors.New("dataset: join keys must be string columns")
+	}
+	byKey := make(map[string][]int, right.nrows)
+	for i := 0; i < right.nrows; i++ {
+		if !rk.IsValid(i) {
+			continue
+		}
+		byKey[rk.s[i]] = append(byKey[rk.s[i]], i)
+	}
+	var leftIdx, rightIdx []int
+	for i := 0; i < f.nrows; i++ {
+		if !lk.IsValid(i) {
+			continue
+		}
+		for _, j := range byKey[lk.s[i]] {
+			leftIdx = append(leftIdx, i)
+			rightIdx = append(rightIdx, j)
+		}
+	}
+	out := &Frame{byName: make(map[string]int), nrows: len(leftIdx)}
+	for _, c := range f.cols {
+		if err := out.add(c.Gather(leftIdx)); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range right.cols {
+		if c.name == rightKey {
+			continue // same values as leftKey in every output row
+		}
+		gathered := c.Gather(rightIdx)
+		if out.Has(c.name) {
+			gathered = gathered.Renamed(c.name + "_right")
+		}
+		if err := out.add(gathered); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// DropNulls returns the rows where every listed column is valid. With no
+// columns listed, it requires all columns to be valid.
+func (f *Frame) DropNulls(names ...string) *Frame {
+	cols := f.cols
+	if len(names) > 0 {
+		cols = make([]*Column, 0, len(names))
+		for _, n := range names {
+			if c, err := f.Column(n); err == nil {
+				cols = append(cols, c)
+			}
+		}
+	}
+	return f.Filter(func(r Row) bool {
+		for _, c := range cols {
+			if !c.IsValid(r.i) {
+				return false
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,363 @@
+package dataset
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func sampleFrame(t *testing.T) *Frame {
+	t.Helper()
+	f, err := New(
+		NewString("job", []string{"j1", "j2", "j3", "j4"}),
+		NewString("user", []string{"alice", "bob", "alice", "carol"}),
+		NewFloat("sm_util", []float64{0, 55, 0, 80}),
+		NewInt("gpus", []int64{1, 4, 1, 8}),
+		NewBool("failed", []bool{true, false, false, true}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(NewFloat("a", []float64{1}), NewFloat("a", []float64{2})); err == nil {
+		t.Error("duplicate names should error")
+	}
+	if _, err := New(NewFloat("a", []float64{1, 2}), NewFloat("b", []float64{1})); err == nil {
+		t.Error("ragged columns should error")
+	}
+}
+
+func TestColumnAccessors(t *testing.T) {
+	f := sampleFrame(t)
+	if f.NumRows() != 4 || f.NumCols() != 5 {
+		t.Fatalf("shape = %dx%d", f.NumRows(), f.NumCols())
+	}
+	c := f.MustColumn("sm_util")
+	if c.Kind() != Float || c.Float(1) != 55 {
+		t.Errorf("unexpected sm_util column: kind=%v val=%v", c.Kind(), c.Float(1))
+	}
+	if f.MustColumn("gpus").Int(3) != 8 {
+		t.Error("gpus[3] != 8")
+	}
+	if !f.MustColumn("failed").Bool(0) {
+		t.Error("failed[0] should be true")
+	}
+	if f.MustColumn("user").Str(2) != "alice" {
+		t.Error("user[2] != alice")
+	}
+	if _, err := f.Column("nope"); !errors.Is(err, ErrNoColumn) {
+		t.Errorf("missing column error = %v", err)
+	}
+}
+
+func TestColumnKindPanics(t *testing.T) {
+	f := sampleFrame(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("reading string column as float should panic")
+		}
+	}()
+	f.MustColumn("user").Float(0)
+}
+
+func TestNumberWidening(t *testing.T) {
+	f := sampleFrame(t)
+	if f.MustColumn("gpus").Number(1) != 4 {
+		t.Error("int widening failed")
+	}
+	if f.MustColumn("failed").Number(0) != 1 {
+		t.Error("bool widening failed")
+	}
+	if f.MustColumn("user").IsNumeric() {
+		t.Error("string column should not be numeric")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	f := sampleFrame(t)
+	zero := f.Filter(func(r Row) bool { return r.Float("sm_util") == 0 })
+	if zero.NumRows() != 2 {
+		t.Fatalf("filtered rows = %d, want 2", zero.NumRows())
+	}
+	if zero.MustColumn("job").Str(0) != "j1" || zero.MustColumn("job").Str(1) != "j3" {
+		t.Error("filter should preserve order")
+	}
+}
+
+func TestTakeRepeats(t *testing.T) {
+	f := sampleFrame(t)
+	g := f.Take([]int{3, 3, 0})
+	if g.NumRows() != 3 {
+		t.Fatalf("rows = %d", g.NumRows())
+	}
+	if g.MustColumn("job").Str(0) != "j4" || g.MustColumn("job").Str(2) != "j1" {
+		t.Error("take order wrong")
+	}
+}
+
+func TestHead(t *testing.T) {
+	f := sampleFrame(t)
+	if f.Head(2).NumRows() != 2 {
+		t.Error("Head(2) wrong")
+	}
+	if f.Head(100).NumRows() != 4 {
+		t.Error("Head beyond length should clamp")
+	}
+}
+
+func TestSelectAndDrop(t *testing.T) {
+	f := sampleFrame(t)
+	s, err := f.Select("user", "failed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumCols() != 2 || s.ColumnNames()[0] != "user" {
+		t.Errorf("select wrong: %v", s.ColumnNames())
+	}
+	if _, err := f.Select("missing"); err == nil {
+		t.Error("selecting missing column should error")
+	}
+	d := f.Drop("sm_util", "not_there")
+	if d.NumCols() != 4 || d.Has("sm_util") {
+		t.Errorf("drop wrong: %v", d.ColumnNames())
+	}
+}
+
+func TestWithColumnReplaceAndAppend(t *testing.T) {
+	f := sampleFrame(t)
+	g, err := f.WithColumn(NewFloat("queue", []float64{1, 2, 3, 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumCols() != 6 {
+		t.Errorf("append failed: %v", g.ColumnNames())
+	}
+	h, err := g.WithColumn(NewFloat("queue", []float64{9, 9, 9, 9}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumCols() != 6 || h.MustColumn("queue").Float(0) != 9 {
+		t.Error("replace failed")
+	}
+	if _, err := f.WithColumn(NewFloat("bad", []float64{1})); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestSortBy(t *testing.T) {
+	f := sampleFrame(t)
+	asc, err := f.SortBy("sm_util", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := asc.MustColumn("sm_util").Floats()
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("not ascending: %v", got)
+		}
+	}
+	desc, _ := f.SortBy("user", false)
+	if desc.MustColumn("user").Str(0) != "carol" {
+		t.Error("descending string sort wrong")
+	}
+	if _, err := f.SortBy("missing", true); err == nil {
+		t.Error("missing column should error")
+	}
+}
+
+func TestSortNullsFirst(t *testing.T) {
+	col := NewFloat("x", []float64{5, 0, 3}).WithValidity([]bool{true, false, true})
+	f := MustNew(col)
+	sorted, err := f.SortBy("x", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sorted.MustColumn("x").IsValid(0) {
+		t.Error("null should sort first")
+	}
+}
+
+func TestGroupIndicesAndValueCounts(t *testing.T) {
+	f := sampleFrame(t)
+	groups, err := f.GroupIndices("user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups["alice"]) != 2 || len(groups["bob"]) != 1 {
+		t.Errorf("groups = %v", groups)
+	}
+	counts, _ := f.ValueCounts("user")
+	if counts["alice"] != 2 || counts["carol"] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	if _, err := f.GroupIndices("sm_util"); err == nil {
+		t.Error("grouping a float column should error")
+	}
+}
+
+func TestInnerJoin(t *testing.T) {
+	sched := MustNew(
+		NewString("job", []string{"j1", "j2", "j3"}),
+		NewString("user", []string{"a", "b", "c"}),
+	)
+	node := MustNew(
+		NewString("job_id", []string{"j3", "j1", "jX"}),
+		NewFloat("sm_util", []float64{70, 0, 50}),
+		NewString("user", []string{"c", "a", "x"}),
+	)
+	joined, err := sched.InnerJoin(node, "job", "job_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined.NumRows() != 2 {
+		t.Fatalf("joined rows = %d, want 2", joined.NumRows())
+	}
+	if !joined.Has("user_right") {
+		t.Errorf("collision suffix missing: %v", joined.ColumnNames())
+	}
+	// j1 joins to sm_util 0, j3 joins to 70, in left order.
+	if joined.MustColumn("sm_util").Float(0) != 0 || joined.MustColumn("sm_util").Float(1) != 70 {
+		t.Error("join values wrong")
+	}
+	if joined.Has("job_id") {
+		t.Error("right key column should be elided")
+	}
+}
+
+func TestInnerJoinManyToMany(t *testing.T) {
+	left := MustNew(NewString("k", []string{"a", "a"}), NewInt("l", []int64{1, 2}))
+	right := MustNew(NewString("k", []string{"a", "a"}), NewInt("r", []int64{10, 20}))
+	j, err := left.InnerJoin(right, "k", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.NumRows() != 4 {
+		t.Errorf("cartesian join rows = %d, want 4", j.NumRows())
+	}
+}
+
+func TestInnerJoinErrors(t *testing.T) {
+	f := sampleFrame(t)
+	if _, err := f.InnerJoin(f, "missing", "job"); err == nil {
+		t.Error("missing left key should error")
+	}
+	if _, err := f.InnerJoin(f, "job", "missing"); err == nil {
+		t.Error("missing right key should error")
+	}
+	if _, err := f.InnerJoin(f, "gpus", "job"); err == nil {
+		t.Error("non-string key should error")
+	}
+}
+
+func TestDropNulls(t *testing.T) {
+	f := MustNew(
+		NewFloat("a", []float64{1, 2, 3}).WithValidity([]bool{true, false, true}),
+		NewString("b", []string{"x", "y", ""}).WithValidity([]bool{true, true, false}),
+	)
+	if got := f.DropNulls().NumRows(); got != 1 {
+		t.Errorf("DropNulls() rows = %d, want 1", got)
+	}
+	if got := f.DropNulls("a").NumRows(); got != 2 {
+		t.Errorf("DropNulls(a) rows = %d, want 2", got)
+	}
+}
+
+func TestNullHandling(t *testing.T) {
+	c := NewFloat("x", []float64{1, 2}).WithValidity([]bool{true, false})
+	if c.NullCount() != 1 {
+		t.Errorf("NullCount = %d", c.NullCount())
+	}
+	if c.IsValid(1) {
+		t.Error("row 1 should be null")
+	}
+	if got := c.Floats(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Floats should skip nulls: %v", got)
+	}
+	if c.Format(1) != "" {
+		t.Error("null should format empty")
+	}
+}
+
+func TestValidityLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched validity mask should panic")
+		}
+	}()
+	NewFloat("x", []float64{1, 2}).WithValidity([]bool{true})
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	f := MustNew(
+		NewString("job", []string{"j1", "j2"}),
+		NewFloat("util", []float64{0.5, 0}).WithValidity([]bool{true, false}),
+		NewInt("gpus", []int64{1, 8}),
+		NewBool("failed", []bool{true, false}),
+	)
+	var sb strings.Builder
+	if err := f.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumRows() != 2 || g.NumCols() != 4 {
+		t.Fatalf("round trip shape %dx%d", g.NumRows(), g.NumCols())
+	}
+	if g.MustColumn("util").Kind() != Float {
+		t.Errorf("util kind = %v", g.MustColumn("util").Kind())
+	}
+	if g.MustColumn("util").IsValid(1) {
+		t.Error("null should survive round trip")
+	}
+	if g.MustColumn("gpus").Kind() != Int || g.MustColumn("gpus").Int(1) != 8 {
+		t.Error("int column wrong after round trip")
+	}
+	if g.MustColumn("failed").Kind() != Bool || !g.MustColumn("failed").Bool(0) {
+		t.Error("bool column wrong after round trip")
+	}
+}
+
+func TestCSVTypeInference(t *testing.T) {
+	in := "a,b,c,d\n1,1.5,true,x\n2,2,false,y\n"
+	f, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := map[string]Kind{"a": Int, "b": Float, "c": Bool, "d": String}
+	for name, want := range wants {
+		if got := f.MustColumn(name).Kind(); got != want {
+			t.Errorf("column %s kind = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty stream should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1\n")); err == nil {
+		t.Error("ragged row should error")
+	}
+}
+
+func TestRenamed(t *testing.T) {
+	c := NewFloat("a", []float64{1})
+	r := c.Renamed("b")
+	if r.Name() != "b" || c.Name() != "a" {
+		t.Error("Renamed should not mutate original")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Float.String() != "float" || Int.String() != "int" || String.String() != "string" || Bool.String() != "bool" {
+		t.Error("kind names wrong")
+	}
+	if Kind(42).String() == "" {
+		t.Error("unknown kind should still format")
+	}
+}

@@ -1,0 +1,211 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Aggregation reducers for GroupBy.
+type Agg int
+
+// Supported reducers.
+const (
+	AggCount Agg = iota
+	AggSum
+	AggMean
+	AggMin
+	AggMax
+	AggMedian
+)
+
+// String returns the reducer's lowercase name, used as the output column
+// suffix.
+func (a Agg) String() string {
+	switch a {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggMean:
+		return "mean"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggMedian:
+		return "median"
+	default:
+		return fmt.Sprintf("agg(%d)", int(a))
+	}
+}
+
+// AggSpec pairs a numeric column with a reducer.
+type AggSpec struct {
+	Column string
+	Agg    Agg
+}
+
+// GroupBy groups rows by the string column key and reduces each spec'd
+// numeric column per group. The output frame has one row per group, sorted
+// by key, with columns: key, then "<column>_<agg>" per spec. AggCount may
+// use an empty Column (it counts rows).
+func (f *Frame) GroupBy(key string, specs ...AggSpec) (*Frame, error) {
+	groups, err := f.GroupIndices(key)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	cols := []*Column{NewString(key, keys)}
+	for _, spec := range specs {
+		var src *Column
+		if spec.Agg != AggCount || spec.Column != "" {
+			src, err = f.Column(spec.Column)
+			if err != nil {
+				return nil, err
+			}
+			if !src.IsNumeric() {
+				return nil, fmt.Errorf("dataset: GroupBy %s needs a numeric column, %q is %v",
+					spec.Agg, spec.Column, src.Kind())
+			}
+		}
+		vals := make([]float64, len(keys))
+		for gi, k := range keys {
+			idx := groups[k]
+			if spec.Agg == AggCount {
+				vals[gi] = float64(len(idx))
+				continue
+			}
+			members := make([]float64, 0, len(idx))
+			for _, i := range idx {
+				if src.IsValid(i) {
+					members = append(members, src.Number(i))
+				}
+			}
+			vals[gi] = reduce(spec.Agg, members)
+		}
+		name := spec.Column
+		if name == "" {
+			name = "rows"
+		}
+		cols = append(cols, NewFloat(name+"_"+spec.Agg.String(), vals))
+	}
+	return New(cols...)
+}
+
+func reduce(agg Agg, xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	switch agg {
+	case AggSum:
+		return stats.Sum(xs)
+	case AggMean:
+		return stats.Mean(xs)
+	case AggMin:
+		v, _ := stats.Min(xs)
+		return v
+	case AggMax:
+		v, _ := stats.Max(xs)
+		return v
+	case AggMedian:
+		v, _ := stats.Quantile(xs, 0.5)
+		return v
+	default:
+		return float64(len(xs))
+	}
+}
+
+// Concat vertically stacks frames with identical schemas (same column
+// names, kinds and order).
+func Concat(frames ...*Frame) (*Frame, error) {
+	if len(frames) == 0 {
+		return New()
+	}
+	first := frames[0]
+	for _, f := range frames[1:] {
+		if f.NumCols() != first.NumCols() {
+			return nil, fmt.Errorf("dataset: concat schema mismatch: %d vs %d columns", f.NumCols(), first.NumCols())
+		}
+		for i := 0; i < f.NumCols(); i++ {
+			a, b := first.ColumnAt(i), f.ColumnAt(i)
+			if a.Name() != b.Name() || a.Kind() != b.Kind() {
+				return nil, fmt.Errorf("dataset: concat schema mismatch at column %d: %s/%v vs %s/%v",
+					i, a.Name(), a.Kind(), b.Name(), b.Kind())
+			}
+		}
+	}
+	cols := make([]*Column, first.NumCols())
+	for ci := 0; ci < first.NumCols(); ci++ {
+		proto := first.ColumnAt(ci)
+		total := 0
+		anyNull := false
+		for _, f := range frames {
+			total += f.NumRows()
+			if f.ColumnAt(ci).NullCount() > 0 {
+				anyNull = true
+			}
+		}
+		var valid []bool
+		if anyNull {
+			valid = make([]bool, 0, total)
+		}
+		switch proto.Kind() {
+		case Float:
+			vals := make([]float64, 0, total)
+			for _, f := range frames {
+				c := f.ColumnAt(ci)
+				for i := 0; i < c.Len(); i++ {
+					vals = append(vals, c.f[i])
+					if anyNull {
+						valid = append(valid, c.IsValid(i))
+					}
+				}
+			}
+			cols[ci] = NewFloat(proto.Name(), vals).WithValidity(valid)
+		case Int:
+			vals := make([]int64, 0, total)
+			for _, f := range frames {
+				c := f.ColumnAt(ci)
+				for i := 0; i < c.Len(); i++ {
+					vals = append(vals, c.i[i])
+					if anyNull {
+						valid = append(valid, c.IsValid(i))
+					}
+				}
+			}
+			cols[ci] = NewInt(proto.Name(), vals).WithValidity(valid)
+		case String:
+			vals := make([]string, 0, total)
+			for _, f := range frames {
+				c := f.ColumnAt(ci)
+				for i := 0; i < c.Len(); i++ {
+					vals = append(vals, c.s[i])
+					if anyNull {
+						valid = append(valid, c.IsValid(i))
+					}
+				}
+			}
+			cols[ci] = NewString(proto.Name(), vals).WithValidity(valid)
+		default:
+			vals := make([]bool, 0, total)
+			for _, f := range frames {
+				c := f.ColumnAt(ci)
+				for i := 0; i < c.Len(); i++ {
+					vals = append(vals, c.b[i])
+					if anyNull {
+						valid = append(valid, c.IsValid(i))
+					}
+				}
+			}
+			cols[ci] = NewBool(proto.Name(), vals).WithValidity(valid)
+		}
+	}
+	return New(cols...)
+}

@@ -1,0 +1,159 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func groupFrame() *Frame {
+	return MustNew(
+		NewString("user", []string{"a", "b", "a", "a", "b"}),
+		NewFloat("runtime", []float64{10, 20, 30, 50, 40}),
+		NewInt("gpus", []int64{1, 2, 3, 4, 5}),
+	)
+}
+
+func TestGroupByAggregations(t *testing.T) {
+	g, err := groupFrame().GroupBy("user",
+		AggSpec{Agg: AggCount},
+		AggSpec{Column: "runtime", Agg: AggSum},
+		AggSpec{Column: "runtime", Agg: AggMean},
+		AggSpec{Column: "runtime", Agg: AggMin},
+		AggSpec{Column: "runtime", Agg: AggMax},
+		AggSpec{Column: "runtime", Agg: AggMedian},
+		AggSpec{Column: "gpus", Agg: AggSum},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumRows() != 2 {
+		t.Fatalf("groups = %d", g.NumRows())
+	}
+	// Sorted by key: row 0 = "a" (runtimes 10, 30, 50).
+	if g.MustColumn("user").Str(0) != "a" {
+		t.Fatal("groups not sorted")
+	}
+	checks := map[string]float64{
+		"rows_count":     3,
+		"runtime_sum":    90,
+		"runtime_mean":   30,
+		"runtime_min":    10,
+		"runtime_max":    50,
+		"runtime_median": 30,
+		"gpus_sum":       8,
+	}
+	for col, want := range checks {
+		if got := g.MustColumn(col).Float(0); got != want {
+			t.Errorf("%s = %v, want %v", col, got, want)
+		}
+	}
+	if got := g.MustColumn("runtime_sum").Float(1); got != 60 {
+		t.Errorf("group b runtime_sum = %v", got)
+	}
+}
+
+func TestGroupByErrors(t *testing.T) {
+	f := groupFrame()
+	if _, err := f.GroupBy("missing"); err == nil {
+		t.Error("missing key should error")
+	}
+	if _, err := f.GroupBy("user", AggSpec{Column: "user", Agg: AggSum}); err == nil {
+		t.Error("string aggregation column should error")
+	}
+	if _, err := f.GroupBy("user", AggSpec{Column: "missing", Agg: AggSum}); err == nil {
+		t.Error("missing aggregation column should error")
+	}
+}
+
+func TestGroupBySkipsNulls(t *testing.T) {
+	f := MustNew(
+		NewString("k", []string{"x", "x"}),
+		NewFloat("v", []float64{10, 99}).WithValidity([]bool{true, false}),
+	)
+	g, err := f.GroupBy("k", AggSpec{Column: "v", Agg: AggMean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.MustColumn("v_mean").Float(0); got != 10 {
+		t.Errorf("null should be excluded from mean: %v", got)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := MustNew(
+		NewString("s", []string{"x"}),
+		NewFloat("f", []float64{1}),
+		NewInt("i", []int64{1}),
+		NewBool("b", []bool{true}),
+	)
+	b := MustNew(
+		NewString("s", []string{"y", "z"}).WithValidity([]bool{true, false}),
+		NewFloat("f", []float64{2, 3}),
+		NewInt("i", []int64{2, 3}),
+		NewBool("b", []bool{false, true}),
+	)
+	c, err := Concat(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumRows() != 3 {
+		t.Fatalf("rows = %d", c.NumRows())
+	}
+	if c.MustColumn("s").Str(1) != "y" || c.MustColumn("f").Float(2) != 3 {
+		t.Error("values misplaced")
+	}
+	if c.MustColumn("s").IsValid(2) {
+		t.Error("null should survive concat")
+	}
+	if !c.MustColumn("b").Bool(2) {
+		t.Error("bool misplaced")
+	}
+}
+
+func TestConcatSchemaMismatch(t *testing.T) {
+	a := MustNew(NewFloat("x", []float64{1}))
+	b := MustNew(NewFloat("y", []float64{1}))
+	if _, err := Concat(a, b); err == nil {
+		t.Error("name mismatch should error")
+	}
+	c := MustNew(NewInt("x", []int64{1}))
+	if _, err := Concat(a, c); err == nil {
+		t.Error("kind mismatch should error")
+	}
+	d := MustNew(NewFloat("x", []float64{1}), NewFloat("z", []float64{1}))
+	if _, err := Concat(a, d); err == nil {
+		t.Error("column count mismatch should error")
+	}
+}
+
+func TestConcatEmpty(t *testing.T) {
+	c, err := Concat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumRows() != 0 || c.NumCols() != 0 {
+		t.Errorf("empty concat = %dx%d", c.NumRows(), c.NumCols())
+	}
+	single := MustNew(NewFloat("x", []float64{1, 2}))
+	got, err := Concat(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 2 {
+		t.Errorf("single concat rows = %d", got.NumRows())
+	}
+}
+
+func TestAggString(t *testing.T) {
+	names := map[Agg]string{
+		AggCount: "count", AggSum: "sum", AggMean: "mean",
+		AggMin: "min", AggMax: "max", AggMedian: "median",
+	}
+	for agg, want := range names {
+		if agg.String() != want {
+			t.Errorf("Agg(%d).String() = %s", agg, agg.String())
+		}
+	}
+	if Agg(99).String() == "" {
+		t.Error("unknown agg should format")
+	}
+}

@@ -1,0 +1,146 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: any frame survives a CSV write/read round trip with values,
+// kinds and nullity preserved. Exercised with testing/quick over random
+// column contents.
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(floats []float64, ints []int64, strs []string, bools []bool, nullEvery uint8) bool {
+		n := len(floats)
+		if n == 0 {
+			return true
+		}
+		// Align all slices to n rows.
+		is := make([]int64, n)
+		ss := make([]string, n)
+		bs := make([]bool, n)
+		valid := make([]bool, n)
+		for i := 0; i < n; i++ {
+			if len(ints) > 0 {
+				is[i] = ints[i%len(ints)]
+			}
+			if len(strs) > 0 {
+				// CSV cannot express the difference between an empty
+				// string and a null, and raw control characters are
+				// normalized by encoding/csv; use printable payloads.
+				ss[i] = fmt.Sprintf("v%q", strs[i%len(strs)])
+			} else {
+				ss[i] = "v"
+			}
+			if len(bools) > 0 {
+				bs[i] = bools[i%len(bools)]
+			}
+			valid[i] = nullEvery == 0 || i%(int(nullEvery)+1) != 0
+			// NaN and infinities do not round-trip through decimal text.
+			if math.IsNaN(floats[i]) || math.IsInf(floats[i], 0) {
+				floats[i] = 0
+			}
+		}
+		frame := MustNew(
+			NewFloat("f", floats).WithValidity(valid),
+			NewInt("i", is),
+			NewString("s", ss),
+			NewBool("b", bs),
+		)
+		var sb strings.Builder
+		if err := frame.WriteCSV(&sb); err != nil {
+			return false
+		}
+		back, err := ReadCSV(strings.NewReader(sb.String()))
+		if err != nil {
+			return false
+		}
+		if back.NumRows() != n || back.NumCols() != 4 {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			fc, bc := frame.MustColumn("f"), back.MustColumn("f")
+			if fc.IsValid(i) != bc.IsValid(i) {
+				return false
+			}
+			if fc.IsValid(i) && fc.Format(i) != bc.Format(i) {
+				return false
+			}
+			if frame.MustColumn("i").Format(i) != back.MustColumn("i").Format(i) {
+				return false
+			}
+			if frame.MustColumn("s").Str(i) != back.MustColumn("s").Str(i) {
+				return false
+			}
+			if frame.MustColumn("b").Bool(i) != back.MustColumn("b").Bool(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: filtering then taking the complement partitions the frame.
+func TestFilterPartitionProperty(t *testing.T) {
+	f := func(vals []float64, threshold float64) bool {
+		clean := make([]float64, 0, len(vals))
+		for _, v := range vals {
+			if !math.IsNaN(v) {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		frame := MustNew(NewFloat("x", clean))
+		above := frame.Filter(func(r Row) bool { return r.Float("x") > threshold })
+		below := frame.Filter(func(r Row) bool { return !(r.Float("x") > threshold) })
+		return above.NumRows()+below.NumRows() == frame.NumRows()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a join with a unique right key preserves left row count for
+// rows whose key exists on the right.
+func TestJoinCountProperty(t *testing.T) {
+	f := func(nRows uint8, missingEvery uint8) bool {
+		n := int(nRows)%50 + 1
+		leftKeys := make([]string, n)
+		for i := range leftKeys {
+			leftKeys[i] = fmt.Sprintf("k%d", i)
+		}
+		var rightKeys []string
+		var rightVals []float64
+		matched := 0
+		for i := 0; i < n; i++ {
+			if missingEvery != 0 && i%(int(missingEvery)+1) == 0 {
+				continue
+			}
+			rightKeys = append(rightKeys, leftKeys[i])
+			rightVals = append(rightVals, float64(i))
+			matched++
+		}
+		left := MustNew(NewString("k", leftKeys))
+		if len(rightKeys) == 0 {
+			rightKeys = []string{"absent"}
+			rightVals = []float64{0}
+			matched = 0
+		}
+		right := MustNew(NewString("k", rightKeys), NewFloat("v", rightVals))
+		joined, err := left.InnerJoin(right, "k", "k")
+		if err != nil {
+			return false
+		}
+		return joined.NumRows() == matched
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

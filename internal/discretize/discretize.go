@@ -1,0 +1,275 @@
+// Package discretize converts continuous job features into the nominal bins
+// association rule mining requires. It implements the paper's
+// equal-frequency quartile binning (Bin1..Bin4), the equal-width alternative
+// the paper rejects for long-tailed features, a special bin for exact zeros
+// (e.g. "SM Util = 0%"), and "Std"-bin detection for request spikes (about
+// half of PAI jobs request exactly the default CPU count, which deserves its
+// own "standard request" bin rather than polluting a quantile bin).
+package discretize
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Method selects how bin edges are placed.
+type Method int
+
+// Supported binning methods.
+const (
+	// EqualFrequency places edges at quantiles so each bin holds roughly
+	// the same number of samples. This is the paper's choice.
+	EqualFrequency Method = iota
+	// EqualWidth divides [min, max] into equal intervals. Long-tailed
+	// features leave most high bins empty under this method; it is
+	// provided for the ablation experiment.
+	EqualWidth
+)
+
+// DefaultZeroLabel is the label given to the exact-zero bin when
+// Options.ZeroSpecial is set and no ZeroLabel is supplied.
+const DefaultZeroLabel = "0%"
+
+// DefaultSpikeLabel is the label given to the detected standard-value bin.
+const DefaultSpikeLabel = "Std"
+
+// Options configures Fit.
+type Options struct {
+	// Bins is the number of regular bins. Zero means 4 (quartiles).
+	Bins int
+	// Method selects edge placement; default EqualFrequency.
+	Method Method
+	// ZeroSpecial gives values equal to zero (within ZeroEpsilon) their
+	// own bin and fits the regular bins on the remaining values only.
+	ZeroSpecial bool
+	// ZeroLabel overrides the zero bin label (default "0%").
+	ZeroLabel string
+	// ZeroEpsilon widens the zero bin to |v| <= ZeroEpsilon. The paper's
+	// "SM Util = 0%" bin captures jobs whose *average* utilization is
+	// near zero, not only exactly zero (a burst-serving job with 0.3%
+	// average still "barely uses the GPU").
+	ZeroEpsilon float64
+	// SpikeThreshold, when positive, detects a modal exact value covering
+	// at least this fraction of the (non-zero-special) samples and gives
+	// it a dedicated bin labelled SpikeLabel. Regular bins are fitted on
+	// the remaining values.
+	SpikeThreshold float64
+	// SpikeLabel overrides the spike bin label (default "Std").
+	SpikeLabel string
+}
+
+// Discretizer maps continuous values to bin labels. Fit it once on training
+// values, then call Label/Transform on any value.
+type Discretizer struct {
+	edges      []float64 // strictly increasing interior cut points
+	labels     []string  // regular bin labels, len(edges)+1
+	zero       bool
+	zeroEps    float64
+	zeroLabel  string
+	spike      bool
+	spikeValue float64
+	spikeLabel string
+	lo, hi     float64 // observed range of regular values
+}
+
+// ErrNoData is returned when Fit receives no usable values.
+var ErrNoData = errors.New("discretize: no values to fit")
+
+// Fit learns bin edges from values according to opts.
+func Fit(values []float64, opts Options) (*Discretizer, error) {
+	k := opts.Bins
+	if k == 0 {
+		k = 4
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("discretize: invalid bin count %d", k)
+	}
+	d := &Discretizer{
+		zero:       opts.ZeroSpecial,
+		zeroEps:    opts.ZeroEpsilon,
+		zeroLabel:  opts.ZeroLabel,
+		spikeLabel: opts.SpikeLabel,
+	}
+	if d.zeroLabel == "" {
+		d.zeroLabel = DefaultZeroLabel
+	}
+	if d.spikeLabel == "" {
+		d.spikeLabel = DefaultSpikeLabel
+	}
+
+	rest := make([]float64, 0, len(values))
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		if d.isZero(v) {
+			continue
+		}
+		rest = append(rest, v)
+	}
+	if len(rest) == 0 && !d.zero {
+		return nil, ErrNoData
+	}
+
+	if opts.SpikeThreshold > 0 && len(rest) > 0 {
+		if v, frac := modalValue(rest); frac >= opts.SpikeThreshold {
+			d.spike = true
+			d.spikeValue = v
+			filtered := rest[:0]
+			for _, x := range rest {
+				if x != v {
+					filtered = append(filtered, x)
+				}
+			}
+			rest = filtered
+		}
+	}
+
+	if len(rest) > 0 {
+		d.lo, _ = stats.Min(rest)
+		d.hi, _ = stats.Max(rest)
+		var edges []float64
+		switch opts.Method {
+		case EqualWidth:
+			edges = equalWidthEdges(d.lo, d.hi, k)
+		case EqualFrequency:
+			var err error
+			edges, err = equalFrequencyEdges(rest, k)
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("discretize: unknown method %d", opts.Method)
+		}
+		d.edges = dedupeEdges(edges, d.lo, d.hi)
+	}
+	d.labels = make([]string, len(d.edges)+1)
+	for i := range d.labels {
+		d.labels[i] = fmt.Sprintf("Bin%d", i+1)
+	}
+	return d, nil
+}
+
+// isZero reports whether v lands in the special zero bin.
+func (d *Discretizer) isZero(v float64) bool {
+	return d.zero && math.Abs(v) <= d.zeroEps
+}
+
+// modalValue returns the most frequent exact value and its frequency as a
+// fraction of len(xs).
+func modalValue(xs []float64) (value float64, frac float64) {
+	counts := make(map[float64]int, len(xs))
+	best, bestN := 0.0, 0
+	for _, x := range xs {
+		counts[x]++
+		if counts[x] > bestN {
+			best, bestN = x, counts[x]
+		}
+	}
+	return best, float64(bestN) / float64(len(xs))
+}
+
+func equalFrequencyEdges(xs []float64, k int) ([]float64, error) {
+	qs := make([]float64, 0, k-1)
+	for i := 1; i < k; i++ {
+		qs = append(qs, float64(i)/float64(k))
+	}
+	return stats.Quantiles(xs, qs)
+}
+
+func equalWidthEdges(lo, hi float64, k int) []float64 {
+	edges := make([]float64, 0, k-1)
+	width := (hi - lo) / float64(k)
+	for i := 1; i < k; i++ {
+		edges = append(edges, lo+width*float64(i))
+	}
+	return edges
+}
+
+// dedupeEdges keeps only strictly increasing edges strictly inside (lo, hi)
+// so heavily tied data (e.g. a value covering two quartiles) merges bins
+// instead of producing zero-width or unreachable bins.
+func dedupeEdges(edges []float64, lo, hi float64) []float64 {
+	out := edges[:0]
+	for _, e := range edges {
+		if e <= lo || e >= hi {
+			continue
+		}
+		if len(out) == 0 || e > out[len(out)-1] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// NumBins returns the number of regular (non-special) bins.
+func (d *Discretizer) NumBins() int { return len(d.labels) }
+
+// Labels returns every label the discretizer can emit, special bins first.
+func (d *Discretizer) Labels() []string {
+	var out []string
+	if d.zero {
+		out = append(out, d.zeroLabel)
+	}
+	if d.spike {
+		out = append(out, d.spikeLabel)
+	}
+	return append(out, d.labels...)
+}
+
+// HasSpike reports whether a standard-value spike bin was detected, and its
+// value.
+func (d *Discretizer) HasSpike() (float64, bool) { return d.spikeValue, d.spike }
+
+// Label maps a value to its bin label. Values below (above) the fitted range
+// clamp into the first (last) regular bin, matching how a deployed workflow
+// would label jobs arriving after the bins were fitted.
+func (d *Discretizer) Label(v float64) string {
+	if d.isZero(v) {
+		return d.zeroLabel
+	}
+	if d.spike && v == d.spikeValue {
+		return d.spikeLabel
+	}
+	if len(d.labels) == 1 {
+		return d.labels[0]
+	}
+	// Bin semantics per the paper: [min, e1), [e1, e2), ..., [e_last, max];
+	// a value equal to an edge belongs to the bin above it.
+	idx := sort.SearchFloat64s(d.edges, v)
+	if idx < len(d.edges) && d.edges[idx] == v {
+		idx++
+	}
+	return d.labels[idx]
+}
+
+// BinIndex returns the ordinal of the regular bin for v (0-based), or -1 for
+// values landing in a special bin. Useful for monotonicity checks.
+func (d *Discretizer) BinIndex(v float64) int {
+	if d.isZero(v) || (d.spike && v == d.spikeValue) {
+		return -1
+	}
+	idx := sort.SearchFloat64s(d.edges, v)
+	if idx < len(d.edges) && d.edges[idx] == v {
+		idx++
+	}
+	return idx
+}
+
+// Transform maps each value to its label.
+func (d *Discretizer) Transform(values []float64) []string {
+	out := make([]string, len(values))
+	for i, v := range values {
+		out[i] = d.Label(v)
+	}
+	return out
+}
+
+// Edges returns a copy of the interior cut points, for inspection and tests.
+func (d *Discretizer) Edges() []float64 {
+	return append([]float64(nil), d.edges...)
+}

@@ -1,0 +1,356 @@
+package discretize
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestQuartileBinning(t *testing.T) {
+	// 0..99: quartile edges at 24.75, 49.5, 74.25.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	d, err := Fit(xs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumBins() != 4 {
+		t.Fatalf("NumBins = %d, want 4", d.NumBins())
+	}
+	counts := map[string]int{}
+	for _, x := range xs {
+		counts[d.Label(x)]++
+	}
+	for bin, c := range counts {
+		if c < 24 || c > 26 {
+			t.Errorf("bin %s count = %d, want ~25", bin, c)
+		}
+	}
+	if got := d.Label(0); got != "Bin1" {
+		t.Errorf("min label = %s", got)
+	}
+	if got := d.Label(99); got != "Bin4" {
+		t.Errorf("max label = %s", got)
+	}
+}
+
+func TestEdgeValueGoesUp(t *testing.T) {
+	// Paper semantics: Bin2 = [p25, median), so a value equal to an edge
+	// belongs to the upper bin.
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	d, err := Fit(xs, Options{Bins: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := d.Edges()
+	if len(edges) != 1 {
+		t.Fatalf("edges = %v", edges)
+	}
+	if got := d.Label(edges[0]); got != "Bin2" {
+		t.Errorf("label(edge) = %s, want Bin2", got)
+	}
+	if got := d.Label(edges[0] - 0.001); got != "Bin1" {
+		t.Errorf("label(edge-eps) = %s, want Bin1", got)
+	}
+}
+
+func TestZeroSpecial(t *testing.T) {
+	xs := []float64{0, 0, 0, 10, 20, 30, 40, 50, 60, 70, 80}
+	d, err := Fit(xs, Options{ZeroSpecial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Label(0); got != DefaultZeroLabel {
+		t.Errorf("zero label = %s", got)
+	}
+	if got := d.Label(10); got == DefaultZeroLabel {
+		t.Error("non-zero should not get zero label")
+	}
+	labels := d.Labels()
+	if labels[0] != DefaultZeroLabel {
+		t.Errorf("Labels()[0] = %s", labels[0])
+	}
+	// Quartiles are computed over the 8 non-zero values only: the min
+	// non-zero value must land in Bin1.
+	if got := d.Label(10); got != "Bin1" {
+		t.Errorf("label(10) = %s, want Bin1", got)
+	}
+}
+
+func TestZeroLabelOverride(t *testing.T) {
+	d, err := Fit([]float64{0, 1, 2, 3, 4}, Options{ZeroSpecial: true, ZeroLabel: "Bin0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Label(0); got != "Bin0" {
+		t.Errorf("label = %s, want Bin0", got)
+	}
+}
+
+func TestSpikeDetection(t *testing.T) {
+	// Half of the jobs request exactly 600 cores — the PAI "Std" request.
+	xs := make([]float64, 0, 100)
+	for i := 0; i < 50; i++ {
+		xs = append(xs, 600)
+	}
+	for i := 0; i < 50; i++ {
+		xs = append(xs, float64(i*10))
+	}
+	d, err := Fit(xs, Options{SpikeThreshold: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := d.HasSpike()
+	if !ok || v != 600 {
+		t.Fatalf("spike = %v/%v, want 600/true", v, ok)
+	}
+	if got := d.Label(600); got != DefaultSpikeLabel {
+		t.Errorf("label(600) = %s, want Std", got)
+	}
+	if got := d.Label(610); got == DefaultSpikeLabel {
+		t.Error("non-spike value should not get Std label")
+	}
+}
+
+func TestSpikeNotDetectedBelowThreshold(t *testing.T) {
+	xs := []float64{1, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	d, err := Fit(xs, Options{SpikeThreshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.HasSpike(); ok {
+		t.Error("20% mode should not trigger 50% threshold")
+	}
+}
+
+func TestZeroAndSpikeTogether(t *testing.T) {
+	xs := []float64{0, 0, 600, 600, 600, 1, 2, 3, 4, 5}
+	d, err := Fit(xs, Options{ZeroSpecial: true, SpikeThreshold: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Label(0) != DefaultZeroLabel || d.Label(600) != DefaultSpikeLabel {
+		t.Error("special bins should coexist")
+	}
+	if d.Label(3) == DefaultZeroLabel || d.Label(3) == DefaultSpikeLabel {
+		t.Error("regular value mislabelled")
+	}
+}
+
+func TestEqualWidth(t *testing.T) {
+	xs := []float64{0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	d, err := Fit(xs, Options{Method: EqualWidth, Bins: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := d.Edges()
+	want := []float64{25, 50, 75}
+	for i, e := range edges {
+		if math.Abs(e-want[i]) > 1e-9 {
+			t.Errorf("edge[%d] = %v, want %v", i, e, want[i])
+		}
+	}
+}
+
+func TestEqualWidthLongTailLeavesBinsEmpty(t *testing.T) {
+	// The paper's motivation for equal-frequency: runtime-like long tails
+	// leave upper equal-width bins nearly empty.
+	g := stats.NewRNG(1)
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = g.LogNormal(1, 1.5)
+	}
+	ef, err := Fit(xs, Options{Bins: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ew, err := Fit(xs, Options{Method: EqualWidth, Bins: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	countTop := func(d *Discretizer) int {
+		n := 0
+		for _, x := range xs {
+			if d.Label(x) == "Bin4" {
+				n++
+			}
+		}
+		return n
+	}
+	efTop, ewTop := countTop(ef), countTop(ew)
+	if efTop < 400 || efTop > 600 {
+		t.Errorf("equal-frequency Bin4 = %d, want ~500", efTop)
+	}
+	if ewTop >= efTop/5 {
+		t.Errorf("equal-width Bin4 = %d, expected nearly empty vs %d", ewTop, efTop)
+	}
+}
+
+func TestDegenerateAllSameValue(t *testing.T) {
+	d, err := Fit([]float64{5, 5, 5, 5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumBins() != 1 {
+		t.Errorf("ties should merge to one bin, got %d", d.NumBins())
+	}
+	if got := d.Label(5); got != "Bin1" {
+		t.Errorf("label = %s", got)
+	}
+}
+
+func TestHeavyTiesMergeBins(t *testing.T) {
+	// 90% zeros without ZeroSpecial: several quartile edges coincide.
+	xs := make([]float64, 100)
+	for i := 90; i < 100; i++ {
+		xs[i] = float64(i)
+	}
+	d, err := Fit(xs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumBins() > 2 {
+		t.Errorf("NumBins = %d, want <= 2 after merging tied edges", d.NumBins())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Fit(nil, Options{}); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := Fit([]float64{1}, Options{Bins: -1}); err == nil {
+		t.Error("negative bins should error")
+	}
+	if _, err := Fit([]float64{math.NaN()}, Options{}); err == nil {
+		t.Error("all-NaN input should error")
+	}
+	if _, err := Fit([]float64{1, 2}, Options{Method: Method(99)}); err == nil {
+		t.Error("unknown method should error")
+	}
+}
+
+func TestZeroOnlyInputWithZeroSpecial(t *testing.T) {
+	d, err := Fit([]float64{0, 0, 0}, Options{ZeroSpecial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Label(0); got != DefaultZeroLabel {
+		t.Errorf("label = %s", got)
+	}
+}
+
+func TestClampOutOfRange(t *testing.T) {
+	d, err := Fit([]float64{10, 20, 30, 40}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Label(-5); got != "Bin1" {
+		t.Errorf("below range = %s, want Bin1", got)
+	}
+	last := d.Labels()[len(d.Labels())-1]
+	if got := d.Label(1e9); got != last {
+		t.Errorf("above range = %s, want %s", got, last)
+	}
+}
+
+func TestTransformMatchesLabel(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	d, err := Fit(xs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d.Transform(xs)
+	for i, x := range xs {
+		if got[i] != d.Label(x) {
+			t.Errorf("Transform[%d] = %s, Label = %s", i, got[i], d.Label(x))
+		}
+	}
+}
+
+// Property: labels are monotone in the value — a larger value never lands in
+// a lower regular bin.
+func TestMonotonicityProperty(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		d, err := Fit(xs, Options{})
+		if err != nil {
+			return false
+		}
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return d.BinIndex(a) <= d.BinIndex(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: equal-frequency bins are balanced (within a factor tolerant of
+// ties) on datasets with all-distinct values.
+func TestBalanceProperty(t *testing.T) {
+	g := stats.NewRNG(2)
+	for trial := 0; trial < 20; trial++ {
+		n := 40 + g.Intn(400)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = g.Float64() * 1000
+		}
+		d, err := Fit(xs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[string]int{}
+		for _, x := range xs {
+			counts[d.Label(x)]++
+		}
+		want := float64(n) / 4
+		for bin, c := range counts {
+			if math.Abs(float64(c)-want) > want/2+2 {
+				t.Errorf("n=%d bin %s count = %d, want ~%.0f", n, bin, c, want)
+			}
+		}
+	}
+}
+
+// Property: every emitted label is in Labels().
+func TestLabelsClosedProperty(t *testing.T) {
+	g := stats.NewRNG(3)
+	xs := make([]float64, 500)
+	for i := range xs {
+		if g.Bernoulli(0.3) {
+			xs[i] = 0
+		} else {
+			xs[i] = g.Float64() * 100
+		}
+	}
+	d, err := Fit(xs, Options{ZeroSpecial: true, SpikeThreshold: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := map[string]bool{}
+	for _, l := range d.Labels() {
+		valid[l] = true
+	}
+	for i := 0; i < 1000; i++ {
+		v := g.Float64()*200 - 50
+		if !valid[d.Label(v)] {
+			t.Fatalf("label %q not in Labels() %v", d.Label(v), d.Labels())
+		}
+	}
+}

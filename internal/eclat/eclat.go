@@ -1,0 +1,87 @@
+// Package eclat implements the Eclat frequent-itemset miner (Zaki, 2000),
+// which works on the vertical representation of the database: each item maps
+// to the sorted list of transaction ids containing it, and the support of an
+// itemset extension is the length of a tid-list intersection. It is the
+// third independent miner used to cross-validate FP-Growth and Apriori.
+package eclat
+
+import (
+	"sort"
+
+	"repro/internal/itemset"
+	"repro/internal/transaction"
+)
+
+// Options configures Mine.
+type Options struct {
+	// MinCount is the absolute minimum support count (>= 1).
+	MinCount int
+	// MaxLen caps itemset length; zero means unlimited.
+	MaxLen int
+}
+
+type vertItem struct {
+	item itemset.Item
+	tids []int32
+}
+
+// Mine returns every itemset with support count >= opts.MinCount and length
+// <= opts.MaxLen, in canonical order, with exact counts.
+func Mine(db *transaction.DB, opts Options) []itemset.Frequent {
+	if opts.MinCount < 1 {
+		opts.MinCount = 1
+	}
+	lists := db.Vertical()
+	var frontier []vertItem
+	for id, tids := range lists {
+		if len(tids) >= opts.MinCount {
+			frontier = append(frontier, vertItem{item: itemset.Item(id), tids: tids})
+		}
+	}
+	// Deterministic DFS order by item id.
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i].item < frontier[j].item })
+
+	var results []itemset.Frequent
+	var dfs func(prefix itemset.Set, ext []vertItem)
+	dfs = func(prefix itemset.Set, ext []vertItem) {
+		for i, vi := range ext {
+			items := prefix.With(vi.item)
+			results = append(results, itemset.Frequent{Items: items, Count: len(vi.tids)})
+			if opts.MaxLen > 0 && len(items) >= opts.MaxLen {
+				continue
+			}
+			var children []vertItem
+			for _, vj := range ext[i+1:] {
+				shared := intersect(vi.tids, vj.tids)
+				if len(shared) >= opts.MinCount {
+					children = append(children, vertItem{item: vj.item, tids: shared})
+				}
+			}
+			if len(children) > 0 {
+				dfs(items, children)
+			}
+		}
+	}
+	dfs(nil, frontier)
+	itemset.SortFrequent(results)
+	return results
+}
+
+// intersect merges two sorted tid-lists.
+func intersect(a, b []int32) []int32 {
+	out := make([]int32, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package eclat
+
+import (
+	"testing"
+
+	"repro/internal/itemset"
+	"repro/internal/transaction"
+)
+
+func sampleDB() *transaction.DB {
+	db := transaction.NewDB(nil)
+	db.AddNames("a", "b", "e")
+	db.AddNames("b", "d")
+	db.AddNames("b", "c")
+	db.AddNames("a", "b", "d")
+	db.AddNames("a", "c")
+	db.AddNames("b", "c")
+	db.AddNames("a", "c")
+	db.AddNames("a", "b", "c", "e")
+	db.AddNames("a", "b", "c")
+	return db
+}
+
+func TestKnownResults(t *testing.T) {
+	db := sampleDB()
+	got := Mine(db, Options{MinCount: 2})
+	for _, f := range got {
+		if want := db.SupportCount(f.Items); want != f.Count {
+			t.Errorf("count(%v) = %d, scan says %d", db.Catalog().Names(f.Items), f.Count, want)
+		}
+		if f.Count < 2 {
+			t.Errorf("infrequent itemset reported: %v", f.Items)
+		}
+	}
+	// Spot checks.
+	a, _ := db.Catalog().Lookup("a")
+	b, _ := db.Catalog().Lookup("b")
+	c, _ := db.Catalog().Lookup("c")
+	checks := []struct {
+		s    itemset.Set
+		want int
+	}{
+		{itemset.NewSet(a), 6},
+		{itemset.NewSet(b), 7},
+		{itemset.NewSet(a, b), 4},
+		{itemset.NewSet(a, b, c), 2},
+	}
+	for _, ch := range checks {
+		found := false
+		for _, f := range got {
+			if f.Items.Equal(ch.s) {
+				found = true
+				if f.Count != ch.want {
+					t.Errorf("count(%v) = %d, want %d", ch.s, f.Count, ch.want)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("missing itemset %v", ch.s)
+		}
+	}
+}
+
+func TestMaxLen(t *testing.T) {
+	db := sampleDB()
+	for _, f := range Mine(db, Options{MinCount: 1, MaxLen: 2}) {
+		if len(f.Items) > 2 {
+			t.Fatalf("MaxLen violated: %v", f.Items)
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	db := transaction.NewDB(nil)
+	if got := Mine(db, Options{MinCount: 1}); len(got) != 0 {
+		t.Errorf("empty DB, got %d", len(got))
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	cases := []struct {
+		a, b, want []int32
+	}{
+		{[]int32{1, 2, 3}, []int32{2, 3, 4}, []int32{2, 3}},
+		{[]int32{1}, []int32{2}, []int32{}},
+		{nil, []int32{1}, []int32{}},
+		{[]int32{5, 9}, []int32{5, 9}, []int32{5, 9}},
+	}
+	for _, c := range cases {
+		got := intersect(c.a, c.b)
+		if len(got) != len(c.want) {
+			t.Errorf("intersect(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("intersect(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+			}
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/discretize"
+	"repro/internal/fpgrowth"
+	"repro/internal/itemset"
+	"repro/internal/pruning"
+	"repro/internal/rules"
+	"repro/internal/transaction"
+)
+
+// Ablations quantify the design choices DESIGN.md calls out: the pruning
+// slack, the binning method and count, and the rule-based failure
+// classifier the paper's Table V takeaway proposes.
+
+// PruningSlackPoint is one (C, kept-rules) measurement.
+type PruningSlackPoint struct {
+	C       float64 // C_lift = C_supp
+	Kept    int
+	Input   int
+	Removed [4]int // per pruning condition
+}
+
+// AblationPruningSlack sweeps the pruning slack on the PAI zero-SM rules.
+func (ts *TraceSet) AblationPruningSlack(cs []float64) ([]PruningSlackPoint, error) {
+	res, err := ts.Mined("pai")
+	if err != nil {
+		return nil, err
+	}
+	kw, ok := res.DB.Catalog().Lookup(core.KeywordZeroSM)
+	if !ok {
+		return nil, fmt.Errorf("experiments: keyword %q missing", core.KeywordZeroSM)
+	}
+	var keyword []rules.Rule
+	for _, r := range res.Rules() {
+		if r.Antecedent.Contains(kw) || r.Consequent.Contains(kw) {
+			keyword = append(keyword, r)
+		}
+	}
+	out := make([]PruningSlackPoint, 0, len(cs))
+	for _, c := range cs {
+		kept, stats := pruning.Prune(keyword, kw, pruning.Options{CLift: c, CSupp: c})
+		out = append(out, PruningSlackPoint{C: c, Kept: len(kept), Input: len(keyword), Removed: stats.ByCond})
+	}
+	return out, nil
+}
+
+// BinningPoint compares binning configurations by downstream yield.
+type BinningPoint struct {
+	Name        string
+	NumItemsets int
+	NumRules    int
+	// StarvedTopBins counts features whose top bin holds under 5 % of
+	// jobs — the paper's symptom of equal-width binning on long tails.
+	StarvedTopBins int
+}
+
+// AblationBinning compares equal-frequency quartiles (the paper's choice)
+// against equal-width bins and other bin counts on the PAI trace.
+func (ts *TraceSet) AblationBinning() ([]BinningPoint, error) {
+	joined, err := ts.Joined("pai")
+	if err != nil {
+		return nil, err
+	}
+	configs := []struct {
+		name   string
+		method discretize.Method
+		bins   int
+	}{
+		{"equal-frequency/4", discretize.EqualFrequency, 0},
+		{"equal-width/4", discretize.EqualWidth, 0},
+		{"equal-frequency/2", discretize.EqualFrequency, 2},
+		{"equal-frequency/8", discretize.EqualFrequency, 8},
+	}
+	var out []BinningPoint
+	for _, cfg := range configs {
+		p := core.PAIPipeline()
+		for i := range p.Features {
+			p.Features[i].Method = cfg.method
+			p.Features[i].Bins = cfg.bins
+		}
+		res, err := p.Mine(joined)
+		if err != nil {
+			return nil, err
+		}
+		point := BinningPoint{
+			Name:        cfg.name,
+			NumItemsets: len(res.Frequent),
+			NumRules:    len(res.Rules()),
+		}
+		threshold := res.NumTransactions / 20
+		for _, spec := range p.Features {
+			bins := cfg.bins
+			if bins == 0 {
+				bins = 4
+			}
+			top := fmt.Sprintf("%s=Bin%d", spec.Column, bins)
+			id, ok := res.DB.Catalog().Lookup(top)
+			if !ok || res.DB.SupportCount(itemset.NewSet(id)) < threshold {
+				point.StarvedTopBins++
+			}
+		}
+		out = append(out, point)
+	}
+	return out, nil
+}
+
+// PredictionResult is the rule-based failure classifier's scorecard on one
+// trace (paper Sec. IV-C takeaways: PAI failures are predictable from
+// submission-time rules, SuperCloud's are not).
+type PredictionResult struct {
+	Trace     string
+	NumRules  int
+	BaseRate  float64
+	Accuracy  float64
+	Precision float64
+	Recall    float64
+	F1        float64
+	// Trained reports whether any rule cleared the confidence floor at
+	// all — on SuperCloud it can legitimately be false.
+	Trained bool
+}
+
+// FailurePrediction trains the CBA-style classifier on the first half of a
+// trace's transactions and evaluates on the second half. For PAI only
+// submission-time features participate, making the classifier deployable at
+// scheduling time as the paper suggests.
+func (ts *TraceSet) FailurePrediction(traceName string) (*PredictionResult, error) {
+	joined, err := ts.Joined(traceName)
+	if err != nil {
+		return nil, err
+	}
+	p, err := Pipeline(traceName)
+	if err != nil {
+		return nil, err
+	}
+	if traceName == "pai" {
+		p.Skip = append(p.Skip, "cpu_util", "sm_util", "mem_used_gb", "gmem_used_gb", "runtime_s", "queue_s")
+	}
+	pre, err := p.Preprocess(joined)
+	if err != nil {
+		return nil, err
+	}
+	db, err := transaction.Encode(pre, transaction.EncodeOptions{
+		KeepAlways: []string{core.KeywordFailed},
+	})
+	if err != nil {
+		return nil, err
+	}
+	target, ok := db.Catalog().Lookup(core.KeywordFailed)
+	if !ok {
+		return nil, fmt.Errorf("experiments: %s has no failed item", traceName)
+	}
+
+	half := db.Len() / 2
+	train := transaction.NewDB(db.Catalog())
+	for i := 0; i < half; i++ {
+		train.Add(db.Txn(i)...)
+	}
+	minCount := train.Len() / 20
+	if minCount < 1 {
+		minCount = 1
+	}
+	frequent := fpgrowth.Mine(train, fpgrowth.Options{MinCount: minCount, MaxLen: 5})
+	trainRules := rules.Generate(frequent, train.Len(), rules.Options{MinLift: 1.5})
+
+	out := &PredictionResult{Trace: traceName}
+	clf, err := classify.TrainWithCoverage(trainRules, db, 0, half, target, classify.Options{MinConfidence: 0.75})
+	if err != nil {
+		// No strong rules cleared the floor: report the untrained
+		// scorecard (the paper's SuperCloud conclusion).
+		positives := 0
+		for i := half; i < db.Len(); i++ {
+			if itemset.Set(db.Txn(i)).Contains(target) {
+				positives++
+			}
+		}
+		if db.Len() > half {
+			out.BaseRate = float64(positives) / float64(db.Len()-half)
+		}
+		return out, nil
+	}
+	out.Trained = true
+	out.NumRules = clf.NumRules()
+	m := clf.Evaluate(db, half, db.Len())
+	out.BaseRate = m.BaseRate()
+	out.Accuracy = m.Accuracy()
+	out.Precision = m.Precision()
+	out.Recall = m.Recall()
+	out.F1 = m.F1()
+	return out, nil
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationPruningSlackMonotone(t *testing.T) {
+	ts := testSet(t)
+	points, err := ts.AblationPruningSlack([]float64{1.0, 1.25, 1.5, 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Kept > points[i-1].Kept {
+			t.Errorf("kept rules should shrink with slack: C=%.2f kept %d > C=%.2f kept %d",
+				points[i].C, points[i].Kept, points[i-1].C, points[i-1].Kept)
+		}
+	}
+	// At the paper's setting the cut must be drastic.
+	for _, p := range points {
+		if p.C == 1.5 && float64(p.Kept) > 0.25*float64(p.Input) {
+			t.Errorf("C=1.5 kept %d/%d, expected a drastic cut", p.Kept, p.Input)
+		}
+		total := p.Removed[0] + p.Removed[1] + p.Removed[2] + p.Removed[3]
+		if p.Kept+total != p.Input {
+			t.Errorf("C=%.2f accounting broken: %d kept + %d removed != %d", p.C, p.Kept, total, p.Input)
+		}
+	}
+}
+
+func TestAblationBinning(t *testing.T) {
+	ts := testSet(t)
+	points, err := ts.AblationBinning()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]BinningPoint{}
+	for _, p := range points {
+		byName[p.Name] = p
+	}
+	ef := byName["equal-frequency/4"]
+	ew := byName["equal-width/4"]
+	if ef.NumItemsets == 0 || ew.NumItemsets == 0 {
+		t.Fatalf("empty results: %+v", points)
+	}
+	// The paper's argument: equal-width starves the upper bins of
+	// long-tailed features, equal-frequency does not.
+	if ew.StarvedTopBins <= ef.StarvedTopBins {
+		t.Errorf("equal-width starved bins (%d) should exceed equal-frequency (%d)",
+			ew.StarvedTopBins, ef.StarvedTopBins)
+	}
+	// More bins -> lower per-bin support -> different itemset yield; both
+	// extremes must at least run.
+	if _, ok := byName["equal-frequency/2"]; !ok {
+		t.Error("missing 2-bin config")
+	}
+	if _, ok := byName["equal-frequency/8"]; !ok {
+		t.Error("missing 8-bin config")
+	}
+}
+
+func TestFailurePredictionPAIBeatsBase(t *testing.T) {
+	ts := testSet(t)
+	pr, err := ts.FailurePrediction("pai")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Trained {
+		t.Fatal("PAI should yield strong submission-time rules (paper Table V takeaway)")
+	}
+	if pr.Precision < 0.6 {
+		t.Errorf("PAI precision = %.2f, want strong rules", pr.Precision)
+	}
+	if pr.Recall < 0.3 {
+		t.Errorf("PAI recall = %.2f, too low to be useful", pr.Recall)
+	}
+	if pr.Accuracy <= 1-pr.BaseRate-0.01 {
+		t.Errorf("PAI accuracy %.2f should beat always-negative %.2f", pr.Accuracy, 1-pr.BaseRate)
+	}
+}
+
+func TestFailurePredictionSuperCloudIsWeak(t *testing.T) {
+	ts := testSet(t)
+	pr, err := ts.FailurePrediction("supercloud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper: "To accurately predict failure for systems like
+	// SuperCloud ... more complex models such as neural networks will be
+	// needed." Either no rule clears the floor, or recall stays poor.
+	if pr.Trained && pr.Recall > 0.6 {
+		t.Errorf("SuperCloud rule classifier unexpectedly strong: recall %.2f", pr.Recall)
+	}
+}
+
+func TestFailurePredictionUnknownTrace(t *testing.T) {
+	if _, err := testSet(t).FailurePrediction("nope"); err == nil {
+		t.Error("unknown trace should error")
+	}
+}
+
+func TestWriteFiguresAndExtras(t *testing.T) {
+	ts := testSet(t)
+	var sb strings.Builder
+	if err := ts.WriteFigures(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Fig 1", "Fig 2a", "Fig 2b", "Fig 3", "Fig 4", "Fig 5", "p pai", "log scale"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figures missing %q", want)
+		}
+	}
+	sb.Reset()
+	if err := ts.WriteExtras(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out = sb.String()
+	for _, want := range []string{"pruning slack", "binning method", "failure prediction", "C=1.50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("extras missing %q", want)
+		}
+	}
+}
+
+func TestRuleStability(t *testing.T) {
+	ts := testSet(t)
+	s, err := ts.RuleStability("pai", "sm_util=0%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RulesA == 0 || s.RulesB == 0 {
+		t.Fatalf("empty halves: %+v", s)
+	}
+	// The planted associations are properties of the system, so the two
+	// halves must agree substantially.
+	if s.Jaccard < 0.4 {
+		t.Errorf("split-half Jaccard = %.2f, rules unstable", s.Jaccard)
+	}
+	if s.Overlap > s.RulesA || s.Overlap > s.RulesB {
+		t.Error("overlap exceeds set sizes")
+	}
+}
+
+func TestTableIICIs(t *testing.T) {
+	ts := testSet(t)
+	cis, err := ts.TableIICIs(7, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cis) == 0 {
+		t.Fatal("no intervals")
+	}
+	for _, c := range cis {
+		if !c.Lift.Contains(c.Rule.Lift) {
+			t.Errorf("%s: CI [%v, %v] misses the point estimate %v",
+				c.Label, c.Lift.Lo, c.Lift.Hi, c.Rule.Lift)
+		}
+		if c.Lift.Lo <= 1.0 {
+			t.Errorf("%s: headline rule CI should exclude independence, lo = %v", c.Label, c.Lift.Lo)
+		}
+	}
+}
+
+func TestWriteStability(t *testing.T) {
+	var sb strings.Builder
+	if err := testSet(t).WriteStability(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "split-half") || !strings.Contains(out, "Bootstrap 95%") {
+		t.Errorf("stability report malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,339 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (Sec. IV): the frequent-itemset counts of Fig. 1, the rule
+// metric distributions of Fig. 2, the pruning scatter of Fig. 3, the GPU
+// utilization CDFs of Fig. 4, the exit-status distribution of Fig. 5, and
+// the rule tables II–VIII. Each experiment returns a structured result that
+// the cmd/experiments binary renders, the benchmarks time, and
+// EXPERIMENTS.md records against the paper's numbers.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// TraceSet bundles the three generated traces with their mined results.
+type TraceSet struct {
+	PAI        *trace.Trace
+	SuperCloud *trace.Trace
+	Philly     *trace.Trace
+
+	paiJoined, scJoined, phJoined *dataset.Frame
+	paiResult, scResult, phResult *core.Result
+}
+
+// Generate produces all three traces at the given per-trace job count
+// (zero = each trace's default scale) and seed.
+func Generate(jobs int, seed int64) (*TraceSet, error) {
+	pai, err := trace.GeneratePAI(trace.Config{Jobs: jobs, Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: pai: %w", err)
+	}
+	sc, err := trace.GenerateSuperCloud(trace.Config{Jobs: jobs, Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: supercloud: %w", err)
+	}
+	ph, err := trace.GeneratePhilly(trace.Config{Jobs: jobs, Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: philly: %w", err)
+	}
+	return &TraceSet{PAI: pai, SuperCloud: sc, Philly: ph}, nil
+}
+
+// Joined returns (caching) the merged frame for the named trace.
+func (ts *TraceSet) Joined(name string) (*dataset.Frame, error) {
+	switch name {
+	case "pai":
+		if ts.paiJoined == nil {
+			f, err := ts.PAI.Join()
+			if err != nil {
+				return nil, err
+			}
+			ts.paiJoined = f
+		}
+		return ts.paiJoined, nil
+	case "supercloud":
+		if ts.scJoined == nil {
+			f, err := ts.SuperCloud.Join()
+			if err != nil {
+				return nil, err
+			}
+			ts.scJoined = f
+		}
+		return ts.scJoined, nil
+	case "philly":
+		if ts.phJoined == nil {
+			f, err := ts.Philly.Join()
+			if err != nil {
+				return nil, err
+			}
+			ts.phJoined = f
+		}
+		return ts.phJoined, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown trace %q", name)
+	}
+}
+
+// Pipeline returns the canonical pipeline for the named trace.
+func Pipeline(name string) (*core.Pipeline, error) {
+	switch name {
+	case "pai":
+		return core.PAIPipeline(), nil
+	case "supercloud":
+		return core.SuperCloudPipeline(), nil
+	case "philly":
+		return core.PhillyPipeline(), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown trace %q", name)
+	}
+}
+
+// Mined returns (caching) the mined result for the named trace under its
+// canonical pipeline and the paper's thresholds.
+func (ts *TraceSet) Mined(name string) (*core.Result, error) {
+	cache := map[string]**core.Result{
+		"pai": &ts.paiResult, "supercloud": &ts.scResult, "philly": &ts.phResult,
+	}[name]
+	if cache == nil {
+		return nil, fmt.Errorf("experiments: unknown trace %q", name)
+	}
+	if *cache != nil {
+		return *cache, nil
+	}
+	joined, err := ts.Joined(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err := Pipeline(name)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.Mine(joined)
+	if err != nil {
+		return nil, err
+	}
+	*cache = res
+	return res, nil
+}
+
+// TraceNames lists the traces in presentation order.
+var TraceNames = []string{"pai", "supercloud", "philly"}
+
+// ---------------------------------------------------------------------------
+// Table I — trace overview.
+
+// TableIRow summarizes one trace.
+type TableIRow struct {
+	Name  string
+	Jobs  int
+	Users int
+	GPUs  int
+}
+
+// TableI reproduces the trace-overview table.
+func (ts *TraceSet) TableI() ([]TableIRow, error) {
+	gpus := map[string]int{
+		"pai": ts.PAI.GPUs, "supercloud": ts.SuperCloud.GPUs, "philly": ts.Philly.GPUs,
+	}
+	out := make([]TableIRow, 0, 3)
+	for _, name := range TraceNames {
+		joined, err := ts.Joined(name)
+		if err != nil {
+			return nil, err
+		}
+		users, err := joined.ValueCounts("user")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TableIRow{Name: name, Jobs: joined.NumRows(), Users: len(users), GPUs: gpus[name]})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 1 — number of frequent itemsets vs minimum support.
+
+// Fig1Point is one (trace, support) measurement.
+type Fig1Point struct {
+	Trace       string
+	MinSupport  float64
+	NumItemsets int
+}
+
+// Fig1Supports are the sweep points; the paper's operating point is 0.05.
+var Fig1Supports = []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5}
+
+// Fig1 sweeps the minimum support threshold per trace.
+func (ts *TraceSet) Fig1() ([]Fig1Point, error) {
+	var out []Fig1Point
+	for _, name := range TraceNames {
+		joined, err := ts.Joined(name)
+		if err != nil {
+			return nil, err
+		}
+		p, err := Pipeline(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range Fig1Supports {
+			pl := *p // shallow copy so the support override stays local
+			pl.Opts.MinSupport = s
+			res, err := pl.Mine(joined)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Fig1Point{Trace: name, MinSupport: s, NumItemsets: len(res.Frequent)})
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 2 — distribution of confidence and lift of GPU-underutilization rules.
+
+// Fig2Row is one trace's box-plot statistics.
+type Fig2Row struct {
+	Trace      string
+	NumRules   int
+	Confidence stats.FiveNum
+	Lift       stats.FiveNum
+}
+
+// Fig2 computes the rule-metric distributions for the zero-SM keyword.
+func (ts *TraceSet) Fig2() ([]Fig2Row, error) {
+	var out []Fig2Row
+	for _, name := range TraceNames {
+		res, err := ts.Mined(name)
+		if err != nil {
+			return nil, err
+		}
+		a, err := res.Analyze(core.KeywordZeroSM)
+		if err != nil {
+			return nil, err
+		}
+		var confs, lifts []float64
+		for _, r := range a.RulesBefore {
+			confs = append(confs, r.Confidence)
+			lifts = append(lifts, r.Lift)
+		}
+		cb, err := stats.BoxPlot(confs)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig2 %s: %w", name, err)
+		}
+		lb, err := stats.BoxPlot(lifts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig2 %s: %w", name, err)
+		}
+		out = append(out, Fig2Row{Trace: name, NumRules: len(confs), Confidence: cb, Lift: lb})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 3 — rule scatter before and after pruning (PAI).
+
+// RulePoint is a rule's position in the support × lift plane.
+type RulePoint struct {
+	Support float64
+	Lift    float64
+}
+
+// Fig3Result carries the before/after scatter and counts.
+type Fig3Result struct {
+	Before []RulePoint
+	After  []RulePoint
+}
+
+// Fig3 reproduces the pruning scatter on the PAI trace, zero-SM keyword.
+func (ts *TraceSet) Fig3() (*Fig3Result, error) {
+	res, err := ts.Mined("pai")
+	if err != nil {
+		return nil, err
+	}
+	a, err := res.Analyze(core.KeywordZeroSM)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig3Result{}
+	for _, r := range a.RulesBefore {
+		out.Before = append(out.Before, RulePoint{Support: r.Support, Lift: r.Lift})
+	}
+	for _, v := range append(append([]core.RuleView{}, a.Cause...), a.Characteristic...) {
+		out.After = append(out.After, RulePoint{Support: v.Support, Lift: v.Lift})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 4 — CDF of per-job GPU SM utilization.
+
+// Fig4Row is one trace's utilization CDF.
+type Fig4Row struct {
+	Trace        string
+	ZeroFraction float64 // mass at (near-)zero utilization
+	X, Y         []float64
+}
+
+// Fig4 computes the utilization CDFs. The paper reports zero-mass of
+// roughly 0.46 (PAI), 0.10 (SuperCloud) and 0.35 (Philly).
+func (ts *TraceSet) Fig4() ([]Fig4Row, error) {
+	var out []Fig4Row
+	for _, name := range TraceNames {
+		joined, err := ts.Joined(name)
+		if err != nil {
+			return nil, err
+		}
+		col, err := joined.Column("sm_util")
+		if err != nil {
+			return nil, err
+		}
+		vals := col.Floats()
+		e, err := stats.NewECDF(vals)
+		if err != nil {
+			return nil, err
+		}
+		xs, ys := e.Curve(101)
+		out = append(out, Fig4Row{
+			Trace:        name,
+			ZeroFraction: e.At(0.5),
+			X:            xs,
+			Y:            ys,
+		})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 5 — job exit status distribution.
+
+// Fig5Row is one trace's status mix.
+type Fig5Row struct {
+	Trace     string
+	Fractions map[string]float64
+}
+
+// Fig5 computes the exit status distribution per trace.
+func (ts *TraceSet) Fig5() ([]Fig5Row, error) {
+	var out []Fig5Row
+	for _, name := range TraceNames {
+		joined, err := ts.Joined(name)
+		if err != nil {
+			return nil, err
+		}
+		counts, err := joined.ValueCounts("status")
+		if err != nil {
+			return nil, err
+		}
+		fr := make(map[string]float64, len(counts))
+		for k, v := range counts {
+			fr[k] = float64(v) / float64(joined.NumRows())
+		}
+		out = append(out, Fig5Row{Trace: name, Fractions: fr})
+	}
+	return out, nil
+}

@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// testSet generates one shared small trace set for the package's tests.
+var cachedSet *TraceSet
+
+func testSet(t *testing.T) *TraceSet {
+	t.Helper()
+	if cachedSet == nil {
+		ts, err := Generate(8000, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedSet = ts
+	}
+	return cachedSet
+}
+
+func TestTableI(t *testing.T) {
+	rows, err := testSet(t).TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Jobs != 8000 {
+			t.Errorf("%s jobs = %d", r.Name, r.Jobs)
+		}
+		if r.Users < 50 {
+			t.Errorf("%s users = %d, implausibly few", r.Name, r.Users)
+		}
+	}
+}
+
+func TestFig1MonotoneAndOrdered(t *testing.T) {
+	pts, err := testSet(t).Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]map[float64]int{}
+	for _, p := range pts {
+		if counts[p.Trace] == nil {
+			counts[p.Trace] = map[float64]int{}
+		}
+		counts[p.Trace][p.MinSupport] = p.NumItemsets
+	}
+	for trace, byS := range counts {
+		prev := -1
+		for _, s := range Fig1Supports {
+			n := byS[s]
+			if prev >= 0 && n > prev {
+				t.Errorf("%s: itemsets increase with support (%d -> %d at %v)", trace, prev, n, s)
+			}
+			prev = n
+		}
+	}
+	// Paper ordering at the 5% operating point: PAI >> SuperCloud > Philly.
+	if !(counts["pai"][0.05] > counts["supercloud"][0.05] && counts["supercloud"][0.05] > counts["philly"][0.05]) {
+		t.Errorf("Fig1 ordering wrong: pai=%d sc=%d philly=%d",
+			counts["pai"][0.05], counts["supercloud"][0.05], counts["philly"][0.05])
+	}
+}
+
+func TestFig2(t *testing.T) {
+	rows, err := testSet(t).Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.NumRules == 0 {
+			t.Errorf("%s: no rules", r.Trace)
+		}
+		if r.Lift.Q1 < 1.5 {
+			t.Errorf("%s: lift Q1 %v below the generation threshold", r.Trace, r.Lift.Q1)
+		}
+		if r.Confidence.Min < 0 || r.Confidence.Max > 1 {
+			t.Errorf("%s: confidence out of range", r.Trace)
+		}
+		if r.Confidence.Q1 > r.Confidence.Median || r.Confidence.Median > r.Confidence.Q3 {
+			t.Errorf("%s: box quartiles disordered", r.Trace)
+		}
+	}
+	// The paper's point: metric distributions differ substantially across
+	// traces (Fig. 2), so cross-trace rule comparison is inappropriate.
+	byName := map[string]Fig2Row{}
+	for _, r := range rows {
+		byName[r.Trace] = r
+	}
+	if byName["supercloud"].Lift.Median <= byName["pai"].Lift.Median {
+		t.Errorf("expected SuperCloud lift median above PAI: %v vs %v",
+			byName["supercloud"].Lift.Median, byName["pai"].Lift.Median)
+	}
+}
+
+func TestFig3PruningReduces(t *testing.T) {
+	res, err := testSet(t).Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Before) == 0 {
+		t.Fatal("no rules before pruning")
+	}
+	if len(res.After) >= len(res.Before) {
+		t.Fatalf("pruning should reduce rules: %d -> %d", len(res.Before), len(res.After))
+	}
+	// The paper reports a drastic reduction on PAI.
+	if ratio := float64(len(res.After)) / float64(len(res.Before)); ratio > 0.25 {
+		t.Errorf("pruning kept %.1f%% of rules, expected a drastic cut", 100*ratio)
+	}
+}
+
+func TestFig4ZeroMasses(t *testing.T) {
+	rows, err := testSet(t).Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][2]float64{
+		"pai":        {0.40, 0.52},
+		"supercloud": {0.06, 0.17},
+		"philly":     {0.28, 0.44},
+	}
+	for _, r := range rows {
+		lo, hi := want[r.Trace][0], want[r.Trace][1]
+		if r.ZeroFraction < lo || r.ZeroFraction > hi {
+			t.Errorf("%s zero mass %.3f outside [%v, %v]", r.Trace, r.ZeroFraction, lo, hi)
+		}
+		// CDF sanity.
+		for i := 1; i < len(r.Y); i++ {
+			if r.Y[i] < r.Y[i-1] {
+				t.Fatalf("%s: CDF not monotone", r.Trace)
+			}
+		}
+		if r.Y[len(r.Y)-1] != 1 {
+			t.Errorf("%s: CDF does not reach 1", r.Trace)
+		}
+	}
+}
+
+func TestFig5StatusMix(t *testing.T) {
+	rows, err := testSet(t).Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Fig5Row{}
+	for _, r := range rows {
+		total := 0.0
+		for _, f := range r.Fractions {
+			total += f
+		}
+		if total < 0.999 || total > 1.001 {
+			t.Errorf("%s fractions sum to %v", r.Trace, total)
+		}
+		byName[r.Trace] = r
+	}
+	if byName["pai"].Fractions["killed"] != 0 {
+		t.Error("PAI should have no killed label")
+	}
+	for _, name := range TraceNames {
+		if byName[name].Fractions["failed"] < 0.13 {
+			t.Errorf("%s failed fraction %.3f below the paper's >13%%", name, byName[name].Fractions["failed"])
+		}
+	}
+	if byName["pai"].Fractions["failed"] <= byName["supercloud"].Fractions["failed"] {
+		t.Error("PAI should have the highest failure rate")
+	}
+}
+
+// TestAllTablesRediscovered is the headline reproduction test: every rule
+// row from the paper's Tables II-VIII must be rediscovered at lift >= 1.5.
+func TestAllTablesRediscovered(t *testing.T) {
+	tables, err := testSet(t).AllTables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 7 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	for _, tab := range tables {
+		for _, row := range tab.Rows {
+			if !row.Found {
+				t.Errorf("Table %s row %s not rediscovered", tab.Table, row.Label)
+				continue
+			}
+			if row.Measured.Lift < 1.5 {
+				t.Errorf("Table %s row %s lift %.2f below threshold", tab.Table, row.Label, row.Measured.Lift)
+			}
+			if row.Measured.Support < 0.04 {
+				t.Errorf("Table %s row %s support %.3f below min support", tab.Table, row.Label, row.Measured.Support)
+			}
+		}
+	}
+}
+
+// TestLiftDirectionMatchesPaper checks that measured lift stays in the same
+// "dependence direction" ballpark: within a factor of 2.5 of the paper's
+// value for every rediscovered row.
+func TestLiftDirectionMatchesPaper(t *testing.T) {
+	tables, err := testSet(t).AllTables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range tables {
+		for _, row := range tab.Rows {
+			if !row.Found {
+				continue
+			}
+			ratio := row.Measured.Lift / row.PaperLift
+			if ratio < 0.4 || ratio > 2.5 {
+				t.Errorf("Table %s row %s lift %.2f vs paper %.2f (ratio %.2f)",
+					tab.Table, row.Label, row.Measured.Lift, row.PaperLift, ratio)
+			}
+		}
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	var sb strings.Builder
+	if err := testSet(t).WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table I", "Fig 1", "Fig 2", "Fig 3", "Fig 4", "Fig 5",
+		"Table II", "Table VIII", "rediscovered"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "MISSING") {
+		t.Error("report contains MISSING rows")
+	}
+}
+
+func TestJoinedUnknownTrace(t *testing.T) {
+	ts := testSet(t)
+	if _, err := ts.Joined("nope"); err == nil {
+		t.Error("unknown trace should error")
+	}
+	if _, err := ts.Mined("nope"); err == nil {
+		t.Error("unknown trace should error")
+	}
+	if _, err := Pipeline("nope"); err == nil {
+		t.Error("unknown trace should error")
+	}
+}
+
+func TestScaleInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale invariance is slow")
+	}
+	small, err := Generate(5000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Generate(16000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := small.TableVII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := big.TableVII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ts.Rows {
+		if ts.Rows[i].Found != tb.Rows[i].Found {
+			t.Errorf("row %s found differs across scales", ts.Rows[i].Label)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/plot"
+)
+
+// WriteFigures renders the paper's five figures as text charts.
+func (ts *TraceSet) WriteFigures(w io.Writer) error {
+	if err := ts.writeFig1(w); err != nil {
+		return err
+	}
+	if err := ts.writeFig2(w); err != nil {
+		return err
+	}
+	if err := ts.writeFig3(w); err != nil {
+		return err
+	}
+	if err := ts.writeFig4(w); err != nil {
+		return err
+	}
+	return ts.writeFig5(w)
+}
+
+var traceMarks = map[string]rune{"pai": 'p', "supercloud": 's', "philly": 'h'}
+
+func (ts *TraceSet) writeFig1(w io.Writer) error {
+	pts, err := ts.Fig1()
+	if err != nil {
+		return err
+	}
+	series := map[string]*plot.Series{}
+	for _, name := range TraceNames {
+		series[name] = &plot.Series{Name: name, Mark: traceMarks[name]}
+	}
+	for _, p := range pts {
+		s := series[p.Trace]
+		s.X = append(s.X, p.MinSupport)
+		s.Y = append(s.Y, float64(p.NumItemsets))
+	}
+	ordered := make([]plot.Series, 0, len(TraceNames))
+	for _, name := range TraceNames {
+		ordered = append(ordered, *series[name])
+	}
+	fmt.Fprintln(w, plot.Lines(ordered, plot.Options{
+		Title:  "Fig 1: frequent itemsets vs minimum support",
+		XLabel: "min support",
+		YLabel: "itemsets",
+		LogY:   true,
+	}))
+	return nil
+}
+
+func (ts *TraceSet) writeFig2(w io.Writer) error {
+	rows, err := ts.Fig2()
+	if err != nil {
+		return err
+	}
+	conf := make([]plot.Box, 0, len(rows))
+	lift := make([]plot.Box, 0, len(rows))
+	for _, r := range rows {
+		conf = append(conf, plot.Box{Name: r.Trace,
+			Min: r.Confidence.Min, Q1: r.Confidence.Q1, Med: r.Confidence.Median,
+			Q3: r.Confidence.Q3, Max: r.Confidence.Max})
+		lift = append(lift, plot.Box{Name: r.Trace,
+			Min: r.Lift.Min, Q1: r.Lift.Q1, Med: r.Lift.Median,
+			Q3: r.Lift.Q3, Max: r.Lift.Max})
+	}
+	fmt.Fprintln(w, plot.Boxes(conf, plot.Options{Title: "Fig 2a: rule confidence by trace (zero-SM keyword)"}))
+	fmt.Fprintln(w, plot.Boxes(lift, plot.Options{Title: "Fig 2b: rule lift by trace (zero-SM keyword)"}))
+	return nil
+}
+
+func (ts *TraceSet) writeFig3(w io.Writer) error {
+	res, err := ts.Fig3()
+	if err != nil {
+		return err
+	}
+	toSeries := func(name string, mark rune, pts []RulePoint) plot.Series {
+		s := plot.Series{Name: name, Mark: mark}
+		for _, p := range pts {
+			s.X = append(s.X, p.Support)
+			s.Y = append(s.Y, p.Lift)
+		}
+		return s
+	}
+	// Draw "before" first so surviving rules overwrite their own dots.
+	fmt.Fprintln(w, plot.Scatter([]plot.Series{
+		toSeries(fmt.Sprintf("before pruning (%d rules)", len(res.Before)), '.', res.Before),
+		toSeries(fmt.Sprintf("after pruning (%d rules)", len(res.After)), 'o', res.After),
+	}, plot.Options{
+		Title:  "Fig 3: PAI zero-SM rules, support x lift, before/after pruning",
+		XLabel: "support",
+		YLabel: "lift",
+	}))
+	return nil
+}
+
+func (ts *TraceSet) writeFig4(w io.Writer) error {
+	rows, err := ts.Fig4()
+	if err != nil {
+		return err
+	}
+	series := make([]plot.Series, 0, len(rows))
+	for _, r := range rows {
+		series = append(series, plot.Series{Name: r.Trace, Mark: traceMarks[r.Trace], X: r.X, Y: r.Y})
+	}
+	fmt.Fprintln(w, plot.Lines(series, plot.Options{
+		Title:  "Fig 4: CDF of per-job GPU SM utilization",
+		XLabel: "SM utilization (%)",
+		YLabel: "fraction of jobs",
+	}))
+	return nil
+}
+
+func (ts *TraceSet) writeFig5(w io.Writer) error {
+	rows, err := ts.Fig5()
+	if err != nil {
+		return err
+	}
+	marks := map[string]rune{"success": '.', "failed": 'F', "killed": 'K'}
+	bars := make([]plot.Bar, 0, len(rows))
+	for _, r := range rows {
+		bar := plot.Bar{Name: r.Trace}
+		for label, frac := range r.Fractions {
+			bar.Segments = append(bar.Segments, plot.Segment{Label: label, Value: frac, Mark: marks[label]})
+		}
+		bars = append(bars, bar)
+	}
+	fmt.Fprintln(w, plot.StackedBars(bars, plot.Options{
+		Title: "Fig 5: job exit status by trace",
+		Width: 60,
+	}))
+	return nil
+}
+
+// WriteExtras renders the ablation sweeps and the failure-prediction study.
+func (ts *TraceSet) WriteExtras(w io.Writer) error {
+	slack, err := ts.AblationPruningSlack([]float64{1.0, 1.25, 1.5, 2.0})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "== Ablation: pruning slack C_lift = C_supp ==")
+	for _, p := range slack {
+		fmt.Fprintf(w, "  C=%.2f kept %5d / %d keyword rules (cond1=%d cond2=%d cond3=%d cond4=%d)\n",
+			p.C, p.Kept, p.Input, p.Removed[0], p.Removed[1], p.Removed[2], p.Removed[3])
+	}
+
+	binning, err := ts.AblationBinning()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\n== Ablation: binning method and count (PAI) ==")
+	for _, b := range binning {
+		fmt.Fprintf(w, "  %-18s itemsets=%-7d rules=%-7d starved top bins=%d\n",
+			b.Name, b.NumItemsets, b.NumRules, b.StarvedTopBins)
+	}
+
+	fmt.Fprintln(w, "\n== Rule-based failure prediction (CBA over mined rules) ==")
+	for _, name := range TraceNames {
+		pr, err := ts.FailurePrediction(name)
+		if err != nil {
+			return err
+		}
+		if !pr.Trained {
+			fmt.Fprintf(w, "  %-11s no rule cleared the 0.75 confidence floor (base failure rate %.2f) — matches the paper's \"needs a more complex model\"\n",
+				pr.Trace, pr.BaseRate)
+			continue
+		}
+		fmt.Fprintf(w, "  %-11s rules=%-4d base=%.2f acc=%.2f prec=%.2f rec=%.2f f1=%.2f\n",
+			pr.Trace, pr.NumRules, pr.BaseRate, pr.Accuracy, pr.Precision, pr.Recall, pr.F1)
+	}
+	return nil
+}

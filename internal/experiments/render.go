@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteReport renders the full reproduction report — every figure and table
+// with paper-vs-measured values — to w.
+func (ts *TraceSet) WriteReport(w io.Writer) error {
+	t1, err := ts.TableI()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "== Table I: trace overview ==")
+	for _, r := range t1 {
+		fmt.Fprintf(w, "  %-11s jobs=%-7d users=%-5d gpus=%d\n", r.Name, r.Jobs, r.Users, r.GPUs)
+	}
+
+	fig1, err := ts.Fig1()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\n== Fig 1: frequent itemsets vs min support ==")
+	for _, p := range fig1 {
+		fmt.Fprintf(w, "  %-11s support=%.2f itemsets=%d\n", p.Trace, p.MinSupport, p.NumItemsets)
+	}
+
+	fig2, err := ts.Fig2()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\n== Fig 2: rule metric distributions (zero-SM keyword) ==")
+	for _, r := range fig2 {
+		fmt.Fprintf(w, "  %-11s rules=%-6d conf[q1 med q3]=%.2f %.2f %.2f  lift[q1 med q3]=%.2f %.2f %.2f\n",
+			r.Trace, r.NumRules,
+			r.Confidence.Q1, r.Confidence.Median, r.Confidence.Q3,
+			r.Lift.Q1, r.Lift.Median, r.Lift.Q3)
+	}
+
+	fig3, err := ts.Fig3()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n== Fig 3: PAI pruning scatter ==\n  rules before=%d after=%d (%.1f%% removed)\n",
+		len(fig3.Before), len(fig3.After),
+		100*(1-float64(len(fig3.After))/float64(max(1, len(fig3.Before)))))
+
+	fig4, err := ts.Fig4()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\n== Fig 4: GPU SM utilization CDF ==")
+	paper4 := map[string]float64{"pai": 0.46, "supercloud": 0.10, "philly": 0.35}
+	for _, r := range fig4 {
+		fmt.Fprintf(w, "  %-11s zero-util mass: measured=%.3f paper=%.2f\n", r.Trace, r.ZeroFraction, paper4[r.Trace])
+	}
+
+	fig5, err := ts.Fig5()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\n== Fig 5: job exit status ==")
+	for _, r := range fig5 {
+		keys := make([]string, 0, len(r.Fractions))
+		for k := range r.Fractions {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%s=%.3f", k, r.Fractions[k]))
+		}
+		fmt.Fprintf(w, "  %-11s %s\n", r.Trace, strings.Join(parts, " "))
+	}
+
+	tables, err := ts.AllTables()
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		fmt.Fprintf(w, "\n== Table %s (%s, keyword %s): %d/%d paper rows rediscovered ==\n",
+			t.Table, t.Trace, t.Keyword, t.FoundCount(), len(t.Rows))
+		for _, row := range t.Rows {
+			WriteRow(w, row)
+		}
+		if t.Analysis != nil {
+			fmt.Fprintf(w, "  (pruning: %d keyword rules -> %d kept)\n",
+				t.Analysis.PruneStats.Input-t.Analysis.PruneStats.NoKeyword, t.Analysis.PruneStats.Kept)
+		}
+	}
+	return nil
+}
+
+// WriteRow renders one paper-vs-measured row.
+func WriteRow(w io.Writer, row RowResult) {
+	head := fmt.Sprintf("  %-5s {%s} => {%s}", row.Label,
+		strings.Join(row.Ante, ", "), strings.Join(row.Cons, ", "))
+	if !row.Found {
+		fmt.Fprintf(w, "%s\n        MISSING (paper: supp=%.2f conf=%.2f lift=%.2f)\n",
+			head, row.PaperSupp, row.PaperConf, row.PaperLift)
+		return
+	}
+	fmt.Fprintf(w, "%s\n        paper: supp=%.2f conf=%.2f lift=%.2f | measured: supp=%.2f conf=%.2f lift=%.2f",
+		head, row.PaperSupp, row.PaperConf, row.PaperLift,
+		row.Measured.Support, row.Measured.Confidence, row.Measured.Lift)
+	if row.Note != "" {
+		fmt.Fprintf(w, " (%s)", row.Note)
+	}
+	fmt.Fprintln(w)
+}

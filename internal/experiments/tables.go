@@ -1,0 +1,367 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// PaperRule is one row of a paper rule table: the expected rule structure
+// (in this repository's item vocabulary) and the metrics the paper reports.
+type PaperRule struct {
+	Label                           string
+	Ante, Cons                      []string
+	PaperSupp, PaperConf, PaperLift float64
+	// Note documents deliberate divergences from the paper's row (e.g. a
+	// different quartile index because the synthetic distribution places
+	// the same jobs in another bin).
+	Note string
+}
+
+// RowResult is the measured counterpart of a PaperRule.
+type RowResult struct {
+	PaperRule
+	// Found reports whether a matching rule was mined (lift ≥ threshold).
+	Found bool
+	// Pruned reports whether the matching rule also survived pruning.
+	Pruned bool
+	// Measured is the closest mined rule (valid only when Found).
+	Measured core.RuleView
+}
+
+// TableResult is one reproduced rule table.
+type TableResult struct {
+	Table   string
+	Trace   string
+	Keyword string
+	// Analysis is the pruned keyword analysis backing the table (nil for
+	// Table VIII, which spans several keywords).
+	Analysis *core.Analysis
+	Rows     []RowResult
+}
+
+// FoundCount returns how many paper rows were rediscovered.
+func (t *TableResult) FoundCount() int {
+	n := 0
+	for _, r := range t.Rows {
+		if r.Found {
+			n++
+		}
+	}
+	return n
+}
+
+// matchRows locates each paper row among the rule views: a view matches when
+// it contains all target items on the respective sides; among matches the
+// one with the fewest extra items, then highest lift, wins.
+func matchRows(views []core.RuleView, targets []PaperRule, pruned map[string]bool) []RowResult {
+	out := make([]RowResult, len(targets))
+	for i, target := range targets {
+		out[i] = RowResult{PaperRule: target}
+		var best *core.RuleView
+		bestExtra := 0
+		for j := range views {
+			v := &views[j]
+			if !containsAllStr(v.Antecedent, target.Ante) || !containsAllStr(v.Consequent, target.Cons) {
+				continue
+			}
+			extra := len(v.Antecedent) + len(v.Consequent) - len(target.Ante) - len(target.Cons)
+			if best == nil || extra < bestExtra || (extra == bestExtra && v.Lift > best.Lift) {
+				best = v
+				bestExtra = extra
+			}
+		}
+		if best != nil {
+			out[i].Found = true
+			out[i].Measured = *best
+			if pruned != nil {
+				out[i].Pruned = pruned[viewKey(*best)]
+			}
+		}
+	}
+	return out
+}
+
+func containsAllStr(have, want []string) bool {
+	for _, w := range want {
+		ok := false
+		for _, h := range have {
+			if h == w {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func viewKey(v core.RuleView) string {
+	a := append([]string(nil), v.Antecedent...)
+	c := append([]string(nil), v.Consequent...)
+	sort.Strings(a)
+	sort.Strings(c)
+	return fmt.Sprint(a, "=>", c)
+}
+
+// ruleTable runs one keyword table: analyze, then match the paper rows
+// against all keyword rules (pre-pruning, so a row pruned as redundant
+// still counts as discovered) while recording pruning survival.
+func (ts *TraceSet) ruleTable(table, traceName, keyword string, targets []PaperRule) (*TableResult, error) {
+	res, err := ts.Mined(traceName)
+	if err != nil {
+		return nil, err
+	}
+	a, err := res.Analyze(keyword)
+	if err != nil {
+		return nil, err
+	}
+	prunedSet := make(map[string]bool)
+	for _, v := range a.Cause {
+		prunedSet[viewKey(v)] = true
+	}
+	for _, v := range a.Characteristic {
+		prunedSet[viewKey(v)] = true
+	}
+	views := ts.viewsOf(res, traceName, keyword)
+	rows := matchRows(views, targets, prunedSet)
+	return &TableResult{
+		Table: table, Trace: traceName, Keyword: keyword,
+		Analysis: a, Rows: rows,
+	}, nil
+}
+
+// viewsOf renders all keyword rules of a result as views.
+func (ts *TraceSet) viewsOf(res *core.Result, traceName, keyword string) []core.RuleView {
+	a, err := res.Analyze(keyword)
+	if err != nil {
+		return nil
+	}
+	views := make([]core.RuleView, 0, len(a.RulesBefore))
+	for _, r := range a.RulesBefore {
+		views = append(views, core.RuleView{
+			Antecedent: res.DB.Catalog().Names(r.Antecedent),
+			Consequent: res.DB.Catalog().Names(r.Consequent),
+			Support:    r.Support,
+			Confidence: r.Confidence,
+			Lift:       r.Lift,
+		})
+	}
+	return views
+}
+
+// TableII reproduces the PAI GPU-underutilization rules.
+func (ts *TraceSet) TableII() (*TableResult, error) {
+	return ts.ruleTable("II", "pai", core.KeywordZeroSM, []PaperRule{
+		{Label: "C1", Ante: []string{"gpu_request=Bin1"}, Cons: []string{"sm_util=0%"},
+			PaperSupp: 0.13, PaperConf: 0.94, PaperLift: 1.88},
+		{Label: "C2", Ante: []string{"mem_used_gb=Bin1"}, Cons: []string{"sm_util=0%"},
+			PaperSupp: 0.23, PaperConf: 0.92, PaperLift: 1.85},
+		{Label: "C3", Ante: []string{"group_tier=frequent", "gpu_type=None"}, Cons: []string{"sm_util=0%"},
+			PaperSupp: 0.13, PaperConf: 0.82, PaperLift: 1.65},
+		{Label: "C4", Ante: []string{"cpu_util=Bin1", "runtime_s=Bin1"}, Cons: []string{"sm_util=0%"},
+			PaperSupp: 0.05, PaperConf: 0.77, PaperLift: 1.54},
+		{Label: "C5", Ante: []string{"cpu_request=Std"}, Cons: []string{"user_tier=frequent", "sm_util=0%"},
+			PaperSupp: 0.11, PaperConf: 0.61, PaperLift: 2.73},
+		{Label: "A1", Ante: []string{"user_tier=frequent", "sm_util=0%"},
+			Cons:      []string{"mem_request_gb=Std", "gpu_type=None", "framework=tensorflow"},
+			PaperSupp: 0.21, PaperConf: 0.96, PaperLift: 1.94},
+		{Label: "A2", Ante: []string{"cpu_request=Std", "sm_util=0%"},
+			Cons:      []string{"user_tier=frequent", "gpu_type=None", "framework=tensorflow"},
+			PaperSupp: 0.11, PaperConf: 0.78, PaperLift: 2.96},
+		{Label: "A3", Ante: []string{"gpu_request=Bin1", "sm_util=0%"},
+			Cons:      []string{"user_tier=frequent", "cpu_request=Std", "mem_request_gb=Std"},
+			PaperSupp: 0.07, PaperConf: 0.61, PaperLift: 4.07},
+	})
+}
+
+// TableIII reproduces the SuperCloud GPU-underutilization rules.
+func (ts *TraceSet) TableIII() (*TableResult, error) {
+	return ts.ruleTable("III", "supercloud", core.KeywordZeroSM, []PaperRule{
+		{Label: "C1", Ante: []string{"gmem_util=Bin1", "gmem_util_var=Bin1"}, Cons: []string{"sm_util=0%"},
+			PaperSupp: 0.11, PaperConf: 0.94, PaperLift: 6.28},
+		{Label: "C2", Ante: []string{"cpu_util=Bin1", "gmem_used_gb=Bin1", "gpu_power_w=Bin1"}, Cons: []string{"sm_util=0%"},
+			PaperSupp: 0.06, PaperConf: 0.81, PaperLift: 5.37},
+		{Label: "C3", Ante: []string{"gpu_power_w=Bin1", "user_tier=new"}, Cons: []string{"sm_util=0%", "gmem_util=Bin1"},
+			PaperSupp: 0.05, PaperConf: 0.60, PaperLift: 3.99},
+		{Label: "C4", Ante: []string{"gpu_power_w=Bin1", "runtime_s=Bin1"}, Cons: []string{"sm_util=0%", "gmem_util=Bin1"},
+			PaperSupp: 0.05, PaperConf: 0.60, PaperLift: 3.99},
+		{Label: "A1", Ante: []string{"sm_util=0%", "sm_util_var=Bin1"},
+			Cons:      []string{"gmem_util=Bin1", "gmem_util_var=Bin1", "gmem_used_gb=Bin1"},
+			PaperSupp: 0.08, PaperConf: 1.00, PaperLift: 10.59},
+		{Label: "A2", Ante: []string{"sm_util=0%"}, Cons: []string{"gmem_util=Bin1", "gpu_power_w=Bin1"},
+			PaperSupp: 0.13, PaperConf: 0.88, PaperLift: 4.30},
+	})
+}
+
+// TableIV reproduces the Philly GPU-underutilization rules.
+func (ts *TraceSet) TableIV() (*TableResult, error) {
+	return ts.ruleTable("IV", "philly", core.KeywordZeroSM, []PaperRule{
+		{Label: "C1", Ante: []string{"sm_util_min=0%", "runtime_s=Bin1"}, Cons: []string{"sm_util=0%"},
+			PaperSupp: 0.09, PaperConf: 0.87, PaperLift: 2.74},
+		{Label: "C2", Ante: []string{"cpu_util=Bin1"}, Cons: []string{"sm_util=0%"},
+			PaperSupp: 0.23, PaperConf: 0.71, PaperLift: 2.23},
+		{Label: "A1", Ante: []string{"sm_util=0%", "gpu_mem=24GB"}, Cons: []string{"sm_util_min=0%", "cpu_util=Bin1"},
+			PaperSupp: 0.08, PaperConf: 0.69, PaperLift: 3.85},
+	})
+}
+
+// TableV reproduces the PAI job-failure rules. The paper's Bin2 GPU-request
+// rows map to Bin4 here: the synthetic gang sizes put the 25–99-GPU jobs in
+// the top quartile rather than the second.
+func (ts *TraceSet) TableV() (*TableResult, error) {
+	return ts.ruleTable("V", "pai", core.KeywordFailed, []PaperRule{
+		{Label: "C1", Ante: []string{"cpu_request=Bin1", "group_tier=frequent"}, Cons: []string{"gpu_type=None", "status=failed"},
+			PaperSupp: 0.11, PaperConf: 0.95, PaperLift: 4.41},
+		{Label: "C2", Ante: []string{"mem_used_gb=Bin1", "gmem_used_gb=0GB", "group_tier=frequent"}, Cons: []string{"sm_util=0%", "status=failed"},
+			PaperSupp: 0.08, PaperConf: 0.95, PaperLift: 4.32},
+		{Label: "C3", Ante: []string{"user_tier=frequent", "group_tier=frequent"}, Cons: []string{"status=failed"},
+			PaperSupp: 0.10, PaperConf: 0.91, PaperLift: 3.46},
+		{Label: "C4", Ante: []string{"gmem_used_gb=0GB", "gpu_request=Bin4"}, Cons: []string{"status=failed"},
+			PaperSupp: 0.08, PaperConf: 0.91, PaperLift: 3.47, Note: "paper: GPU Request = Bin2"},
+		{Label: "C5", Ante: []string{"sm_util=0%", "gpu_request=Bin4"}, Cons: []string{"status=failed"},
+			PaperSupp: 0.10, PaperConf: 0.71, PaperLift: 2.69, Note: "paper: GPU Request = Bin2"},
+		{Label: "C6", Ante: []string{"mem_used_gb=Bin1"}, Cons: []string{"status=failed"},
+			PaperSupp: 0.17, PaperConf: 0.67, PaperLift: 2.54},
+		{Label: "A1", Ante: []string{"group_tier=frequent", "status=failed"},
+			Cons:      []string{"cpu_request=Bin1", "mem_used_gb=Bin1", "mem_request_gb=Std"},
+			PaperSupp: 0.10, PaperConf: 0.81, PaperLift: 7.32},
+		{Label: "A2", Ante: []string{"status=failed"},
+			Cons:      []string{"gpu_type=None", "framework=tensorflow", "mem_request_gb=Std", "sm_util=0%"},
+			PaperSupp: 0.17, PaperConf: 0.63, PaperLift: 1.93},
+	})
+}
+
+// TableVI reproduces the SuperCloud job-failure rules.
+func (ts *TraceSet) TableVI() (*TableResult, error) {
+	return ts.ruleTable("VI", "supercloud", core.KeywordFailed, []PaperRule{
+		{Label: "C1", Ante: []string{"gmem_util=Bin1"}, Cons: []string{"status=failed"},
+			PaperSupp: 0.06, PaperConf: 0.25, PaperLift: 1.93},
+		{Label: "C2", Ante: []string{"cpu_util=Bin1"}, Cons: []string{"status=failed"},
+			PaperSupp: 0.06, PaperConf: 0.25, PaperLift: 1.90},
+		{Label: "A1", Ante: []string{"gpu_power_w=Bin1", "status=failed"}, Cons: []string{"gmem_util=Bin1"},
+			PaperSupp: 0.05, PaperConf: 0.91, PaperLift: 3.64},
+		{Label: "A2", Ante: []string{"status=failed"}, Cons: []string{"runtime_s=Bin4"},
+			PaperSupp: 0.05, PaperConf: 0.41, PaperLift: 1.66},
+	})
+}
+
+// TableVII reproduces the Philly job-failure rules.
+func (ts *TraceSet) TableVII() (*TableResult, error) {
+	return ts.ruleTable("VII", "philly", core.KeywordFailed, []PaperRule{
+		{Label: "C1", Ante: []string{"multi_gpu"}, Cons: []string{"status=failed"},
+			PaperSupp: 0.05, PaperConf: 0.40, PaperLift: 2.55},
+		{Label: "C2", Ante: []string{"user_tier=new"}, Cons: []string{"status=failed"},
+			PaperSupp: 0.08, PaperConf: 0.38, PaperLift: 2.46},
+		{Label: "A1", Ante: []string{"sm_util_min=0%", "status=failed"}, Cons: []string{"retried"},
+			PaperSupp: 0.06, PaperConf: 0.56, PaperLift: 3.79, Note: "retried encodes Num Attempts > 1"},
+		{Label: "A2", Ante: []string{"sm_util_min=0%", "status=failed"}, Cons: []string{"runtime_s=Bin4"},
+			PaperSupp: 0.05, PaperConf: 0.55, PaperLift: 2.20},
+	})
+}
+
+// TableVIII reproduces the misc trace-specific rules. PAI3 and PAI4 are
+// mined on the model-labelled subset of the PAI trace, as in the paper.
+func (ts *TraceSet) TableVIII() (*TableResult, error) {
+	out := &TableResult{Table: "VIII", Trace: "mixed", Keyword: "(varied)"}
+
+	// PAI1/PAI2: queue-time rules on the full PAI trace.
+	paiRes, err := ts.Mined("pai")
+	if err != nil {
+		return nil, err
+	}
+	paiViews := allViews(paiRes)
+	out.Rows = append(out.Rows, matchRows(paiViews, []PaperRule{
+		{Label: "PAI1", Ante: []string{"gpu_type=T4"}, Cons: []string{"queue_s=Bin1"},
+			PaperSupp: 0.18, PaperConf: 0.85, PaperLift: 3.70},
+		{Label: "PAI2", Ante: []string{"gpu_type=NonT4"}, Cons: []string{"queue_s=Bin4"},
+			PaperSupp: 0.06, PaperConf: 0.52, PaperLift: 1.82},
+	}, nil)...)
+
+	// PAI3/PAI4: model-specific rules on the labelled subset.
+	subsetRes, err := ts.PAIModelSubset()
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, matchRows(allViews(subsetRes), []PaperRule{
+		{Label: "PAI3", Ante: []string{"model_class=RecSys"}, Cons: []string{"gpu_type=T4", "multi_task"},
+			PaperSupp: 0.29, PaperConf: 0.88, PaperLift: 2.98},
+		{Label: "PAI4", Ante: []string{"cpu_util=Bin0", "sm_util=Bin4"}, Cons: []string{"model_class=NLP"},
+			PaperSupp: 0.07, PaperConf: 0.99, PaperLift: 1.71},
+	}, nil)...)
+
+	// CIR1: SuperCloud new users kill their jobs.
+	scRes, err := ts.Mined("supercloud")
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, matchRows(allViews(scRes), []PaperRule{
+		{Label: "CIR1", Ante: []string{"user_tier=new"}, Cons: []string{"status=killed"},
+			PaperSupp: 0.05, PaperConf: 0.26, PaperLift: 1.75},
+	}, nil)...)
+
+	// PHI1: Philly multi-GPU jobs run long.
+	phRes, err := ts.Mined("philly")
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, matchRows(allViews(phRes), []PaperRule{
+		{Label: "PHI1", Ante: []string{"multi_gpu"}, Cons: []string{"runtime_s=Bin4"},
+			PaperSupp: 0.07, PaperConf: 0.50, PaperLift: 2.01},
+	}, nil)...)
+	return out, nil
+}
+
+// PAIModelSubset mines the PAI rows that carry a model label (the paper
+// filters out NaN model labels before the PAI3/PAI4 study). The lift filter
+// is relaxed slightly because the family baseline supports differ from the
+// full trace.
+func (ts *TraceSet) PAIModelSubset() (*core.Result, error) {
+	joined, err := ts.Joined("pai")
+	if err != nil {
+		return nil, err
+	}
+	model, err := joined.Column("model")
+	if err != nil {
+		return nil, err
+	}
+	subset := joined.Filter(func(r dataset.Row) bool { return model.IsValid(r.Index()) })
+	p := core.PAIPipeline()
+	return p.Mine(subset)
+}
+
+// allViews renders every rule in the result as a view.
+func allViews(res *core.Result) []core.RuleView {
+	rs := res.Rules()
+	views := make([]core.RuleView, len(rs))
+	for i, r := range rs {
+		views[i] = core.RuleView{
+			Antecedent: res.DB.Catalog().Names(r.Antecedent),
+			Consequent: res.DB.Catalog().Names(r.Consequent),
+			Support:    r.Support,
+			Confidence: r.Confidence,
+			Lift:       r.Lift,
+		}
+	}
+	return views
+}
+
+// AllTables runs Tables II–VIII.
+func (ts *TraceSet) AllTables() ([]*TableResult, error) {
+	runners := []func() (*TableResult, error){
+		ts.TableII, ts.TableIII, ts.TableIV, ts.TableV, ts.TableVI, ts.TableVII, ts.TableVIII,
+	}
+	out := make([]*TableResult, 0, len(runners))
+	for _, run := range runners {
+		t, err := run()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,293 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/classify"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fpgrowth"
+	"repro/internal/itemset"
+	"repro/internal/rules"
+	"repro/internal/transaction"
+)
+
+// This file operationalizes the paper's takeaways: first quantify the waste
+// the observations imply (GPU-hours held by zero-utilization jobs, compute
+// burned by failures), then simulate the suggested remedy — a lower-tier
+// pool for predicted debug/exploratory jobs — and measure what it buys.
+
+// WasteRow summarizes one trace's wasted GPU time.
+type WasteRow struct {
+	Trace string
+	// TotalGPUHours is Σ gpus × runtime over all jobs.
+	TotalGPUHours float64
+	// IdleGPUHours is the share held by jobs whose average SM utilization
+	// is (near) zero — capacity allocated and never used.
+	IdleGPUHours float64
+	// FailedGPUHours is the share burned by jobs that ultimately failed.
+	FailedGPUHours float64
+}
+
+// IdleFraction returns IdleGPUHours / TotalGPUHours.
+func (w WasteRow) IdleFraction() float64 {
+	if w.TotalGPUHours == 0 {
+		return 0
+	}
+	return w.IdleGPUHours / w.TotalGPUHours
+}
+
+// FailedFraction returns FailedGPUHours / TotalGPUHours.
+func (w WasteRow) FailedFraction() float64 {
+	if w.TotalGPUHours == 0 {
+		return 0
+	}
+	return w.FailedGPUHours / w.TotalGPUHours
+}
+
+// gpuCountColumn maps each trace to its GPU-allocation column.
+var gpuCountColumn = map[string]string{
+	"pai": "gpu_request", "supercloud": "gpus", "philly": "gpus",
+}
+
+// Waste computes the wasted GPU-hours per trace.
+func (ts *TraceSet) Waste() ([]WasteRow, error) {
+	var out []WasteRow
+	for _, name := range TraceNames {
+		joined, err := ts.Joined(name)
+		if err != nil {
+			return nil, err
+		}
+		gpus, err := joined.Column(gpuCountColumn[name])
+		if err != nil {
+			return nil, err
+		}
+		runtime, err := joined.Column("runtime_s")
+		if err != nil {
+			return nil, err
+		}
+		sm, err := joined.Column("sm_util")
+		if err != nil {
+			return nil, err
+		}
+		status, err := joined.Column("status")
+		if err != nil {
+			return nil, err
+		}
+		row := WasteRow{Trace: name}
+		for i := 0; i < joined.NumRows(); i++ {
+			hours := gpus.Number(i) * runtime.Number(i) / 3600
+			row.TotalGPUHours += hours
+			if sm.Number(i) <= 0.5 {
+				row.IdleGPUHours += hours
+			}
+			if status.Str(i) == "failed" {
+				row.FailedGPUHours += hours
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// TieringResult compares cluster operation with and without the takeaway's
+// lower-tier pool: jobs the submission-time classifier flags as likely
+// zero-utilization are routed to cheap GPUs, freeing the premium pool.
+type TieringResult struct {
+	// Diverted is the number of jobs routed to the debug tier.
+	Diverted int
+	// DivertedActuallyIdle is how many of them truly never used the GPU
+	// (the router's precision).
+	DivertedActuallyIdle int
+	// PremiumWaitBefore/After are mean queue waits (seconds) on the
+	// premium pool without and with the debug tier, under FIFO.
+	PremiumWaitBefore, PremiumWaitAfter float64
+	// PremiumWaitBeforeEASY/AfterEASY repeat the comparison under EASY
+	// backfill, checking the takeaway is not an artifact of a naive
+	// scheduler.
+	PremiumWaitBeforeEASY, PremiumWaitAfterEASY float64
+	// PremiumIdleHoursBefore/After are idle-job GPU-hours occupying the
+	// premium pool.
+	PremiumIdleHoursBefore, PremiumIdleHoursAfter float64
+}
+
+// DebugTierSimulation implements the Sec. IV-B takeaway on the PAI trace:
+// train the zero-utilization classifier on the first half of the jobs
+// (submission-time features only), then replay the second half through the
+// cluster simulator twice — once with every job on the premium pool, once
+// with classifier-flagged jobs diverted to a low-tier pool — and compare
+// premium-pool queue waits and idle occupancy.
+func (ts *TraceSet) DebugTierSimulation() (*TieringResult, error) {
+	joined, err := ts.Joined("pai")
+	if err != nil {
+		return nil, err
+	}
+	p := core.PAIPipeline()
+	p.Skip = append(p.Skip, "cpu_util", "mem_used_gb", "gmem_used_gb", "runtime_s", "queue_s")
+	pre, err := p.Preprocess(joined)
+	if err != nil {
+		return nil, err
+	}
+	db, err := transaction.Encode(pre, transaction.EncodeOptions{
+		KeepAlways: []string{core.KeywordZeroSM},
+	})
+	if err != nil {
+		return nil, err
+	}
+	target, ok := db.Catalog().Lookup(core.KeywordZeroSM)
+	if !ok {
+		return nil, fmt.Errorf("experiments: zero-SM item missing")
+	}
+	half := db.Len() / 2
+	train := transaction.NewDB(db.Catalog())
+	for i := 0; i < half; i++ {
+		train.Add(db.Txn(i)...)
+	}
+	minCount := train.Len() / 20
+	if minCount < 1 {
+		minCount = 1
+	}
+	frequent := fpgrowth.Mine(train, fpgrowth.Options{MinCount: minCount, MaxLen: 5})
+	trainRules := rules.Generate(frequent, train.Len(), rules.Options{MinLift: 1.5})
+	clf, err := classify.TrainWithCoverage(trainRules, db, 0, half, target, classify.Options{MinConfidence: 0.9})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: training debug-job router: %w", err)
+	}
+
+	// Replay the held-out jobs through the scheduler. All jobs request
+	// the premium pool in the baseline; in the tiered run, flagged jobs
+	// go to a debug pool a quarter the premium pool's size.
+	gpus := joined.MustColumn("gpu_request")
+	runtime := joined.MustColumn("runtime_s")
+	submit := joined.MustColumn("submit_s")
+	sm := joined.MustColumn("sm_util")
+
+	res := &TieringResult{}
+	targetSet := itemset.NewSet(target)
+	flagged := make([]bool, db.Len())
+	for i := half; i < db.Len(); i++ {
+		features := itemset.Set(db.Txn(i)).Minus(targetSet)
+		pred, _ := clf.Predict(features)
+		flagged[i] = pred
+		if pred {
+			res.Diverted++
+			if sm.Number(i) <= 0.5 {
+				res.DivertedActuallyIdle++
+			}
+		}
+	}
+
+	baseline := make([]cluster.Request, 0, db.Len()-half)
+	tiered := make([]cluster.Request, 0, db.Len()-half)
+	var demand float64
+	var window float64
+	for i := half; i < db.Len(); i++ {
+		g := int(gpus.Number(i))
+		if g < 1 {
+			g = 1
+		}
+		req := cluster.Request{
+			ID: fmt.Sprint(i), Type: "premium", GPUs: g,
+			Submit: submit.Number(i), Duration: runtime.Number(i),
+		}
+		demand += float64(g) * req.Duration
+		if req.Submit > window {
+			window = req.Submit
+		}
+		baseline = append(baseline, req)
+		if flagged[i] {
+			req.Type = "debug"
+		}
+		tiered = append(tiered, req)
+	}
+	if window == 0 {
+		window = 1
+	}
+	// Premium pool sized near saturation for the full load; debug pool a
+	// quarter of it (cheap hardware).
+	premium := int(demand/window) + 100
+	debug := premium / 4
+	schedBase, err := cluster.New([]cluster.Pool{{Type: "premium", Capacity: premium}, {Type: "debug", Capacity: debug}})
+	if err != nil {
+		return nil, err
+	}
+	before, err := schedBase.Run(baseline)
+	if err != nil {
+		return nil, err
+	}
+	after, err := schedBase.Run(tiered)
+	if err != nil {
+		return nil, err
+	}
+	beforeEASY, err := schedBase.RunEASY(baseline)
+	if err != nil {
+		return nil, err
+	}
+	afterEASY, err := schedBase.RunEASY(tiered)
+	if err != nil {
+		return nil, err
+	}
+
+	var nBefore, nAfter int
+	for k, i := 0, half; i < db.Len(); k, i = k+1, i+1 {
+		hours := gpus.Number(i) * runtime.Number(i) / 3600
+		idle := sm.Number(i) <= 0.5
+		// Baseline: everything premium.
+		res.PremiumWaitBefore += before[k].QueueWait
+		res.PremiumWaitBeforeEASY += beforeEASY[k].QueueWait
+		nBefore++
+		if idle {
+			res.PremiumIdleHoursBefore += hours
+		}
+		// Tiered: only undiverted jobs hold premium GPUs.
+		if !flagged[i] {
+			res.PremiumWaitAfter += after[k].QueueWait
+			res.PremiumWaitAfterEASY += afterEASY[k].QueueWait
+			nAfter++
+			if idle {
+				res.PremiumIdleHoursAfter += hours
+			}
+		}
+	}
+	if nBefore > 0 {
+		res.PremiumWaitBefore /= float64(nBefore)
+		res.PremiumWaitBeforeEASY /= float64(nBefore)
+	}
+	if nAfter > 0 {
+		res.PremiumWaitAfter /= float64(nAfter)
+		res.PremiumWaitAfterEASY /= float64(nAfter)
+	}
+	return res, nil
+}
+
+// WriteTakeaways renders the waste accounting and the debug-tier simulation.
+func (ts *TraceSet) WriteTakeaways(w io.Writer) error {
+	waste, err := ts.Waste()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "== Wasted GPU-hours (what the Fig. 4 / Fig. 5 observations cost) ==")
+	for _, row := range waste {
+		fmt.Fprintf(w, "  %-11s total=%.0f GPU-h  idle-held=%.0f (%.1f%%)  burned-by-failures=%.0f (%.1f%%)\n",
+			row.Trace, row.TotalGPUHours,
+			row.IdleGPUHours, 100*row.IdleFraction(),
+			row.FailedGPUHours, 100*row.FailedFraction())
+	}
+
+	tier, err := ts.DebugTierSimulation()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\n== Debug-tier simulation (Sec. IV-B takeaway, PAI held-out half) ==")
+	precision := 0.0
+	if tier.Diverted > 0 {
+		precision = float64(tier.DivertedActuallyIdle) / float64(tier.Diverted)
+	}
+	fmt.Fprintf(w, "  diverted %d jobs to the low tier (%.0f%% truly idle)\n", tier.Diverted, 100*precision)
+	fmt.Fprintf(w, "  premium pool mean wait (FIFO): %.1fs -> %.1fs\n", tier.PremiumWaitBefore, tier.PremiumWaitAfter)
+	fmt.Fprintf(w, "  premium pool mean wait (EASY): %.1fs -> %.1fs\n", tier.PremiumWaitBeforeEASY, tier.PremiumWaitAfterEASY)
+	fmt.Fprintf(w, "  premium pool idle-held GPU-hours: %.0f -> %.0f\n",
+		tier.PremiumIdleHoursBefore, tier.PremiumIdleHoursAfter)
+	return nil
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWaste(t *testing.T) {
+	rows, err := testSet(t).Waste()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]WasteRow{}
+	for _, r := range rows {
+		if r.TotalGPUHours <= 0 {
+			t.Errorf("%s: zero total GPU-hours", r.Trace)
+		}
+		if r.IdleGPUHours < 0 || r.IdleGPUHours > r.TotalGPUHours {
+			t.Errorf("%s: idle hours out of range", r.Trace)
+		}
+		if r.FailedGPUHours < 0 || r.FailedGPUHours > r.TotalGPUHours {
+			t.Errorf("%s: failed hours out of range", r.Trace)
+		}
+		byName[r.Trace] = r
+	}
+	// PAI's idle jobs are short debug runs: their GPU-hour share must be
+	// far below their 46% job share — the distinction between job counts
+	// and capacity the waste accounting exists to make.
+	if f := byName["pai"].IdleFraction(); f <= 0 || f >= 0.46 {
+		t.Errorf("pai idle GPU-hour fraction = %.3f, want in (0, 0.46)", f)
+	}
+	// SuperCloud's long-running failures burn disproportionate compute:
+	// failed GPU-hour share must exceed the ~14%% failed-job share.
+	if f := byName["supercloud"].FailedFraction(); f < 0.14 {
+		t.Errorf("supercloud failed GPU-hour fraction = %.3f, want amplified above job share", f)
+	}
+}
+
+func TestDebugTierSimulation(t *testing.T) {
+	res, err := testSet(t).DebugTierSimulation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Diverted == 0 {
+		t.Fatal("router diverted nothing")
+	}
+	precision := float64(res.DivertedActuallyIdle) / float64(res.Diverted)
+	if precision < 0.8 {
+		t.Errorf("router precision = %.2f, the 0.9-confidence rules should divert mostly idle jobs", precision)
+	}
+	if res.PremiumIdleHoursAfter >= res.PremiumIdleHoursBefore {
+		t.Errorf("idle occupancy should drop: %.0f -> %.0f",
+			res.PremiumIdleHoursBefore, res.PremiumIdleHoursAfter)
+	}
+	if res.PremiumWaitAfter > res.PremiumWaitBefore*1.05 {
+		t.Errorf("premium waits should not regress: %.1f -> %.1f",
+			res.PremiumWaitBefore, res.PremiumWaitAfter)
+	}
+}
+
+func TestWriteTakeaways(t *testing.T) {
+	var sb strings.Builder
+	if err := testSet(t).WriteTakeaways(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Wasted GPU-hours", "Debug-tier simulation", "premium pool mean wait"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("takeaways missing %q", want)
+		}
+	}
+}
+
+func TestDebugTierUnderEASY(t *testing.T) {
+	res, err := testSet(t).DebugTierSimulation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EASY fills holes, so its baseline waits are at most FIFO's; the
+	// debug tier must still help (or at least not hurt) under EASY.
+	if res.PremiumWaitBeforeEASY > res.PremiumWaitBefore+1e-9 {
+		t.Errorf("EASY baseline wait %.1f exceeds FIFO %.1f", res.PremiumWaitBeforeEASY, res.PremiumWaitBefore)
+	}
+	if res.PremiumWaitAfterEASY > res.PremiumWaitBeforeEASY*1.05 {
+		t.Errorf("debug tier regresses under EASY: %.1f -> %.1f",
+			res.PremiumWaitBeforeEASY, res.PremiumWaitAfterEASY)
+	}
+}

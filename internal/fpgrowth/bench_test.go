@@ -1,0 +1,53 @@
+package fpgrowth_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fpgrowth"
+	"repro/internal/stats"
+	"repro/internal/transaction"
+)
+
+// Microbenchmarks: mining cost vs database density and threshold.
+
+func benchDB(n, items, maxLen int) *transaction.DB {
+	return buildDB(stats.NewRNG(1), n, items, maxLen)
+}
+
+func BenchmarkMineByDensity(b *testing.B) {
+	for _, avgLen := range []int{4, 8, 16} {
+		db := benchDB(20000, 40, avgLen)
+		b.Run(fmt.Sprintf("len=%d", avgLen), func(b *testing.B) {
+			minCount := db.Len() / 20
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fpgrowth.Mine(db, fpgrowth.Options{MinCount: minCount, MaxLen: 5})
+			}
+		})
+	}
+}
+
+func BenchmarkMineByThreshold(b *testing.B) {
+	db := benchDB(20000, 40, 10)
+	for _, div := range []int{10, 20, 50} {
+		b.Run(fmt.Sprintf("support=1/%d", div), func(b *testing.B) {
+			minCount := db.Len() / div
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fpgrowth.Mine(db, fpgrowth.Options{MinCount: minCount, MaxLen: 5})
+			}
+		})
+	}
+}
+
+func BenchmarkMineParallelism(b *testing.B) {
+	db := benchDB(30000, 60, 12)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fpgrowth.Mine(db, fpgrowth.Options{MinCount: db.Len() / 30, MaxLen: 5, Workers: workers})
+			}
+		})
+	}
+}

@@ -1,0 +1,60 @@
+package fpgrowth_test
+
+import (
+	"testing"
+
+	"repro/internal/fpgrowth"
+	"repro/internal/itemset"
+	"repro/internal/stats"
+)
+
+// Cross-check Closed/Maximal extraction against mined output: the closed
+// set is a subset of the frequent set, the maximal set a subset of the
+// closed set, and every frequent itemset's support is recoverable from the
+// closed set (losslessness).
+func TestClosedMaximalOnMinedData(t *testing.T) {
+	g := stats.NewRNG(31)
+	db := buildDB(g, 400, 12, 8)
+	fs := fpgrowth.Mine(db, fpgrowth.Options{MinCount: 15})
+	if len(fs) == 0 {
+		t.Fatal("expected frequent itemsets")
+	}
+	closed := itemset.Closed(fs)
+	maximal := itemset.Maximal(fs)
+	if len(closed) > len(fs) {
+		t.Fatalf("closed (%d) cannot exceed frequent (%d)", len(closed), len(fs))
+	}
+	if len(maximal) > len(closed) {
+		t.Fatalf("maximal (%d) cannot exceed closed (%d)", len(maximal), len(closed))
+	}
+
+	closedKeys := make(map[string]bool, len(closed))
+	for _, c := range closed {
+		closedKeys[c.Items.Key()] = true
+	}
+	for _, m := range maximal {
+		if !closedKeys[m.Items.Key()] {
+			t.Fatalf("maximal itemset %v not closed", m.Items)
+		}
+	}
+
+	// Losslessness: supp(f) = max over closed supersets of f.
+	for _, f := range fs {
+		best := -1
+		for _, c := range closed {
+			if f.Items.IsSubset(c.Items) && c.Count > best {
+				best = c.Count
+			}
+		}
+		if best != f.Count {
+			t.Fatalf("support of %v not recoverable from closed set: %d vs %d", f.Items, best, f.Count)
+		}
+	}
+
+	// Counts of closed itemsets must match the database exactly.
+	for _, c := range closed {
+		if want := db.SupportCount(c.Items); want != c.Count {
+			t.Fatalf("closed count(%v) = %d, scan says %d", c.Items, c.Count, want)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package fpgrowth_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/apriori"
+	"repro/internal/eclat"
+	"repro/internal/fpgrowth"
+	"repro/internal/itemset"
+	"repro/internal/stats"
+	"repro/internal/transaction"
+)
+
+// buildDB creates a deterministic random database from an RNG.
+func buildDB(g *stats.RNG, nTxns, nItems, maxLen int) *transaction.DB {
+	db := transaction.NewDB(nil)
+	ids := make([]itemset.Item, nItems)
+	for i := range ids {
+		ids[i] = db.Catalog().Intern("item" + string(rune('a'+i%26)) + string(rune('0'+i/26)))
+	}
+	for i := 0; i < nTxns; i++ {
+		n := 1 + g.Intn(maxLen)
+		items := make([]itemset.Item, 0, n)
+		for j := 0; j < n; j++ {
+			// Zipf-ish popularity via squaring a uniform.
+			u := g.Float64()
+			idx := int(u * u * float64(nItems))
+			if idx >= nItems {
+				idx = nItems - 1
+			}
+			items = append(items, ids[idx])
+		}
+		db.Add(items...)
+	}
+	return db
+}
+
+func sameResults(a, b []itemset.Frequent) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Items.Equal(b[i].Items) || a[i].Count != b[i].Count {
+			return false
+		}
+	}
+	return true
+}
+
+// TestThreeMinersAgree is the cornerstone cross-validation: on randomized
+// databases, FP-Growth, Apriori and Eclat must produce identical itemsets
+// with identical counts.
+func TestThreeMinersAgree(t *testing.T) {
+	g := stats.NewRNG(2024)
+	for trial := 0; trial < 25; trial++ {
+		nTxns := 50 + g.Intn(300)
+		nItems := 5 + g.Intn(25)
+		db := buildDB(g, nTxns, nItems, 10)
+		minCount := 2 + g.Intn(nTxns/10+1)
+		maxLen := g.Intn(6) // 0 = unlimited
+		fp := fpgrowth.Mine(db, fpgrowth.Options{MinCount: minCount, MaxLen: maxLen})
+		ap := apriori.Mine(db, apriori.Options{MinCount: minCount, MaxLen: maxLen})
+		ec := eclat.Mine(db, eclat.Options{MinCount: minCount, MaxLen: maxLen})
+		if !sameResults(fp, ap) {
+			t.Fatalf("trial %d (n=%d items=%d min=%d maxLen=%d): FP-Growth and Apriori disagree: %d vs %d itemsets",
+				trial, nTxns, nItems, minCount, maxLen, len(fp), len(ap))
+		}
+		if !sameResults(fp, ec) {
+			t.Fatalf("trial %d: FP-Growth and Eclat disagree: %d vs %d itemsets", trial, len(fp), len(ec))
+		}
+	}
+}
+
+// TestMinersAgreeQuick drives the same equivalence through testing/quick
+// with arbitrary byte-derived databases.
+func TestMinersAgreeQuick(t *testing.T) {
+	f := func(raw []byte, minCountSeed uint8) bool {
+		db := transaction.NewDB(nil)
+		txn := make([]itemset.Item, 0, 8)
+		for i, b := range raw {
+			txn = append(txn, db.Catalog().Intern("i"+string(rune('a'+b%16))))
+			if i%5 == 4 || i == len(raw)-1 {
+				db.Add(txn...)
+				txn = txn[:0]
+			}
+		}
+		if db.Len() == 0 {
+			return true
+		}
+		minCount := 1 + int(minCountSeed)%5
+		fp := fpgrowth.Mine(db, fpgrowth.Options{MinCount: minCount})
+		ap := apriori.Mine(db, apriori.Options{MinCount: minCount})
+		ec := eclat.Mine(db, eclat.Options{MinCount: minCount})
+		return sameResults(fp, ap) && sameResults(fp, ec)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Support monotonicity: a subset never has lower support than a superset.
+func TestSupportMonotonicityProperty(t *testing.T) {
+	g := stats.NewRNG(5)
+	db := buildDB(g, 200, 15, 8)
+	fs := fpgrowth.Mine(db, fpgrowth.Options{MinCount: 3})
+	byKey := make(map[string]int, len(fs))
+	for _, f := range fs {
+		byKey[f.Items.Key()] = f.Count
+	}
+	for _, f := range fs {
+		if len(f.Items) < 2 {
+			continue
+		}
+		for drop := range f.Items {
+			sub := make(itemset.Set, 0, len(f.Items)-1)
+			for i, it := range f.Items {
+				if i != drop {
+					sub = append(sub, it)
+				}
+			}
+			if subCount, ok := byKey[sub.Key()]; ok && subCount < f.Count {
+				t.Fatalf("support(%v)=%d < support(superset %v)=%d", sub, subCount, f.Items, f.Count)
+			}
+		}
+	}
+}

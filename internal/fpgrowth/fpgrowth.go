@@ -1,0 +1,309 @@
+// Package fpgrowth implements the FP-Growth frequent-itemset mining
+// algorithm (Han et al., "Mining frequent patterns without candidate
+// generation"), the paper's miner of choice. An FP-tree compresses the
+// transaction database into shared prefixes ordered by descending item
+// frequency; mining proceeds by projecting conditional pattern bases per
+// item and recursing on conditional trees.
+//
+// Mining the conditional tree of each initial header item is independent
+// work, so Mine fans those projections out over a worker pool — the
+// database itself is shared read-only.
+package fpgrowth
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/itemset"
+	"repro/internal/transaction"
+)
+
+// Options configures Mine.
+type Options struct {
+	// MinCount is the absolute minimum support count; itemsets contained
+	// in fewer transactions are not reported. Must be >= 1.
+	MinCount int
+	// MaxLen caps the itemset length (the paper uses 5). Zero means
+	// unlimited.
+	MaxLen int
+	// Workers sets the parallelism for top-level conditional trees. Zero
+	// means GOMAXPROCS; 1 forces sequential mining.
+	Workers int
+}
+
+type node struct {
+	item     itemset.Item
+	count    int
+	parent   *node
+	children map[itemset.Item]*node
+	next     *node // header-table chain
+}
+
+type tree struct {
+	root    *node
+	heads   map[itemset.Item]*node
+	tails   map[itemset.Item]*node
+	counts  map[itemset.Item]int
+	minCnt  int
+	ordered []itemset.Item // frequent items by ascending count (mining order)
+}
+
+func newTree(minCount int) *tree {
+	return &tree{
+		root:   &node{children: make(map[itemset.Item]*node)},
+		heads:  make(map[itemset.Item]*node),
+		tails:  make(map[itemset.Item]*node),
+		counts: make(map[itemset.Item]int),
+		minCnt: minCount,
+	}
+}
+
+// insert adds a transaction (already filtered to frequent items and sorted
+// in descending global frequency) with multiplicity count.
+func (t *tree) insert(items []itemset.Item, count int) {
+	cur := t.root
+	for _, it := range items {
+		child, ok := cur.children[it]
+		if !ok {
+			child = &node{item: it, parent: cur, children: make(map[itemset.Item]*node)}
+			cur.children[it] = child
+			if t.heads[it] == nil {
+				t.heads[it] = child
+			} else {
+				t.tails[it].next = child
+			}
+			t.tails[it] = child
+		}
+		child.count += count
+		cur = child
+	}
+}
+
+// finish computes the mining order after all inserts: ascending frequency,
+// ties broken by item id for determinism.
+func (t *tree) finish() {
+	t.ordered = t.ordered[:0]
+	for it, c := range t.counts {
+		if c >= t.minCnt {
+			t.ordered = append(t.ordered, it)
+		}
+	}
+	sort.Slice(t.ordered, func(i, j int) bool {
+		ci, cj := t.counts[t.ordered[i]], t.counts[t.ordered[j]]
+		if ci != cj {
+			return ci < cj
+		}
+		return t.ordered[i] < t.ordered[j]
+	})
+}
+
+// singlePath returns the items of the tree's unique path (excluding root)
+// when the tree is a single chain, or nil otherwise. Single-path trees are
+// mined by enumerating path subsets directly.
+func (t *tree) singlePath() []*node {
+	var path []*node
+	cur := t.root
+	for {
+		if len(cur.children) == 0 {
+			return path
+		}
+		if len(cur.children) > 1 {
+			return nil
+		}
+		for _, child := range cur.children {
+			cur = child
+		}
+		path = append(path, cur)
+	}
+}
+
+// buildInitial constructs the FP-tree over the full database.
+func buildInitial(db *transaction.DB, minCount int) *tree {
+	t := newTree(minCount)
+	counts := db.ItemCounts()
+	for id, c := range counts {
+		if c >= minCount {
+			t.counts[itemset.Item(id)] = c
+		}
+	}
+	buf := make([]itemset.Item, 0, 32)
+	for i := 0; i < db.Len(); i++ {
+		buf = buf[:0]
+		for _, it := range db.Txn(i) {
+			if _, ok := t.counts[it]; ok {
+				buf = append(buf, it)
+			}
+		}
+		sortDescFreq(buf, t.counts)
+		t.insert(buf, 1)
+	}
+	t.finish()
+	return t
+}
+
+// sortDescFreq sorts items by descending global frequency, ties by id.
+func sortDescFreq(items []itemset.Item, counts map[itemset.Item]int) {
+	sort.Slice(items, func(i, j int) bool {
+		ci, cj := counts[items[i]], counts[items[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return items[i] < items[j]
+	})
+}
+
+// conditional builds the conditional FP-tree for item it: the tree over all
+// prefix paths leading to occurrences of it.
+func (t *tree) conditional(it itemset.Item) *tree {
+	type base struct {
+		path  []itemset.Item
+		count int
+	}
+	var bases []base
+	counts := make(map[itemset.Item]int)
+	for n := t.heads[it]; n != nil; n = n.next {
+		var path []itemset.Item
+		for p := n.parent; p != nil && p.parent != nil; p = p.parent {
+			path = append(path, p.item)
+		}
+		if len(path) == 0 {
+			continue
+		}
+		// path is leaf→root; reverse to root→leaf insertion order.
+		for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+			path[l], path[r] = path[r], path[l]
+		}
+		bases = append(bases, base{path: path, count: n.count})
+		for _, p := range path {
+			counts[p] += n.count
+		}
+	}
+	cond := newTree(t.minCnt)
+	for p, c := range counts {
+		if c >= t.minCnt {
+			cond.counts[p] = c
+		}
+	}
+	filtered := make([]itemset.Item, 0, 16)
+	for _, b := range bases {
+		filtered = filtered[:0]
+		for _, p := range b.path {
+			if _, ok := cond.counts[p]; ok {
+				filtered = append(filtered, p)
+			}
+		}
+		sortDescFreq(filtered, cond.counts)
+		cond.insert(filtered, b.count)
+	}
+	cond.finish()
+	return cond
+}
+
+// mine recursively emits all frequent itemsets extending prefix within t.
+func (t *tree) mine(prefix itemset.Set, maxLen int, emit func(itemset.Frequent)) {
+	if maxLen > 0 && len(prefix) >= maxLen {
+		return
+	}
+	// Single-path optimization: every subset of the path, combined with
+	// the prefix, is frequent with the count of its deepest node.
+	if path := t.singlePath(); path != nil {
+		emitPathSubsets(prefix, path, maxLen, emit)
+		return
+	}
+	for _, it := range t.ordered {
+		ext := prefix.With(it)
+		emit(itemset.Frequent{Items: ext, Count: t.counts[it]})
+		cond := t.conditional(it)
+		if len(cond.ordered) > 0 {
+			cond.mine(ext, maxLen, emit)
+		}
+	}
+}
+
+// emitPathSubsets enumerates all non-empty subsets of a single-path tree.
+func emitPathSubsets(prefix itemset.Set, path []*node, maxLen int, emit func(itemset.Frequent)) {
+	limit := len(path)
+	if maxLen > 0 && maxLen-len(prefix) < limit {
+		limit = maxLen - len(prefix)
+	}
+	var rec func(start int, cur itemset.Set, minCount int)
+	rec = func(start int, cur itemset.Set, minCount int) {
+		if len(cur)-len(prefix) >= limit {
+			return
+		}
+		for i := start; i < len(path); i++ {
+			n := path[i]
+			c := minCount
+			if n.count < c || c == 0 {
+				c = n.count
+			}
+			ext := cur.With(n.item)
+			emit(itemset.Frequent{Items: ext, Count: c})
+			rec(i+1, ext, c)
+		}
+	}
+	rec(0, prefix.Clone(), 0)
+}
+
+// Mine returns every itemset with support count >= opts.MinCount and length
+// <= opts.MaxLen, with exact counts. Results are in canonical order.
+func Mine(db *transaction.DB, opts Options) []itemset.Frequent {
+	if opts.MinCount < 1 {
+		opts.MinCount = 1
+	}
+	t := buildInitial(db, opts.MinCount)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(t.ordered) {
+		workers = len(t.ordered)
+	}
+
+	var results []itemset.Frequent
+	if workers <= 1 {
+		t.mine(nil, opts.MaxLen, func(f itemset.Frequent) { results = append(results, f) })
+		itemset.SortFrequent(results)
+		return results
+	}
+
+	// Parallel top level: each worker takes header items off a shared
+	// index and mines that item's conditional subtree into a private
+	// buffer; buffers are concatenated afterwards. The initial tree is
+	// read-only during mining.
+	jobs := make(chan int)
+	buffers := make([][]itemset.Frequent, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var buf []itemset.Frequent
+			emit := func(f itemset.Frequent) { buf = append(buf, f) }
+			for idx := range jobs {
+				it := t.ordered[idx]
+				ext := itemset.NewSet(it)
+				emit(itemset.Frequent{Items: ext, Count: t.counts[it]})
+				if opts.MaxLen == 1 {
+					continue
+				}
+				cond := t.conditional(it)
+				if len(cond.ordered) > 0 {
+					cond.mine(ext, opts.MaxLen, emit)
+				}
+			}
+			buffers[w] = buf
+		}(w)
+	}
+	for i := range t.ordered {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, buf := range buffers {
+		results = append(results, buf...)
+	}
+	itemset.SortFrequent(results)
+	return results
+}

@@ -1,0 +1,76 @@
+package itemset
+
+// Closed and maximal itemset extraction. The paper's related work leans on
+// closed-itemset miners (Ciclad, FGC-Stream) for streaming scale: the closed
+// itemsets are the lossless compression of the frequent set (every frequent
+// itemset's support is recoverable as the max count over its closed
+// supersets), and the maximal itemsets are the lossy frontier. Both are
+// computed here as a post-pass over any miner's output, so they compose with
+// FP-Growth, Apriori, Eclat and SON alike.
+
+// Closed returns the closed itemsets among fs: those with no proper
+// superset of equal count. fs must be a complete frequent set (every subset
+// of a member present), which all miners in this module produce.
+func Closed(fs []Frequent) []Frequent {
+	return filterBySupersets(fs, func(count, bestSuperset int, hasSuperset bool) bool {
+		return !hasSuperset || bestSuperset < count
+	})
+}
+
+// Maximal returns the maximal itemsets among fs: those with no frequent
+// proper superset at all.
+func Maximal(fs []Frequent) []Frequent {
+	return filterBySupersets(fs, func(_, _ int, hasSuperset bool) bool {
+		return !hasSuperset
+	})
+}
+
+// filterBySupersets keeps the itemsets whose immediate supersets satisfy
+// keep(count, maxSupersetCount, anySuperset). Only supersets one item larger
+// need checking: counts are monotone, so the best immediate superset count
+// equals the best over all supersets.
+func filterBySupersets(fs []Frequent, keep func(count, bestSuperset int, hasSuperset bool) bool) []Frequent {
+	// Group by length for superset lookups.
+	byKey := make(map[string]int, len(fs))
+	maxLen := 0
+	for _, f := range fs {
+		byKey[f.Items.Key()] = f.Count
+		if len(f.Items) > maxLen {
+			maxLen = len(f.Items)
+		}
+	}
+	// Collect the item universe per itemset extension attempt: try adding
+	// every item that appears anywhere. For the moderate vocabularies of
+	// encoded traces this direct scan is cheap.
+	universe := make(map[Item]bool)
+	for _, f := range fs {
+		for _, it := range f.Items {
+			universe[it] = true
+		}
+	}
+	items := make([]Item, 0, len(universe))
+	for it := range universe {
+		items = append(items, it)
+	}
+
+	var out []Frequent
+	for _, f := range fs {
+		best, has := 0, false
+		for _, it := range items {
+			if f.Items.Contains(it) {
+				continue
+			}
+			if c, ok := byKey[f.Items.With(it).Key()]; ok {
+				has = true
+				if c > best {
+					best = c
+				}
+			}
+		}
+		if keep(f.Count, best, has) {
+			out = append(out, f)
+		}
+	}
+	SortFrequent(out)
+	return out
+}

@@ -1,0 +1,112 @@
+package itemset
+
+import "testing"
+
+// Lattice from the classic example: supp(a)=4, supp(b)=3, supp(ab)=3.
+// {a} is closed (no superset with count 4); {b} is NOT closed ({a,b} has
+// the same count); {a,b} is closed and maximal.
+func exampleLattice() []Frequent {
+	return []Frequent{
+		{Items: NewSet(1), Count: 4},
+		{Items: NewSet(2), Count: 3},
+		{Items: NewSet(1, 2), Count: 3},
+	}
+}
+
+func keys(fs []Frequent) map[string]int {
+	out := make(map[string]int, len(fs))
+	for _, f := range fs {
+		out[f.Items.Key()] = f.Count
+	}
+	return out
+}
+
+func TestClosed(t *testing.T) {
+	closed := Closed(exampleLattice())
+	k := keys(closed)
+	if len(k) != 2 {
+		t.Fatalf("closed count = %d, want 2", len(k))
+	}
+	if _, ok := k[NewSet(1).Key()]; !ok {
+		t.Error("{a} should be closed")
+	}
+	if _, ok := k[NewSet(1, 2).Key()]; !ok {
+		t.Error("{a,b} should be closed")
+	}
+	if _, ok := k[NewSet(2).Key()]; ok {
+		t.Error("{b} should be absorbed by {a,b}")
+	}
+}
+
+func TestMaximal(t *testing.T) {
+	maximal := Maximal(exampleLattice())
+	if len(maximal) != 1 || !maximal[0].Items.Equal(NewSet(1, 2)) {
+		t.Fatalf("maximal = %v, want only {1,2}", maximal)
+	}
+}
+
+func TestClosedPreservesSupportInformation(t *testing.T) {
+	// Lossless property: every frequent itemset's count equals the max
+	// count among its closed supersets (including itself).
+	fs := []Frequent{
+		{Items: NewSet(1), Count: 10},
+		{Items: NewSet(2), Count: 8},
+		{Items: NewSet(3), Count: 8},
+		{Items: NewSet(1, 2), Count: 6},
+		{Items: NewSet(2, 3), Count: 8},
+		{Items: NewSet(1, 3), Count: 5},
+		{Items: NewSet(1, 2, 3), Count: 5},
+	}
+	closed := Closed(fs)
+	ck := keys(closed)
+	for _, f := range fs {
+		best := 0
+		for _, c := range closed {
+			if f.Items.IsSubset(c.Items) && ck[c.Items.Key()] > best {
+				if f.Items.IsSubset(c.Items) {
+					best = c.Count
+				}
+			}
+		}
+		if best != f.Count {
+			t.Errorf("support of %v not recoverable: got %d want %d", f.Items, best, f.Count)
+		}
+	}
+}
+
+func TestMaximalSubsetOfClosed(t *testing.T) {
+	fs := []Frequent{
+		{Items: NewSet(1), Count: 9},
+		{Items: NewSet(2), Count: 7},
+		{Items: NewSet(1, 2), Count: 7},
+		{Items: NewSet(3), Count: 4},
+	}
+	closed := keys(Closed(fs))
+	for _, m := range Maximal(fs) {
+		if _, ok := closed[m.Items.Key()]; !ok {
+			t.Errorf("maximal itemset %v must be closed", m.Items)
+		}
+	}
+}
+
+func TestClosedEmpty(t *testing.T) {
+	if got := Closed(nil); len(got) != 0 {
+		t.Errorf("Closed(nil) = %v", got)
+	}
+	if got := Maximal(nil); len(got) != 0 {
+		t.Errorf("Maximal(nil) = %v", got)
+	}
+}
+
+func TestSingletonsOnly(t *testing.T) {
+	fs := []Frequent{
+		{Items: NewSet(1), Count: 5},
+		{Items: NewSet(2), Count: 3},
+	}
+	if got := Closed(fs); len(got) != 2 {
+		t.Errorf("disjoint singletons are all closed, got %d", len(got))
+	}
+	if got := Maximal(fs); len(got) != 2 {
+		t.Errorf("disjoint singletons are all maximal, got %d", len(got))
+	}
+}

@@ -1,0 +1,261 @@
+// Package itemset provides the shared vocabulary of the frequent-itemset
+// miners: an interning catalog mapping human-readable item names (such as
+// "sm_util=0%" or "framework=tensorflow") to dense integer ids, a canonical
+// sorted-set representation, and the Frequent result type every miner
+// (FP-Growth, Apriori, Eclat) returns so their outputs can be compared
+// item-for-item in the cross-validation tests.
+package itemset
+
+import (
+	"encoding/binary"
+	"sort"
+	"strings"
+)
+
+// Item is a dense id assigned by a Catalog.
+type Item int32
+
+// Catalog interns item names to dense ids. It is not safe for concurrent
+// mutation; build it fully before sharing across mining goroutines.
+type Catalog struct {
+	byName map[string]Item
+	names  []string
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{byName: make(map[string]Item)}
+}
+
+// Intern returns the id for name, assigning the next dense id on first use.
+func (c *Catalog) Intern(name string) Item {
+	if id, ok := c.byName[name]; ok {
+		return id
+	}
+	id := Item(len(c.names))
+	c.byName[name] = id
+	c.names = append(c.names, name)
+	return id
+}
+
+// Lookup returns the id for name without interning.
+func (c *Catalog) Lookup(name string) (Item, bool) {
+	id, ok := c.byName[name]
+	return id, ok
+}
+
+// Name returns the name behind id.
+func (c *Catalog) Name(id Item) string { return c.names[id] }
+
+// Len returns the number of interned items.
+func (c *Catalog) Len() int { return len(c.names) }
+
+// Names resolves a set to its item names.
+func (c *Catalog) Names(s Set) []string {
+	out := make([]string, len(s))
+	for i, it := range s {
+		out[i] = c.names[it]
+	}
+	return out
+}
+
+// Set is a sorted, duplicate-free slice of items: the canonical itemset
+// representation. The zero value is the empty set.
+type Set []Item
+
+// NewSet builds a canonical set from items, sorting and deduplicating.
+func NewSet(items ...Item) Set {
+	s := append(Set(nil), items...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := s[:0]
+	for _, it := range s {
+		if len(out) == 0 || it != out[len(out)-1] {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// Len returns the set cardinality.
+func (s Set) Len() int { return len(s) }
+
+// Contains reports whether the set contains it.
+func (s Set) Contains(it Item) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= it })
+	return i < len(s) && s[i] == it
+}
+
+// ContainsAll reports whether other ⊆ s, by sorted merge.
+func (s Set) ContainsAll(other Set) bool {
+	i := 0
+	for _, want := range other {
+		for i < len(s) && s[i] < want {
+			i++
+		}
+		if i >= len(s) || s[i] != want {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// IsSubset reports whether s ⊆ other.
+func (s Set) IsSubset(other Set) bool { return other.ContainsAll(s) }
+
+// IsProperSubset reports whether s ⊂ other.
+func (s Set) IsProperSubset(other Set) bool {
+	return len(s) < len(other) && other.ContainsAll(s)
+}
+
+// Equal reports item-wise equality.
+func (s Set) Equal(other Set) bool {
+	if len(s) != len(other) {
+		return false
+	}
+	for i := range s {
+		if s[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns the sorted union of s and other.
+func (s Set) Union(other Set) Set {
+	out := make(Set, 0, len(s)+len(other))
+	i, j := 0, 0
+	for i < len(s) && j < len(other) {
+		switch {
+		case s[i] < other[j]:
+			out = append(out, s[i])
+			i++
+		case s[i] > other[j]:
+			out = append(out, other[j])
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, s[i:]...)
+	return append(out, other[j:]...)
+}
+
+// Minus returns s \ other, sorted.
+func (s Set) Minus(other Set) Set {
+	out := make(Set, 0, len(s))
+	j := 0
+	for _, it := range s {
+		for j < len(other) && other[j] < it {
+			j++
+		}
+		if j < len(other) && other[j] == it {
+			continue
+		}
+		out = append(out, it)
+	}
+	return out
+}
+
+// Intersect returns s ∩ other, sorted.
+func (s Set) Intersect(other Set) Set {
+	out := make(Set, 0, min(len(s), len(other)))
+	i, j := 0, 0
+	for i < len(s) && j < len(other) {
+		switch {
+		case s[i] < other[j]:
+			i++
+		case s[i] > other[j]:
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Disjoint reports whether s and other share no items.
+func (s Set) Disjoint(other Set) bool { return len(s.Intersect(other)) == 0 }
+
+// With returns a new set equal to s plus it.
+func (s Set) With(it Item) Set {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= it })
+	if i < len(s) && s[i] == it {
+		return s
+	}
+	out := make(Set, 0, len(s)+1)
+	out = append(out, s[:i]...)
+	out = append(out, it)
+	return append(out, s[i:]...)
+}
+
+// Clone returns an independent copy of s.
+func (s Set) Clone() Set { return append(Set(nil), s...) }
+
+// Key returns a compact string usable as a map key, unique per set.
+func (s Set) Key() string {
+	buf := make([]byte, 4*len(s))
+	for i, it := range s {
+		binary.BigEndian.PutUint32(buf[4*i:], uint32(it))
+	}
+	return string(buf)
+}
+
+// String renders the ids for debugging; use Catalog.Names for readable output.
+func (s Set) String() string {
+	parts := make([]string, len(s))
+	for i, it := range s {
+		parts[i] = itoa(int(it))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func itoa(v int) string {
+	// Tiny local int formatter to keep String allocation-light.
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [12]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+// Frequent is a frequent itemset together with its absolute support count.
+type Frequent struct {
+	Items Set
+	Count int
+}
+
+// SortFrequent orders results canonically (by length, then lexicographic by
+// item ids) so outputs of different miners can be compared directly.
+func SortFrequent(fs []Frequent) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i].Items, fs[j].Items
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,228 @@
+package itemset
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogIntern(t *testing.T) {
+	c := NewCatalog()
+	a := c.Intern("sm_util=0%")
+	b := c.Intern("failed")
+	a2 := c.Intern("sm_util=0%")
+	if a != a2 {
+		t.Error("re-interning should return same id")
+	}
+	if a == b {
+		t.Error("distinct names should get distinct ids")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	if c.Name(a) != "sm_util=0%" {
+		t.Errorf("Name = %q", c.Name(a))
+	}
+	if _, ok := c.Lookup("missing"); ok {
+		t.Error("Lookup of missing should be false")
+	}
+	if id, ok := c.Lookup("failed"); !ok || id != b {
+		t.Error("Lookup of existing failed")
+	}
+}
+
+func TestCatalogNames(t *testing.T) {
+	c := NewCatalog()
+	x, y := c.Intern("x"), c.Intern("y")
+	got := c.Names(NewSet(y, x))
+	if len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Errorf("Names = %v", got)
+	}
+}
+
+func TestNewSetCanonical(t *testing.T) {
+	s := NewSet(3, 1, 2, 3, 1)
+	want := Set{1, 2, 3}
+	if !s.Equal(want) {
+		t.Errorf("NewSet = %v, want %v", s, want)
+	}
+	if NewSet().Len() != 0 {
+		t.Error("empty NewSet should have length 0")
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := NewSet(1, 5, 9)
+	for _, it := range []Item{1, 5, 9} {
+		if !s.Contains(it) {
+			t.Errorf("should contain %d", it)
+		}
+	}
+	for _, it := range []Item{0, 2, 10} {
+		if s.Contains(it) {
+			t.Errorf("should not contain %d", it)
+		}
+	}
+}
+
+func TestContainsAllSubset(t *testing.T) {
+	s := NewSet(1, 2, 3, 4)
+	if !s.ContainsAll(NewSet(2, 4)) {
+		t.Error("should contain {2,4}")
+	}
+	if !s.ContainsAll(NewSet()) {
+		t.Error("every set contains the empty set")
+	}
+	if s.ContainsAll(NewSet(2, 5)) {
+		t.Error("should not contain {2,5}")
+	}
+	if !NewSet(2, 4).IsSubset(s) {
+		t.Error("IsSubset failed")
+	}
+	if !NewSet(2, 4).IsProperSubset(s) {
+		t.Error("IsProperSubset failed")
+	}
+	if s.IsProperSubset(s) {
+		t.Error("a set is not a proper subset of itself")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := NewSet(1, 2, 3)
+	b := NewSet(3, 4)
+	if got := a.Union(b); !got.Equal(NewSet(1, 2, 3, 4)) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Minus(b); !got.Equal(NewSet(1, 2)) {
+		t.Errorf("Minus = %v", got)
+	}
+	if got := a.Intersect(b); !got.Equal(NewSet(3)) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if a.Disjoint(b) {
+		t.Error("a and b share 3")
+	}
+	if !a.Disjoint(NewSet(9)) {
+		t.Error("{9} is disjoint from a")
+	}
+}
+
+func TestWith(t *testing.T) {
+	s := NewSet(1, 3)
+	if got := s.With(2); !got.Equal(NewSet(1, 2, 3)) {
+		t.Errorf("With(2) = %v", got)
+	}
+	if got := s.With(3); !got.Equal(s) {
+		t.Errorf("With(existing) = %v", got)
+	}
+	// Original must be untouched.
+	if !s.Equal(NewSet(1, 3)) {
+		t.Errorf("With mutated receiver: %v", s)
+	}
+}
+
+func TestKeyUniqueness(t *testing.T) {
+	seen := map[string]Set{}
+	sets := []Set{NewSet(), NewSet(1), NewSet(2), NewSet(1, 2), NewSet(1, 2, 3), NewSet(258)}
+	for _, s := range sets {
+		k := s.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("key collision between %v and %v", prev, s)
+		}
+		seen[k] = s
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := NewSet(1, 20, 300).String(); got != "{1,20,300}" {
+		t.Errorf("String = %s", got)
+	}
+	if got := NewSet().String(); got != "{}" {
+		t.Errorf("empty String = %s", got)
+	}
+	if itoa(-5) != "-5" || itoa(0) != "0" {
+		t.Error("itoa corner cases")
+	}
+}
+
+func TestSortFrequent(t *testing.T) {
+	fs := []Frequent{
+		{Items: NewSet(2, 3), Count: 1},
+		{Items: NewSet(9), Count: 2},
+		{Items: NewSet(1, 5), Count: 3},
+		{Items: NewSet(1), Count: 4},
+	}
+	SortFrequent(fs)
+	if !fs[0].Items.Equal(NewSet(1)) || !fs[1].Items.Equal(NewSet(9)) {
+		t.Errorf("singletons should come first in id order: %v", fs)
+	}
+	if !fs[2].Items.Equal(NewSet(1, 5)) || !fs[3].Items.Equal(NewSet(2, 3)) {
+		t.Errorf("pairs misordered: %v", fs)
+	}
+}
+
+// Properties over random sets.
+
+func toSet(raw []int16) Set {
+	items := make([]Item, len(raw))
+	for i, v := range raw {
+		items[i] = Item(v)
+	}
+	return NewSet(items...)
+}
+
+func TestNewSetSortedProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		s := toSet(raw)
+		return sort.SliceIsSorted(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionCommutesProperty(t *testing.T) {
+	f := func(a, b []int16) bool {
+		x, y := toSet(a), toSet(b)
+		return x.Union(y).Equal(y.Union(x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinusIntersectPartitionProperty(t *testing.T) {
+	// (a ∩ b) ∪ (a \ b) == a
+	f := func(a, b []int16) bool {
+		x, y := toSet(a), toSet(b)
+		return x.Intersect(y).Union(x.Minus(y)).Equal(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubsetUnionProperty(t *testing.T) {
+	// a ⊆ a ∪ b and a ∩ b ⊆ a
+	f := func(a, b []int16) bool {
+		x, y := toSet(a), toSet(b)
+		return x.IsSubset(x.Union(y)) && x.Intersect(y).IsSubset(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyRoundTripProperty(t *testing.T) {
+	// Equal sets have equal keys; different sets have different keys.
+	f := func(a, b []int16) bool {
+		x, y := toSet(a), toSet(b)
+		if x.Equal(y) {
+			return x.Key() == y.Key()
+		}
+		return x.Key() != y.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,220 @@
+// Package monitoring simulates the per-job GPU telemetry collection the
+// paper's traces are built from: nvidia-smi style samples of SM utilization,
+// GPU memory (bandwidth) utilization, GPU memory used and power draw, taken
+// at a fixed interval (100 ms on SuperCloud, 1 minute on Philly), and the
+// reduction of those time series into the per-job features the mining
+// database uses (average, minimum, maximum, variance).
+//
+// The reduction path is the same streaming-accumulator code a real collector
+// daemon would run, so the feature-extraction semantics (e.g. "average SM
+// utilization is 0%" versus "minimum SM utilization is 0% in some window")
+// are exercised end to end rather than assumed.
+package monitoring
+
+import (
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Profile describes the statistical behaviour of one job's GPU telemetry.
+// Trace generators build profiles per job archetype.
+type Profile struct {
+	// SMUtilMean and SMUtilStd shape the SM utilization samples (percent,
+	// clamped to [0, 100]). A mean of zero with zero std produces an
+	// entirely idle GPU.
+	SMUtilMean, SMUtilStd float64
+	// Bursty makes the job alternate between idle and active phases:
+	// each sample is zero with probability 1-BurstProb and drawn from the
+	// SM distribution otherwise. This models occasional-inference jobs
+	// that hold GPU memory but rarely use the cores.
+	Bursty    bool
+	BurstProb float64
+	// GMemUtilMean and GMemUtilStd shape memory-bandwidth utilization
+	// samples (percent, clamped to [0, 100]).
+	GMemUtilMean, GMemUtilStd float64
+	// GMemUsedGB is the resident GPU memory plateau; samples wiggle
+	// slightly below it once the job has ramped up.
+	GMemUsedGB float64
+	// IdlePowerW and PeakPowerW bound the power model: power follows
+	// idle + (peak-idle) * weighted utilization + noise.
+	IdlePowerW, PeakPowerW float64
+	// DropoutProb makes the collector lose each sample independently with
+	// this probability — real nvidia-smi scrapes miss beats under load.
+	// The derived features must stay stable under moderate dropout (see
+	// TestFeaturesStableUnderDropout).
+	DropoutProb float64
+}
+
+// Sample is one telemetry observation.
+type Sample struct {
+	SMUtil    float64 // percent
+	GMemUtil  float64 // percent of memory bandwidth
+	GMemUsed  float64 // GB resident
+	PowerW    float64
+	ElapsedMS int64
+}
+
+// JobMetrics are the per-job features the traces expose to rule mining.
+type JobMetrics struct {
+	Samples int
+
+	SMUtilAvg, SMUtilMin, SMUtilMax, SMUtilVar float64
+	SMZeroFraction                             float64
+
+	GMemUtilAvg, GMemUtilVar   float64
+	GMemUsedAvg, GMemUsedMaxGB float64
+
+	PowerAvgW float64
+}
+
+// maxSamples caps the number of simulated samples per job: a two-week job
+// sampled every 100 ms would need 12M draws, but the derived features
+// converge long before that, so the effective interval is widened instead.
+// The cap is far above the sample counts that make min/avg/var stable.
+const maxSamples = 4096
+
+// SampleCount returns how many samples Collect will draw for a job of the
+// given duration at the given interval, after capping.
+func SampleCount(duration, interval time.Duration) int {
+	if interval <= 0 || duration <= 0 {
+		return 1
+	}
+	n := int(duration / interval)
+	if n < 1 {
+		n = 1
+	}
+	if n > maxSamples {
+		n = maxSamples
+	}
+	return n
+}
+
+// Generate draws one telemetry sample from the profile.
+func Generate(g *stats.RNG, p Profile, elapsedMS int64, rampFraction float64) Sample {
+	sm := 0.0
+	if !p.Bursty || g.Bernoulli(p.BurstProb) {
+		sm = g.BoundedNormal(p.SMUtilMean, p.SMUtilStd, 0, 100)
+	}
+	gm := g.BoundedNormal(p.GMemUtilMean, p.GMemUtilStd, 0, 100)
+	used := p.GMemUsedGB
+	if rampFraction < 0.02 {
+		// Model load-in ramp: memory fills during the first 2% of the job.
+		used *= rampFraction / 0.02
+	}
+	used *= 0.95 + 0.05*g.Float64()
+	util := (0.7*sm + 0.3*gm) / 100
+	power := p.IdlePowerW + (p.PeakPowerW-p.IdlePowerW)*util + g.Normal(0, 3)
+	if power < 0 {
+		power = 0
+	}
+	return Sample{SMUtil: sm, GMemUtil: gm, GMemUsed: used, PowerW: power, ElapsedMS: elapsedMS}
+}
+
+// Collect simulates a full job's telemetry stream and reduces it to
+// JobMetrics using streaming accumulators, never materializing the series.
+func Collect(g *stats.RNG, p Profile, duration, interval time.Duration) JobMetrics {
+	n := SampleCount(duration, interval)
+	effective := duration / time.Duration(n)
+	var sm, gm, used, power stats.Accumulator
+	collected := 0
+	for i := 0; i < n; i++ {
+		if p.DropoutProb > 0 && g.Bernoulli(p.DropoutProb) && collected > 0 {
+			continue // scrape missed this beat
+		}
+		elapsed := int64(effective.Milliseconds()) * int64(i)
+		ramp := float64(i) / float64(n)
+		s := Generate(g, p, elapsed, ramp)
+		sm.Add(s.SMUtil)
+		gm.Add(s.GMemUtil)
+		used.Add(s.GMemUsed)
+		power.Add(s.PowerW)
+		collected++
+	}
+	return JobMetrics{
+		Samples:        collected,
+		SMUtilAvg:      sm.Mean(),
+		SMUtilMin:      sm.Min(),
+		SMUtilMax:      sm.Max(),
+		SMUtilVar:      sm.Variance(),
+		SMZeroFraction: sm.ZeroFraction(),
+		GMemUtilAvg:    gm.Mean(),
+		GMemUtilVar:    gm.Variance(),
+		GMemUsedAvg:    used.Mean(),
+		GMemUsedMaxGB:  used.Max(),
+		PowerAvgW:      power.Mean(),
+	}
+}
+
+// Series materializes a telemetry time series; used by tests and by the
+// custommetrics example, not by the bulk generators.
+func Series(g *stats.RNG, p Profile, duration, interval time.Duration) []Sample {
+	n := SampleCount(duration, interval)
+	effective := duration / time.Duration(n)
+	out := make([]Sample, n)
+	for i := range out {
+		out[i] = Generate(g, p, effective.Milliseconds()*int64(i), float64(i)/float64(n))
+	}
+	return out
+}
+
+// Reduce computes JobMetrics from an existing series — the same reduction
+// Collect performs inline. Collect(g, p, d, i) and Reduce(Series(g, p, d, i))
+// agree for identical RNG streams; the property test relies on this.
+func Reduce(samples []Sample) JobMetrics {
+	var sm, gm, used, power stats.Accumulator
+	for _, s := range samples {
+		sm.Add(s.SMUtil)
+		gm.Add(s.GMemUtil)
+		used.Add(s.GMemUsed)
+		power.Add(s.PowerW)
+	}
+	return JobMetrics{
+		Samples:        len(samples),
+		SMUtilAvg:      sm.Mean(),
+		SMUtilMin:      sm.Min(),
+		SMUtilMax:      sm.Max(),
+		SMUtilVar:      sm.Variance(),
+		SMZeroFraction: sm.ZeroFraction(),
+		GMemUtilAvg:    gm.Mean(),
+		GMemUtilVar:    gm.Variance(),
+		GMemUsedAvg:    used.Mean(),
+		GMemUsedMaxGB:  used.Max(),
+		PowerAvgW:      power.Mean(),
+	}
+}
+
+// Canned profiles for the archetypes the trace generators share.
+
+// IdleProfile models a job that requested a GPU and never touched it: zero
+// SM activity, negligible memory traffic, idle power.
+func IdleProfile() Profile {
+	return Profile{
+		SMUtilMean: 0, SMUtilStd: 0,
+		GMemUtilMean: 0.5, GMemUtilStd: 0.5,
+		GMemUsedGB: 0.1,
+		IdlePowerW: 25, PeakPowerW: 250,
+	}
+}
+
+// TrainingProfile models steady training at the given SM level.
+func TrainingProfile(smMean, gmemUsedGB float64) Profile {
+	return Profile{
+		SMUtilMean: smMean, SMUtilStd: 12,
+		GMemUtilMean: smMean * 0.6, GMemUtilStd: 10,
+		GMemUsedGB: gmemUsedGB,
+		IdlePowerW: 25, PeakPowerW: 250,
+	}
+}
+
+// InferenceProfile models occasional-request serving: memory stays resident
+// while SM activity is zero most of the time.
+func InferenceProfile(gmemUsedGB float64) Profile {
+	return Profile{
+		SMUtilMean: 40, SMUtilStd: 15,
+		Bursty: true, BurstProb: 0.05,
+		GMemUtilMean: 2, GMemUtilStd: 2,
+		GMemUsedGB: gmemUsedGB,
+		IdlePowerW: 25, PeakPowerW: 250,
+	}
+}

@@ -1,0 +1,171 @@
+package monitoring
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+func TestSampleCount(t *testing.T) {
+	cases := []struct {
+		dur, iv time.Duration
+		want    int
+	}{
+		{10 * time.Second, 100 * time.Millisecond, 100},
+		{50 * time.Millisecond, 100 * time.Millisecond, 1},
+		{0, time.Second, 1},
+		{time.Second, 0, 1},
+		{14 * 24 * time.Hour, 100 * time.Millisecond, maxSamples},
+	}
+	for _, c := range cases {
+		if got := SampleCount(c.dur, c.iv); got != c.want {
+			t.Errorf("SampleCount(%v,%v) = %d, want %d", c.dur, c.iv, got, c.want)
+		}
+	}
+}
+
+func TestIdleProfileIsIdle(t *testing.T) {
+	g := stats.NewRNG(1)
+	m := Collect(g, IdleProfile(), time.Hour, time.Second)
+	if m.SMUtilAvg != 0 {
+		t.Errorf("idle SM avg = %v, want 0", m.SMUtilAvg)
+	}
+	if m.SMZeroFraction != 1 {
+		t.Errorf("idle SM zero fraction = %v, want 1", m.SMZeroFraction)
+	}
+	if m.PowerAvgW > 60 {
+		t.Errorf("idle power = %v, want near idle (25W)", m.PowerAvgW)
+	}
+	if m.GMemUsedAvg > 0.2 {
+		t.Errorf("idle memory used = %v GB, want tiny", m.GMemUsedAvg)
+	}
+}
+
+func TestTrainingProfileShape(t *testing.T) {
+	g := stats.NewRNG(2)
+	m := Collect(g, TrainingProfile(80, 20), time.Hour, time.Second)
+	if m.SMUtilAvg < 60 || m.SMUtilAvg > 95 {
+		t.Errorf("training SM avg = %v, want ~80", m.SMUtilAvg)
+	}
+	if m.GMemUsedMaxGB < 15 {
+		t.Errorf("training memory max = %v GB, want ~20", m.GMemUsedMaxGB)
+	}
+	if m.PowerAvgW < 100 {
+		t.Errorf("training power = %v W, want well above idle", m.PowerAvgW)
+	}
+	if m.SMUtilVar <= 0 {
+		t.Error("training SM variance should be positive")
+	}
+}
+
+func TestInferenceProfileShape(t *testing.T) {
+	g := stats.NewRNG(3)
+	m := Collect(g, InferenceProfile(12), 2*time.Hour, time.Second)
+	// Bursty at 5%: average SM near zero but max well above, memory held.
+	if m.SMUtilAvg > 10 {
+		t.Errorf("inference SM avg = %v, want near 0", m.SMUtilAvg)
+	}
+	if m.SMUtilMax < 10 {
+		t.Errorf("inference SM max = %v, want occasional bursts", m.SMUtilMax)
+	}
+	if m.SMUtilMin != 0 {
+		t.Errorf("inference SM min = %v, want 0", m.SMUtilMin)
+	}
+	if m.GMemUsedAvg < 9 {
+		t.Errorf("inference memory = %v GB, should stay resident", m.GMemUsedAvg)
+	}
+	if m.SMZeroFraction < 0.8 {
+		t.Errorf("inference zero fraction = %v, want mostly idle", m.SMZeroFraction)
+	}
+}
+
+func TestCollectMatchesReduceSeries(t *testing.T) {
+	p := TrainingProfile(50, 8)
+	a := Collect(stats.NewRNG(7), p, 10*time.Minute, time.Second)
+	b := Reduce(Series(stats.NewRNG(7), p, 10*time.Minute, time.Second))
+	if a.Samples != b.Samples {
+		t.Fatalf("sample counts differ: %d vs %d", a.Samples, b.Samples)
+	}
+	close := func(x, y float64) bool { return math.Abs(x-y) < 1e-9 }
+	if !close(a.SMUtilAvg, b.SMUtilAvg) || !close(a.SMUtilVar, b.SMUtilVar) ||
+		!close(a.GMemUtilAvg, b.GMemUtilAvg) || !close(a.PowerAvgW, b.PowerAvgW) ||
+		!close(a.SMUtilMin, b.SMUtilMin) || !close(a.SMUtilMax, b.SMUtilMax) {
+		t.Errorf("Collect and Reduce(Series) disagree: %+v vs %+v", a, b)
+	}
+}
+
+func TestRampUp(t *testing.T) {
+	g := stats.NewRNG(5)
+	series := Series(g, TrainingProfile(50, 16), time.Hour, time.Second)
+	early := series[0].GMemUsed
+	late := series[len(series)/2].GMemUsed
+	if early > late/2 {
+		t.Errorf("memory should ramp: early %v vs late %v", early, late)
+	}
+}
+
+func TestSamplesBounded(t *testing.T) {
+	g := stats.NewRNG(6)
+	for i := 0; i < 200; i++ {
+		s := Generate(g, TrainingProfile(90, 30), 0, 1)
+		if s.SMUtil < 0 || s.SMUtil > 100 {
+			t.Fatalf("SM util out of range: %v", s.SMUtil)
+		}
+		if s.GMemUtil < 0 || s.GMemUtil > 100 {
+			t.Fatalf("GMem util out of range: %v", s.GMemUtil)
+		}
+		if s.PowerW < 0 {
+			t.Fatalf("negative power: %v", s.PowerW)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := TrainingProfile(60, 10)
+	a := Collect(stats.NewRNG(11), p, time.Minute, time.Second)
+	b := Collect(stats.NewRNG(11), p, time.Minute, time.Second)
+	if a != b {
+		t.Error("same seed should give identical metrics")
+	}
+}
+
+func TestVarianceDistinguishesSteadyFromBursty(t *testing.T) {
+	g1, g2 := stats.NewRNG(8), stats.NewRNG(8)
+	steady := Collect(g1, Profile{SMUtilMean: 50, SMUtilStd: 2, GMemUsedGB: 4, IdlePowerW: 25, PeakPowerW: 250}, time.Hour, time.Second)
+	bursty := Collect(g2, Profile{SMUtilMean: 50, SMUtilStd: 2, Bursty: true, BurstProb: 0.5, GMemUsedGB: 4, IdlePowerW: 25, PeakPowerW: 250}, time.Hour, time.Second)
+	if bursty.SMUtilVar < steady.SMUtilVar*10 {
+		t.Errorf("bursty variance %v should dwarf steady %v", bursty.SMUtilVar, steady.SMUtilVar)
+	}
+}
+
+func TestFeaturesStableUnderDropout(t *testing.T) {
+	// A lossy collector (20% missed scrapes) must not move the derived
+	// features that drive rule mining: averages and variance shift only
+	// marginally, and the zero-SM verdict is unchanged.
+	clean := TrainingProfile(60, 12)
+	lossy := clean
+	lossy.DropoutProb = 0.2
+	a := Collect(stats.NewRNG(41), clean, time.Hour, time.Second)
+	b := Collect(stats.NewRNG(42), lossy, time.Hour, time.Second)
+	if b.Samples >= a.Samples {
+		t.Errorf("dropout should lose samples: %d vs %d", b.Samples, a.Samples)
+	}
+	if math.Abs(a.SMUtilAvg-b.SMUtilAvg) > 3 {
+		t.Errorf("SM avg drifted under dropout: %v vs %v", a.SMUtilAvg, b.SMUtilAvg)
+	}
+	if math.Abs(a.GMemUtilAvg-b.GMemUtilAvg) > 3 {
+		t.Errorf("GMem avg drifted under dropout: %v vs %v", a.GMemUtilAvg, b.GMemUtilAvg)
+	}
+
+	idle := IdleProfile()
+	idle.DropoutProb = 0.3
+	m := Collect(stats.NewRNG(43), idle, time.Hour, time.Second)
+	if m.SMUtilAvg != 0 {
+		t.Errorf("idle job must stay zero-SM under dropout: %v", m.SMUtilAvg)
+	}
+	if m.Samples == 0 {
+		t.Error("at least one sample must always be collected")
+	}
+}

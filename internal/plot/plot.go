@@ -1,0 +1,298 @@
+// Package plot renders the paper's figures as plain-text charts for the
+// terminal report: line charts (Fig. 1 itemset counts, Fig. 4 CDFs),
+// scatter plots (Fig. 3 support × lift), box plots (Fig. 2) and horizontal
+// stacked bars (Fig. 5). No styling, no color — just enough geometry that
+// the regenerated figure is inspectable next to the paper's.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Canvas is a fixed-size character grid.
+type Canvas struct {
+	w, h  int
+	cells [][]rune
+}
+
+// NewCanvas returns a blank w×h canvas.
+func NewCanvas(w, h int) *Canvas {
+	cells := make([][]rune, h)
+	for i := range cells {
+		cells[i] = make([]rune, w)
+		for j := range cells[i] {
+			cells[i][j] = ' '
+		}
+	}
+	return &Canvas{w: w, h: h, cells: cells}
+}
+
+// Set writes a rune at (x, y) with (0, 0) the top-left corner; out-of-range
+// writes are ignored.
+func (c *Canvas) Set(x, y int, r rune) {
+	if x < 0 || x >= c.w || y < 0 || y >= c.h {
+		return
+	}
+	c.cells[y][x] = r
+}
+
+// String renders the canvas.
+func (c *Canvas) String() string {
+	var sb strings.Builder
+	for _, row := range c.cells {
+		sb.WriteString(strings.TrimRight(string(row), " "))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Series is one named line or point set.
+type Series struct {
+	Name string
+	X, Y []float64
+	Mark rune
+}
+
+// axis maps a data range onto [0, n-1] pixels.
+type axis struct {
+	lo, hi float64
+	n      int
+	log    bool
+}
+
+func (a axis) pixel(v float64) int {
+	lo, hi, x := a.lo, a.hi, v
+	if a.log {
+		lo, hi, x = math.Log10(lo), math.Log10(hi), math.Log10(v)
+	}
+	if hi == lo {
+		return 0
+	}
+	p := int(math.Round((x - lo) / (hi - lo) * float64(a.n-1)))
+	if p < 0 {
+		p = 0
+	}
+	if p >= a.n {
+		p = a.n - 1
+	}
+	return p
+}
+
+// Options sizes a chart.
+type Options struct {
+	Width, Height int
+	LogY          bool
+	Title         string
+	XLabel        string
+	YLabel        string
+}
+
+func (o *Options) defaults() {
+	if o.Width == 0 {
+		o.Width = 64
+	}
+	if o.Height == 0 {
+		o.Height = 16
+	}
+}
+
+// Lines renders one or more series as a scatter-style line chart with
+// axis annotations and a legend.
+func Lines(series []Series, opts Options) string {
+	opts.defaults()
+	var xs, ys []float64
+	for _, s := range series {
+		xs = append(xs, s.X...)
+		ys = append(ys, s.Y...)
+	}
+	if len(xs) == 0 {
+		return "(no data)\n"
+	}
+	xAxis := axis{lo: minOf(xs), hi: maxOf(xs), n: opts.Width}
+	yLo, yHi := minOf(ys), maxOf(ys)
+	if opts.LogY {
+		if yLo <= 0 {
+			yLo = 0.5
+		}
+		if yHi <= yLo {
+			yHi = yLo * 10
+		}
+	}
+	yAxis := axis{lo: yLo, hi: yHi, n: opts.Height, log: opts.LogY}
+
+	canvas := NewCanvas(opts.Width, opts.Height)
+	for _, s := range series {
+		mark := s.Mark
+		if mark == 0 {
+			mark = '*'
+		}
+		for i := range s.X {
+			y := s.Y[i]
+			if opts.LogY && y <= 0 {
+				continue
+			}
+			px := xAxis.pixel(s.X[i])
+			py := opts.Height - 1 - yAxis.pixel(y)
+			canvas.Set(px, py, mark)
+		}
+	}
+
+	var sb strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", opts.Title)
+	}
+	scale := ""
+	if opts.LogY {
+		scale = " (log scale)"
+	}
+	fmt.Fprintf(&sb, "y: %s in [%.3g, %.3g]%s\n", opts.YLabel, yLo, yHi, scale)
+	sb.WriteString(canvas.String())
+	fmt.Fprintf(&sb, "x: %s in [%.3g, %.3g]\n", opts.XLabel, xAxis.lo, xAxis.hi)
+	for _, s := range series {
+		mark := s.Mark
+		if mark == 0 {
+			mark = '*'
+		}
+		fmt.Fprintf(&sb, "  %c %s\n", mark, s.Name)
+	}
+	return sb.String()
+}
+
+// Scatter is Lines without connecting semantics — identical rendering, a
+// clearer name at call sites plotting point clouds (Fig. 3).
+func Scatter(series []Series, opts Options) string { return Lines(series, opts) }
+
+// Box renders horizontal box plots, one row per (name, five-number summary).
+type Box struct {
+	Name                  string
+	Min, Q1, Med, Q3, Max float64
+}
+
+// Boxes renders box plots sharing one horizontal scale.
+func Boxes(boxes []Box, opts Options) string {
+	opts.defaults()
+	if len(boxes) == 0 {
+		return "(no data)\n"
+	}
+	lo, hi := boxes[0].Min, boxes[0].Max
+	for _, b := range boxes {
+		lo = math.Min(lo, b.Min)
+		hi = math.Max(hi, b.Max)
+	}
+	ax := axis{lo: lo, hi: hi, n: opts.Width}
+	var sb strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", opts.Title)
+	}
+	nameW := 0
+	for _, b := range boxes {
+		if len(b.Name) > nameW {
+			nameW = len(b.Name)
+		}
+	}
+	for _, b := range boxes {
+		row := make([]rune, opts.Width)
+		for i := range row {
+			row[i] = ' '
+		}
+		pMin, pQ1, pMed, pQ3, pMax := ax.pixel(b.Min), ax.pixel(b.Q1), ax.pixel(b.Med), ax.pixel(b.Q3), ax.pixel(b.Max)
+		for i := pMin; i <= pMax && i < len(row); i++ {
+			row[i] = '-'
+		}
+		for i := pQ1; i <= pQ3 && i < len(row); i++ {
+			row[i] = '='
+		}
+		row[pMin] = '|'
+		row[pMax] = '|'
+		row[pMed] = 'M'
+		fmt.Fprintf(&sb, "%-*s %s\n", nameW, b.Name, strings.TrimRight(string(row), " "))
+	}
+	fmt.Fprintf(&sb, "%-*s range [%.3g, %.3g]; |-min/max, =IQR, M median\n", nameW, "", lo, hi)
+	return sb.String()
+}
+
+// Bars renders a horizontal stacked-fraction bar per row (Fig. 5): each
+// segment is a labelled fraction of the row total.
+type Bar struct {
+	Name     string
+	Segments []Segment
+}
+
+// Segment is one labelled fraction.
+type Segment struct {
+	Label string
+	Value float64
+	Mark  rune
+}
+
+// StackedBars renders the bars at the given width.
+func StackedBars(bars []Bar, opts Options) string {
+	opts.defaults()
+	var sb strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", opts.Title)
+	}
+	nameW := 0
+	for _, b := range bars {
+		if len(b.Name) > nameW {
+			nameW = len(b.Name)
+		}
+	}
+	marks := map[string]rune{}
+	for _, b := range bars {
+		total := 0.0
+		for _, s := range b.Segments {
+			total += s.Value
+		}
+		if total <= 0 {
+			continue
+		}
+		var row strings.Builder
+		segs := append([]Segment(nil), b.Segments...)
+		sort.Slice(segs, func(i, j int) bool { return segs[i].Label < segs[j].Label })
+		for _, s := range segs {
+			n := int(math.Round(s.Value / total * float64(opts.Width)))
+			mark := s.Mark
+			if mark == 0 {
+				mark = rune(s.Label[0])
+			}
+			marks[s.Label] = mark
+			row.WriteString(strings.Repeat(string(mark), n))
+		}
+		fmt.Fprintf(&sb, "%-*s %s\n", nameW, b.Name, row.String())
+	}
+	labels := make([]string, 0, len(marks))
+	for l := range marks {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	parts := make([]string, 0, len(labels))
+	for _, l := range labels {
+		parts = append(parts, fmt.Sprintf("%c=%s", marks[l], l))
+	}
+	fmt.Fprintf(&sb, "%-*s %s\n", nameW, "", strings.Join(parts, " "))
+	return sb.String()
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,135 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCanvas(t *testing.T) {
+	c := NewCanvas(4, 2)
+	c.Set(0, 0, 'a')
+	c.Set(3, 1, 'b')
+	c.Set(-1, 0, 'x') // ignored
+	c.Set(0, 9, 'x')  // ignored
+	got := c.String()
+	want := "a\n   b\n"
+	if got != want {
+		t.Errorf("canvas = %q, want %q", got, want)
+	}
+}
+
+func TestLinesBasic(t *testing.T) {
+	out := Lines([]Series{
+		{Name: "up", X: []float64{0, 1, 2}, Y: []float64{0, 5, 10}, Mark: 'u'},
+		{Name: "down", X: []float64{0, 1, 2}, Y: []float64{10, 5, 0}, Mark: 'd'},
+	}, Options{Width: 21, Height: 11, Title: "T", XLabel: "x", YLabel: "y"})
+	if !strings.Contains(out, "T\n") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "u up") || !strings.Contains(out, "d down") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// The 'u' series rises: its mark must appear in the top row of the
+	// plot area at the right edge and the bottom row at the left edge.
+	var plotRows []string
+	for _, l := range lines {
+		if strings.ContainsAny(l, "ud") && !strings.HasPrefix(l, "  ") {
+			plotRows = append(plotRows, l)
+		}
+	}
+	if len(plotRows) < 2 {
+		t.Fatalf("expected plot rows, got:\n%s", out)
+	}
+}
+
+func TestLinesEmpty(t *testing.T) {
+	if got := Lines(nil, Options{}); got != "(no data)\n" {
+		t.Errorf("empty = %q", got)
+	}
+}
+
+func TestLinesLogY(t *testing.T) {
+	out := Lines([]Series{{Name: "s", X: []float64{1, 2, 3}, Y: []float64{1, 100, 10000}}},
+		Options{LogY: true})
+	if !strings.Contains(out, "log scale") {
+		t.Error("missing log annotation")
+	}
+	// Zero values must be skipped, not crash.
+	out = Lines([]Series{{Name: "s", X: []float64{1, 2}, Y: []float64{0, 10}}}, Options{LogY: true})
+	if out == "" {
+		t.Error("log chart with zero value should still render")
+	}
+}
+
+func TestLinesDegenerateRange(t *testing.T) {
+	out := Lines([]Series{{Name: "flat", X: []float64{1, 1}, Y: []float64{5, 5}}}, Options{})
+	if !strings.Contains(out, "flat") {
+		t.Errorf("degenerate range should render:\n%s", out)
+	}
+}
+
+func TestBoxes(t *testing.T) {
+	out := Boxes([]Box{
+		{Name: "pai", Min: 1, Q1: 2, Med: 3, Q3: 4, Max: 10},
+		{Name: "sc", Min: 2, Q1: 4, Med: 6, Q3: 8, Max: 9},
+	}, Options{Width: 40, Title: "lift"})
+	if !strings.Contains(out, "pai") || !strings.Contains(out, "sc") {
+		t.Errorf("missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "M") || !strings.Contains(out, "=") {
+		t.Errorf("missing box glyphs:\n%s", out)
+	}
+	if got := Boxes(nil, Options{}); got != "(no data)\n" {
+		t.Errorf("empty = %q", got)
+	}
+}
+
+func TestStackedBars(t *testing.T) {
+	out := StackedBars([]Bar{
+		{Name: "pai", Segments: []Segment{
+			{Label: "failed", Value: 0.3, Mark: 'f'},
+			{Label: "success", Value: 0.7, Mark: 's'},
+		}},
+	}, Options{Width: 20})
+	if !strings.Contains(out, "fffFFF"[0:1]) {
+		t.Errorf("missing failed segment:\n%s", out)
+	}
+	fCount := strings.Count(out, "f") - strings.Count(out, "f=failed")
+	sCount := strings.Count(out, "s") - strings.Count(out, "s=success")
+	if fCount == 0 || sCount == 0 {
+		t.Fatalf("segments missing:\n%s", out)
+	}
+	if !strings.Contains(out, "f=failed") || !strings.Contains(out, "s=success") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+}
+
+func TestStackedBarsSegmentWidthsProportional(t *testing.T) {
+	out := StackedBars([]Bar{
+		{Name: "t", Segments: []Segment{
+			{Label: "a", Value: 0.25, Mark: 'a'},
+			{Label: "b", Value: 0.75, Mark: 'b'},
+		}},
+	}, Options{Width: 40})
+	row := strings.Split(out, "\n")[0]
+	a := strings.Count(row, "a")
+	b := strings.Count(row, "b")
+	if a < 8 || a > 12 || b < 28 || b > 32 {
+		t.Errorf("segment widths %d/%d, want ≈10/30 in %q", a, b, row)
+	}
+}
+
+func TestAxisPixel(t *testing.T) {
+	ax := axis{lo: 0, hi: 10, n: 11}
+	if ax.pixel(0) != 0 || ax.pixel(10) != 10 || ax.pixel(5) != 5 {
+		t.Error("linear axis wrong")
+	}
+	if ax.pixel(-5) != 0 || ax.pixel(50) != 10 {
+		t.Error("clamping wrong")
+	}
+	deg := axis{lo: 3, hi: 3, n: 5}
+	if deg.pixel(3) != 0 {
+		t.Error("degenerate axis should map to 0")
+	}
+}

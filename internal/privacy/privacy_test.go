@@ -1,0 +1,152 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/itemset"
+	"repro/internal/stats"
+)
+
+func exactSets() []itemset.Frequent {
+	return []itemset.Frequent{
+		{Items: itemset.NewSet(1), Count: 1000},
+		{Items: itemset.NewSet(2), Count: 800},
+		{Items: itemset.NewSet(1, 2), Count: 600},
+	}
+}
+
+func TestEpsilonValidation(t *testing.T) {
+	g := stats.NewRNG(1)
+	for _, eps := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := Release(g, exactSets(), Options{Epsilon: eps}); err == nil {
+			t.Errorf("epsilon %v should error", eps)
+		}
+	}
+}
+
+func TestReleaseDeterministic(t *testing.T) {
+	a, err := Release(stats.NewRNG(7), exactSets(), Options{Epsilon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Release(stats.NewRNG(7), exactSets(), Options{Epsilon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("releases differ in size")
+	}
+	for i := range a {
+		if a[i].Count != b[i].Count || !a[i].Items.Equal(b[i].Items) {
+			t.Fatal("same seed should reproduce the release")
+		}
+	}
+}
+
+func TestReleaseDoesNotMutateInput(t *testing.T) {
+	in := exactSets()
+	if _, err := Release(stats.NewRNG(2), in, Options{Epsilon: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if in[0].Count != 1000 || in[1].Count != 800 || in[2].Count != 600 {
+		t.Error("input mutated")
+	}
+}
+
+func TestNoiseShrinksWithEpsilon(t *testing.T) {
+	// Mean absolute error over many releases tracks the Laplace scale:
+	// higher budget → lower distortion.
+	trials := 200
+	mae := func(eps float64) float64 {
+		g := stats.NewRNG(3)
+		total := 0.0
+		for i := 0; i < trials; i++ {
+			rel, err := Release(g, exactSets(), Options{Epsilon: eps})
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += Measure(exactSets(), rel).MeanAbsErr
+		}
+		return total / float64(trials)
+	}
+	loose := mae(10)
+	tight := mae(0.5)
+	if loose >= tight {
+		t.Errorf("eps=10 MAE %.1f should be below eps=0.5 MAE %.1f", loose, tight)
+	}
+	// The empirical MAE should be on the order of the analytic scale.
+	if s := Scale(3, 10); loose > 5*s || loose < s/5 {
+		t.Errorf("MAE %.2f far from analytic scale %.2f", loose, s)
+	}
+}
+
+func TestCountsNeverNegative(t *testing.T) {
+	g := stats.NewRNG(4)
+	small := []itemset.Frequent{{Items: itemset.NewSet(1), Count: 1}}
+	for i := 0; i < 500; i++ {
+		rel, err := Release(g, small, Options{Epsilon: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range rel {
+			if f.Count < 0 {
+				t.Fatal("negative noisy count")
+			}
+		}
+	}
+}
+
+func TestMinCountSuppression(t *testing.T) {
+	g := stats.NewRNG(5)
+	rel, err := Release(g, exactSets(), Options{Epsilon: 100, MinCount: 700})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a huge budget the noise is tiny, so exactly the two itemsets
+	// above 700 survive.
+	if len(rel) != 2 {
+		t.Fatalf("released %d itemsets, want 2", len(rel))
+	}
+	d := Measure(exactSets(), rel)
+	if d.Suppressed != 1 {
+		t.Errorf("Suppressed = %d", d.Suppressed)
+	}
+}
+
+func TestScale(t *testing.T) {
+	if got := Scale(10, 2); got != 5 {
+		t.Errorf("Scale = %v, want 5", got)
+	}
+	if !math.IsInf(Scale(0, 1), 1) || !math.IsInf(Scale(5, 0), 1) {
+		t.Error("degenerate scale should be +Inf")
+	}
+}
+
+func TestEmptyRelease(t *testing.T) {
+	rel, err := Release(stats.NewRNG(6), nil, Options{Epsilon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel != nil {
+		t.Errorf("empty input should release nothing, got %v", rel)
+	}
+}
+
+func TestLaplaceSamplerShape(t *testing.T) {
+	// Empirical mean ≈ 0 and MAE ≈ scale.
+	g := stats.NewRNG(8)
+	const n = 20000
+	sum, abs := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := g.Laplace(3)
+		sum += x
+		abs += math.Abs(x)
+	}
+	if mean := sum / n; math.Abs(mean) > 0.2 {
+		t.Errorf("Laplace mean = %v, want ≈0", mean)
+	}
+	if mae := abs / n; mae < 2.5 || mae > 3.5 {
+		t.Errorf("Laplace MAE = %v, want ≈3", mae)
+	}
+}

@@ -1,0 +1,261 @@
+package pruning
+
+import (
+	"testing"
+
+	"repro/internal/itemset"
+	"repro/internal/rules"
+)
+
+// Item ids used throughout: 1 = keyword ("job failure"), 2 = "user A",
+// 3 = "job type B", 4 = "short runtime", 5 = "cluster C".
+const (
+	kw       = itemset.Item(1)
+	userA    = itemset.Item(2)
+	jobTypeB = itemset.Item(3)
+	shortRun = itemset.Item(4)
+	clusterC = itemset.Item(5)
+)
+
+func rule(ante, cons itemset.Set, supp, lift float64) rules.Rule {
+	return rules.Rule{Antecedent: ante, Consequent: cons, Support: supp, Lift: lift}
+}
+
+func keys(rs []rules.Rule) map[string]bool {
+	out := make(map[string]bool, len(rs))
+	for _, r := range rs {
+		out[r.Antecedent.Key()+"=>"+r.Consequent.Key()] = true
+	}
+	return out
+}
+
+func has(rs []rules.Rule, ante, cons itemset.Set) bool {
+	return keys(rs)[ante.Key()+"=>"+cons.Key()]
+}
+
+// Condition 1, first branch: shorter antecedent has similar-or-higher lift →
+// prune the longer rule (the paper's {user A} vs {user A, job type B}
+// example).
+func TestCondition1PrunesLongerRule(t *testing.T) {
+	r1 := rule(itemset.NewSet(userA), itemset.NewSet(kw), 0.20, 3.0)
+	r2 := rule(itemset.NewSet(userA, jobTypeB), itemset.NewSet(kw), 0.10, 3.2)
+	out, stats := Prune([]rules.Rule{r1, r2}, kw, Options{})
+	if !has(out, r1.Antecedent, r1.Consequent) {
+		t.Error("shorter rule should survive")
+	}
+	if has(out, r2.Antecedent, r2.Consequent) {
+		t.Error("longer rule should be pruned (1.5*3.0 >= 3.2)")
+	}
+	if stats.ByCond[0] != 1 {
+		t.Errorf("condition 1 count = %d", stats.ByCond[0])
+	}
+}
+
+// Condition 1, second branch: longer rule has clearly higher lift AND
+// similar support → prune the shorter rule.
+func TestCondition1PrunesShorterRule(t *testing.T) {
+	r1 := rule(itemset.NewSet(userA), itemset.NewSet(kw), 0.12, 2.0)
+	r2 := rule(itemset.NewSet(userA, jobTypeB), itemset.NewSet(kw), 0.10, 4.0)
+	out, _ := Prune([]rules.Rule{r1, r2}, kw, Options{})
+	if has(out, r1.Antecedent, r1.Consequent) {
+		t.Error("shorter rule should be pruned (higher lift, similar support)")
+	}
+	if !has(out, r2.Antecedent, r2.Consequent) {
+		t.Error("longer rule should survive")
+	}
+}
+
+// Condition 1, neither branch: longer rule has much higher lift but much
+// lower support → both survive.
+func TestCondition1KeepsBoth(t *testing.T) {
+	r1 := rule(itemset.NewSet(userA), itemset.NewSet(kw), 0.50, 2.0)
+	r2 := rule(itemset.NewSet(userA, jobTypeB), itemset.NewSet(kw), 0.05, 4.0)
+	out, _ := Prune([]rules.Rule{r1, r2}, kw, Options{})
+	if len(out) != 2 {
+		t.Errorf("both rules should survive, got %d", len(out))
+	}
+}
+
+// Condition 2: keyword in shared antecedent, nested consequents. Richer
+// consequent with similar lift and support wins ({job failure} ⇒ {short
+// runtime} vs {short runtime, cluster C}).
+func TestCondition2PrefersRicherConsequent(t *testing.T) {
+	r1 := rule(itemset.NewSet(kw), itemset.NewSet(shortRun), 0.12, 2.0)
+	r2 := rule(itemset.NewSet(kw), itemset.NewSet(shortRun, clusterC), 0.10, 1.9)
+	out, stats := Prune([]rules.Rule{r1, r2}, kw, Options{})
+	if has(out, r1.Antecedent, r1.Consequent) {
+		t.Error("shorter consequent should be pruned when richer rule is close")
+	}
+	if !has(out, r2.Antecedent, r2.Consequent) {
+		t.Error("richer rule should survive")
+	}
+	if stats.ByCond[1] != 1 {
+		t.Errorf("condition 2 count = %d", stats.ByCond[1])
+	}
+}
+
+// Condition 2, second branch: shorter rule has a clear lift advantage →
+// prune the richer (misleading) rule.
+func TestCondition2PrefersShortWhenLiftGapLarge(t *testing.T) {
+	r1 := rule(itemset.NewSet(kw), itemset.NewSet(shortRun), 0.12, 4.0)
+	r2 := rule(itemset.NewSet(kw), itemset.NewSet(shortRun, clusterC), 0.10, 2.0)
+	out, _ := Prune([]rules.Rule{r1, r2}, kw, Options{})
+	if !has(out, r1.Antecedent, r1.Consequent) {
+		t.Error("high-lift short rule should survive")
+	}
+	if has(out, r2.Antecedent, r2.Consequent) {
+		t.Error("low-lift rich rule should be pruned")
+	}
+}
+
+// Condition 3: cause analysis with nested consequents both containing the
+// keyword — prefer the concise consequent ({user A} ⇒ {job failure} vs
+// {job failure, cluster C}).
+func TestCondition3PrefersConciseConsequent(t *testing.T) {
+	r1 := rule(itemset.NewSet(userA), itemset.NewSet(kw), 0.15, 3.0)
+	r2 := rule(itemset.NewSet(userA), itemset.NewSet(kw, clusterC), 0.10, 3.5)
+	out, stats := Prune([]rules.Rule{r1, r2}, kw, Options{})
+	if !has(out, r1.Antecedent, r1.Consequent) {
+		t.Error("concise rule should survive")
+	}
+	if has(out, r2.Antecedent, r2.Consequent) {
+		t.Error("verbose rule should be pruned (1.5*3.0 >= 3.5)")
+	}
+	if stats.ByCond[2] != 1 {
+		t.Errorf("condition 3 count = %d", stats.ByCond[2])
+	}
+}
+
+// Condition 3 does not fire when the verbose rule has a decisive lift edge.
+func TestCondition3KeepsVerboseOnLiftEdge(t *testing.T) {
+	r1 := rule(itemset.NewSet(userA), itemset.NewSet(kw), 0.15, 2.0)
+	r2 := rule(itemset.NewSet(userA), itemset.NewSet(kw, clusterC), 0.10, 4.0)
+	out, _ := Prune([]rules.Rule{r1, r2}, kw, Options{})
+	if !has(out, r2.Antecedent, r2.Consequent) {
+		t.Error("verbose rule with decisive lift should survive condition 3")
+	}
+}
+
+// Condition 4: characteristic analysis with nested antecedents both
+// containing the keyword ({job failure} vs {job failure, cluster C} ⇒
+// {short runtime}).
+func TestCondition4PrefersShorterAntecedent(t *testing.T) {
+	r1 := rule(itemset.NewSet(kw), itemset.NewSet(shortRun), 0.15, 2.5)
+	r2 := rule(itemset.NewSet(kw, clusterC), itemset.NewSet(shortRun), 0.08, 2.6)
+	out, stats := Prune([]rules.Rule{r1, r2}, kw, Options{})
+	if !has(out, r1.Antecedent, r1.Consequent) {
+		t.Error("general rule should survive")
+	}
+	if has(out, r2.Antecedent, r2.Consequent) {
+		t.Error("specific rule should be pruned (similar lift)")
+	}
+	if stats.ByCond[3] != 1 {
+		t.Errorf("condition 4 count = %d", stats.ByCond[3])
+	}
+}
+
+func TestCondition4KeepsSpecificOnLiftEdge(t *testing.T) {
+	r1 := rule(itemset.NewSet(kw), itemset.NewSet(shortRun), 0.15, 1.6)
+	r2 := rule(itemset.NewSet(kw, clusterC), itemset.NewSet(shortRun), 0.08, 3.0)
+	out, _ := Prune([]rules.Rule{r1, r2}, kw, Options{})
+	if !has(out, r2.Antecedent, r2.Consequent) {
+		t.Error("specific rule with decisive lift should survive condition 4")
+	}
+}
+
+func TestRulesWithoutKeywordPassThrough(t *testing.T) {
+	r := rule(itemset.NewSet(userA), itemset.NewSet(shortRun), 0.2, 2.0)
+	out, stats := Prune([]rules.Rule{r}, kw, Options{})
+	if len(out) != 1 {
+		t.Error("keyword-free rule should pass through")
+	}
+	if stats.NoKeyword != 1 {
+		t.Errorf("NoKeyword = %d", stats.NoKeyword)
+	}
+}
+
+func TestUnrelatedRulesUntouched(t *testing.T) {
+	// Same consequent but non-nested antecedents: no condition applies.
+	r1 := rule(itemset.NewSet(userA), itemset.NewSet(kw), 0.2, 2.0)
+	r2 := rule(itemset.NewSet(jobTypeB), itemset.NewSet(kw), 0.2, 5.0)
+	out, _ := Prune([]rules.Rule{r1, r2}, kw, Options{})
+	if len(out) != 2 {
+		t.Errorf("non-nested rules should both survive, got %d", len(out))
+	}
+}
+
+func TestCustomCLift(t *testing.T) {
+	// With CLift = 1.0, a longer rule with any lift edge survives branch 1
+	// and (given similar support) prunes the shorter one.
+	r1 := rule(itemset.NewSet(userA), itemset.NewSet(kw), 0.11, 3.0)
+	r2 := rule(itemset.NewSet(userA, jobTypeB), itemset.NewSet(kw), 0.10, 3.2)
+	out, _ := Prune([]rules.Rule{r1, r2}, kw, Options{CLift: 1.0, CSupp: 1.5})
+	if has(out, r1.Antecedent, r1.Consequent) {
+		t.Error("with CLift=1 the longer higher-lift rule should win")
+	}
+	if !has(out, r2.Antecedent, r2.Consequent) {
+		t.Error("longer rule should survive with CLift=1")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	r1 := rule(itemset.NewSet(userA), itemset.NewSet(kw), 0.20, 3.0)
+	r2 := rule(itemset.NewSet(userA, jobTypeB), itemset.NewSet(kw), 0.10, 3.0)
+	r3 := rule(itemset.NewSet(jobTypeB), itemset.NewSet(shortRun), 0.10, 9.0) // no keyword
+	out, stats := Prune([]rules.Rule{r1, r2, r3}, kw, Options{})
+	if stats.Input != 3 || stats.Kept != len(out) {
+		t.Errorf("stats = %+v, out = %d", stats, len(out))
+	}
+	total := 0
+	for _, c := range stats.ByCond {
+		total += c
+	}
+	if stats.Kept+total != stats.Input {
+		t.Errorf("kept %d + pruned %d != input %d", stats.Kept, total, stats.Input)
+	}
+}
+
+// Output is always a subset of the input, regardless of rule soup.
+func TestOutputSubsetProperty(t *testing.T) {
+	var rs []rules.Rule
+	// Build a lattice of nested rules around the keyword.
+	sets := []itemset.Set{
+		itemset.NewSet(userA), itemset.NewSet(userA, jobTypeB),
+		itemset.NewSet(userA, jobTypeB, clusterC), itemset.NewSet(jobTypeB),
+	}
+	lifts := []float64{1.6, 2.4, 3.1, 1.9}
+	supps := []float64{0.3, 0.2, 0.1, 0.25}
+	for i, s := range sets {
+		rs = append(rs, rule(s, itemset.NewSet(kw), supps[i], lifts[i]))
+		rs = append(rs, rule(itemset.NewSet(kw), s, supps[i], lifts[i]))
+	}
+	out, stats := Prune(rs, kw, Options{})
+	in := keys(rs)
+	for _, r := range out {
+		if !in[r.Antecedent.Key()+"=>"+r.Consequent.Key()] {
+			t.Fatal("output rule not present in input")
+		}
+	}
+	if stats.Kept > stats.Input {
+		t.Error("kept more than input")
+	}
+}
+
+// Order independence: shuffling the input must not change the surviving set.
+func TestOrderIndependence(t *testing.T) {
+	r1 := rule(itemset.NewSet(userA), itemset.NewSet(kw), 0.20, 3.0)
+	r2 := rule(itemset.NewSet(userA, jobTypeB), itemset.NewSet(kw), 0.10, 3.2)
+	r3 := rule(itemset.NewSet(kw), itemset.NewSet(shortRun), 0.12, 2.0)
+	r4 := rule(itemset.NewSet(kw), itemset.NewSet(shortRun, clusterC), 0.10, 1.9)
+	a, _ := Prune([]rules.Rule{r1, r2, r3, r4}, kw, Options{})
+	b, _ := Prune([]rules.Rule{r4, r2, r3, r1}, kw, Options{})
+	ka, kb := keys(a), keys(b)
+	if len(ka) != len(kb) {
+		t.Fatalf("order changed result size: %d vs %d", len(ka), len(kb))
+	}
+	for k := range ka {
+		if !kb[k] {
+			t.Fatalf("order changed survivors: %s missing", k)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package rules
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/itemset"
+	"repro/internal/stats"
+	"repro/internal/transaction"
+)
+
+// Bootstrap confidence intervals for rule metrics. The paper argues rules
+// come with a "confidence guarantee" (support thresholds keep sample sizes
+// large); the bootstrap makes that guarantee quantitative: resampling the
+// transaction database with replacement yields percentile intervals for a
+// rule's support, confidence and lift, so an operator can see whether a
+// borderline lift of 1.6 is solidly above independence or noise.
+
+// CI is a two-sided percentile interval.
+type CI struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether v lies inside the interval.
+func (c CI) Contains(v float64) bool { return v >= c.Lo && v <= c.Hi }
+
+// Width returns Hi − Lo.
+func (c CI) Width() float64 { return c.Hi - c.Lo }
+
+// BootstrapResult carries the intervals for one rule.
+type BootstrapResult struct {
+	Iterations int
+	Level      float64
+	Support    CI
+	Confidence CI
+	Lift       CI
+}
+
+// Bootstrap computes percentile intervals at the given level (e.g. 0.95)
+// using iters resamples of db. The per-transaction membership of the rule's
+// sides is precomputed once, so each resample costs O(|D|) counter bumps.
+func Bootstrap(g *stats.RNG, db *transaction.DB, r Rule, iters int, level float64) (BootstrapResult, error) {
+	if iters < 10 {
+		return BootstrapResult{}, fmt.Errorf("rules: bootstrap needs at least 10 iterations, got %d", iters)
+	}
+	if level <= 0 || level >= 1 {
+		return BootstrapResult{}, fmt.Errorf("rules: bootstrap level must be in (0, 1), got %v", level)
+	}
+	n := db.Len()
+	if n == 0 {
+		return BootstrapResult{}, fmt.Errorf("rules: empty database")
+	}
+	// Membership classes per transaction: 0 = neither, 1 = antecedent
+	// only, 2 = consequent only, 3 = both.
+	classes := make([]uint8, n)
+	for i := 0; i < n; i++ {
+		txn := itemset.Set(db.Txn(i))
+		var c uint8
+		if txn.ContainsAll(r.Antecedent) {
+			c |= 1
+		}
+		if txn.ContainsAll(r.Consequent) {
+			c |= 2
+		}
+		classes[i] = c
+	}
+
+	supp := make([]float64, 0, iters)
+	conf := make([]float64, 0, iters)
+	lift := make([]float64, 0, iters)
+	for it := 0; it < iters; it++ {
+		var ante, cons, both int
+		for k := 0; k < n; k++ {
+			switch classes[g.Intn(n)] {
+			case 1:
+				ante++
+			case 2:
+				cons++
+			case 3:
+				ante++
+				cons++
+				both++
+			}
+		}
+		if ante == 0 || cons == 0 {
+			// Degenerate resample: skip rather than divide by zero; the
+			// interval simply rests on the remaining draws.
+			continue
+		}
+		s := float64(both) / float64(n)
+		c := float64(both) / float64(ante)
+		l := c / (float64(cons) / float64(n))
+		supp = append(supp, s)
+		conf = append(conf, c)
+		lift = append(lift, l)
+	}
+	if len(supp) == 0 {
+		return BootstrapResult{}, fmt.Errorf("rules: all resamples degenerate")
+	}
+	return BootstrapResult{
+		Iterations: len(supp),
+		Level:      level,
+		Support:    percentileCI(supp, level),
+		Confidence: percentileCI(conf, level),
+		Lift:       percentileCI(lift, level),
+	}, nil
+}
+
+func percentileCI(xs []float64, level float64) CI {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	alpha := (1 - level) / 2
+	lo := sorted[int(alpha*float64(len(sorted)))]
+	hiIdx := int((1 - alpha) * float64(len(sorted)))
+	if hiIdx >= len(sorted) {
+		hiIdx = len(sorted) - 1
+	}
+	return CI{Lo: lo, Hi: sorted[hiIdx]}
+}

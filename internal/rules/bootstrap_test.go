@@ -1,0 +1,132 @@
+package rules
+
+import (
+	"testing"
+
+	"repro/internal/itemset"
+	"repro/internal/stats"
+	"repro/internal/transaction"
+)
+
+// bootstrapDB: supp(x)=0.5, supp(y)=0.4, supp(xy)=0.4 over 1000 txns,
+// so the rule x⇒y has supp 0.4, conf 0.8, lift 2.
+func bootstrapDB() (*transaction.DB, Rule) {
+	db := transaction.NewDB(nil)
+	x := db.Catalog().Intern("x")
+	y := db.Catalog().Intern("y")
+	for i := 0; i < 400; i++ {
+		db.Add(x, y)
+	}
+	for i := 0; i < 100; i++ {
+		db.Add(x)
+	}
+	for i := 0; i < 500; i++ {
+		db.Add()
+	}
+	r := Rule{
+		Antecedent: itemset.NewSet(x),
+		Consequent: itemset.NewSet(y),
+		Support:    0.4, Confidence: 0.8, Lift: 2.0,
+	}
+	return db, r
+}
+
+func TestBootstrapCoversPointEstimates(t *testing.T) {
+	db, r := bootstrapDB()
+	res, err := Bootstrap(stats.NewRNG(1), db, r, 400, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Support.Contains(r.Support) {
+		t.Errorf("support CI [%v, %v] misses %v", res.Support.Lo, res.Support.Hi, r.Support)
+	}
+	if !res.Confidence.Contains(r.Confidence) {
+		t.Errorf("confidence CI [%v, %v] misses %v", res.Confidence.Lo, res.Confidence.Hi, r.Confidence)
+	}
+	if !res.Lift.Contains(r.Lift) {
+		t.Errorf("lift CI [%v, %v] misses %v", res.Lift.Lo, res.Lift.Hi, r.Lift)
+	}
+	// With 1000 transactions the intervals must be reasonably tight.
+	if res.Support.Width() > 0.1 {
+		t.Errorf("support CI too wide: %v", res.Support.Width())
+	}
+	if res.Lift.Lo <= 1.0 {
+		t.Errorf("a lift-2 rule on 1000 samples should exclude independence, CI lo = %v", res.Lift.Lo)
+	}
+}
+
+func TestBootstrapLevelWidens(t *testing.T) {
+	db, r := bootstrapDB()
+	narrow, err := Bootstrap(stats.NewRNG(2), db, r, 400, 0.80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := Bootstrap(stats.NewRNG(2), db, r, 400, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Lift.Width() <= narrow.Lift.Width() {
+		t.Errorf("99%% CI (%v) should be wider than 80%% (%v)", wide.Lift.Width(), narrow.Lift.Width())
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	db, r := bootstrapDB()
+	a, _ := Bootstrap(stats.NewRNG(3), db, r, 100, 0.9)
+	b, _ := Bootstrap(stats.NewRNG(3), db, r, 100, 0.9)
+	if a != b {
+		t.Error("same seed should reproduce intervals")
+	}
+}
+
+func TestBootstrapValidation(t *testing.T) {
+	db, r := bootstrapDB()
+	if _, err := Bootstrap(stats.NewRNG(1), db, r, 5, 0.9); err == nil {
+		t.Error("too few iterations should error")
+	}
+	if _, err := Bootstrap(stats.NewRNG(1), db, r, 100, 0); err == nil {
+		t.Error("level 0 should error")
+	}
+	if _, err := Bootstrap(stats.NewRNG(1), db, r, 100, 1); err == nil {
+		t.Error("level 1 should error")
+	}
+	empty := transaction.NewDB(nil)
+	if _, err := Bootstrap(stats.NewRNG(1), empty, r, 100, 0.9); err == nil {
+		t.Error("empty DB should error")
+	}
+}
+
+func TestBootstrapWidthShrinksWithData(t *testing.T) {
+	grow := func(n int) *transaction.DB {
+		db := transaction.NewDB(nil)
+		x := db.Catalog().Intern("x")
+		y := db.Catalog().Intern("y")
+		for i := 0; i < n; i++ {
+			switch i % 10 {
+			case 0, 1, 2, 3:
+				db.Add(x, y)
+			case 4:
+				db.Add(x)
+			default:
+				db.Add()
+			}
+		}
+		return db
+	}
+	small := grow(200)
+	large := grow(5000)
+	x, _ := small.Catalog().Lookup("x")
+	y, _ := small.Catalog().Lookup("y")
+	r := Rule{Antecedent: itemset.NewSet(x), Consequent: itemset.NewSet(y)}
+	a, err := Bootstrap(stats.NewRNG(4), small, r, 300, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Bootstrap(stats.NewRNG(4), large, r, 300, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Lift.Width() >= a.Lift.Width() {
+		t.Errorf("25x more data should tighten the CI: %v vs %v", b.Lift.Width(), a.Lift.Width())
+	}
+}

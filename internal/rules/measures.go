@@ -1,0 +1,101 @@
+package rules
+
+import "math"
+
+// Auxiliary interestingness measures (Tan, Steinbach & Kumar; Wu, Chen &
+// Han). Lift is the paper's dependency measure, but it is sensitive to the
+// null-transaction count; the null-invariant measures below (cosine,
+// Jaccard, Kulczynski) let an analyst double-check a rule whose lift looks
+// suspicious on a sparse trace. All are derivable from the rule's stored
+// metrics: P(X) = support/confidence and P(Y) = confidence/lift.
+
+// AntecedentSupport returns P(X).
+func (r Rule) AntecedentSupport() float64 {
+	if r.Confidence == 0 {
+		return 0
+	}
+	return r.Support / r.Confidence
+}
+
+// ConsequentSupport returns P(Y).
+func (r Rule) ConsequentSupport() float64 {
+	if r.Lift == 0 {
+		return 0
+	}
+	return r.Confidence / r.Lift
+}
+
+// Cosine returns P(X,Y) / sqrt(P(X)·P(Y)), the geometric mean of the two
+// directional confidences. Null-invariant; range [0, 1].
+func (r Rule) Cosine() float64 {
+	px, py := r.AntecedentSupport(), r.ConsequentSupport()
+	if px == 0 || py == 0 {
+		return 0
+	}
+	return r.Support / math.Sqrt(px*py)
+}
+
+// Jaccard returns P(X,Y) / (P(X) + P(Y) − P(X,Y)): the overlap of the two
+// transaction sets. Null-invariant; range [0, 1].
+func (r Rule) Jaccard() float64 {
+	px, py := r.AntecedentSupport(), r.ConsequentSupport()
+	den := px + py - r.Support
+	if den <= 0 {
+		return 0
+	}
+	return r.Support / den
+}
+
+// Kulczynski returns the mean of the two conditional probabilities,
+// (P(Y|X) + P(X|Y)) / 2. Null-invariant; 0.5 indicates neutrality.
+func (r Rule) Kulczynski() float64 {
+	px, py := r.AntecedentSupport(), r.ConsequentSupport()
+	if px == 0 || py == 0 {
+		return 0
+	}
+	return 0.5 * (r.Support/px + r.Support/py)
+}
+
+// ImbalanceRatio returns |P(X) − P(Y)| / (P(X) + P(Y) − P(X,Y)), the skew
+// between the two sides' supports. Near 0 the Kulczynski reading is
+// trustworthy on its own; near 1 the rule links a rare and a common event
+// and deserves a closer look.
+func (r Rule) ImbalanceRatio() float64 {
+	px, py := r.AntecedentSupport(), r.ConsequentSupport()
+	den := px + py - r.Support
+	if den <= 0 {
+		return 0
+	}
+	return math.Abs(px-py) / den
+}
+
+// ChiSquare returns the chi-squared statistic of the 2×2 contingency table
+// implied by the rule over a database of n transactions. Values above 3.84
+// reject independence at the 5 % level (1 degree of freedom).
+func (r Rule) ChiSquare(n int) float64 {
+	total := float64(n)
+	if total <= 0 {
+		return 0
+	}
+	px, py := r.AntecedentSupport(), r.ConsequentSupport()
+	pxy := r.Support
+	// Observed cell counts.
+	oXY := pxy * total
+	oXnY := (px - pxy) * total
+	oNXY := (py - pxy) * total
+	oNXNY := (1 - px - py + pxy) * total
+	// Expected under independence.
+	eXY := px * py * total
+	eXnY := px * (1 - py) * total
+	eNXY := (1 - px) * py * total
+	eNXNY := (1 - px) * (1 - py) * total
+	chi := 0.0
+	for _, cell := range [][2]float64{{oXY, eXY}, {oXnY, eXnY}, {oNXY, eNXY}, {oNXNY, eNXNY}} {
+		if cell[1] <= 0 {
+			continue
+		}
+		d := cell[0] - cell[1]
+		chi += d * d / cell[1]
+	}
+	return chi
+}

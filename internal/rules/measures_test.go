@@ -1,0 +1,148 @@
+package rules
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fpgrowth"
+	"repro/internal/itemset"
+	"repro/internal/stats"
+	"repro/internal/transaction"
+)
+
+// knownRule constructs the rule from the package's tinyDB: P(X)=0.5,
+// P(Y)=0.4, P(XY)=0.4 over 10 transactions.
+func knownRule() Rule {
+	return Rule{
+		Support:    0.4,
+		Confidence: 0.8,
+		Lift:       2.0,
+	}
+}
+
+func TestDerivedSupports(t *testing.T) {
+	r := knownRule()
+	if !almostEq(r.AntecedentSupport(), 0.5) {
+		t.Errorf("P(X) = %v, want 0.5", r.AntecedentSupport())
+	}
+	if !almostEq(r.ConsequentSupport(), 0.4) {
+		t.Errorf("P(Y) = %v, want 0.4", r.ConsequentSupport())
+	}
+}
+
+func TestCosine(t *testing.T) {
+	r := knownRule()
+	want := 0.4 / math.Sqrt(0.5*0.4)
+	if !almostEq(r.Cosine(), want) {
+		t.Errorf("Cosine = %v, want %v", r.Cosine(), want)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	r := knownRule()
+	want := 0.4 / (0.5 + 0.4 - 0.4)
+	if !almostEq(r.Jaccard(), want) {
+		t.Errorf("Jaccard = %v, want %v", r.Jaccard(), want)
+	}
+}
+
+func TestKulczynski(t *testing.T) {
+	r := knownRule()
+	want := 0.5 * (0.4/0.5 + 0.4/0.4)
+	if !almostEq(r.Kulczynski(), want) {
+		t.Errorf("Kulczynski = %v, want %v", r.Kulczynski(), want)
+	}
+}
+
+func TestImbalanceRatio(t *testing.T) {
+	r := knownRule()
+	want := math.Abs(0.5-0.4) / (0.5 + 0.4 - 0.4)
+	if !almostEq(r.ImbalanceRatio(), want) {
+		t.Errorf("ImbalanceRatio = %v, want %v", r.ImbalanceRatio(), want)
+	}
+	// Perfectly balanced sides: ratio 0.
+	balanced := Rule{Support: 0.3, Confidence: 0.6, Lift: 1.2}
+	if !almostEq(balanced.ImbalanceRatio(), 0) {
+		t.Errorf("balanced IR = %v, want 0", balanced.ImbalanceRatio())
+	}
+}
+
+func TestChiSquareIndependence(t *testing.T) {
+	// Independent sides: P(XY) = P(X)P(Y) → chi-square 0.
+	indep := Rule{Support: 0.25, Confidence: 0.5, Lift: 1.0}
+	if got := indep.ChiSquare(1000); !almostEq(got, 0) {
+		t.Errorf("chi-square of independent rule = %v, want 0", got)
+	}
+	// The known dependent rule should clear the 5% critical value easily
+	// at n=100.
+	if got := knownRule().ChiSquare(100); got < 3.84 {
+		t.Errorf("chi-square = %v, want > 3.84", got)
+	}
+	// Statistic scales linearly with n.
+	a, b := knownRule().ChiSquare(100), knownRule().ChiSquare(200)
+	if !almostEq(b, 2*a) {
+		t.Errorf("chi-square should scale with n: %v vs %v", a, b)
+	}
+}
+
+func TestMeasuresDegenerate(t *testing.T) {
+	var zero Rule
+	if zero.AntecedentSupport() != 0 || zero.ConsequentSupport() != 0 ||
+		zero.Cosine() != 0 || zero.Jaccard() != 0 || zero.Kulczynski() != 0 ||
+		zero.ImbalanceRatio() != 0 || zero.ChiSquare(10) != 0 {
+		t.Error("zero rule should yield zero measures")
+	}
+	if knownRule().ChiSquare(0) != 0 {
+		t.Error("n=0 chi-square should be 0")
+	}
+}
+
+// Property: on mined rules from a random database, every measure stays in
+// range and the derived supports match the scan oracle.
+func TestMeasuresRangesProperty(t *testing.T) {
+	g := stats.NewRNG(4)
+	db := transaction.NewDB(nil)
+	items := []string{"a", "b", "c", "d", "e"}
+	for i := 0; i < 500; i++ {
+		var txn []string
+		for _, n := range items {
+			if g.Bernoulli(0.4) {
+				txn = append(txn, n)
+			}
+		}
+		db.AddNames(txn...)
+	}
+	fs := fpgrowth.Mine(db, fpgrowth.Options{MinCount: 20})
+	rs := Generate(fs, db.Len(), Options{MinLift: -1})
+	if len(rs) == 0 {
+		t.Fatal("expected rules")
+	}
+	n := float64(db.Len())
+	for _, r := range rs {
+		px := float64(db.SupportCount(r.Antecedent)) / n
+		py := float64(db.SupportCount(r.Consequent)) / n
+		if !almostEq(r.AntecedentSupport(), px) {
+			t.Fatalf("P(X) identity broken: %v vs %v", r.AntecedentSupport(), px)
+		}
+		if !almostEq(r.ConsequentSupport(), py) {
+			t.Fatalf("P(Y) identity broken: %v vs %v", r.ConsequentSupport(), py)
+		}
+		for name, v := range map[string]float64{
+			"cosine": r.Cosine(), "jaccard": r.Jaccard(), "kulczynski": r.Kulczynski(),
+			"imbalance": r.ImbalanceRatio(),
+		} {
+			if v < -1e-9 || v > 1+1e-9 {
+				t.Fatalf("%s out of [0,1]: %v for %v", name, v, r)
+			}
+		}
+		if r.ChiSquare(db.Len()) < 0 {
+			t.Fatalf("negative chi-square for %v", r)
+		}
+		// Cosine and Jaccard are both bounded by min(conf directions);
+		// Kulczynski >= Jaccard always holds.
+		if r.Kulczynski()+1e-9 < r.Jaccard() {
+			t.Fatalf("Kulczynski %v < Jaccard %v", r.Kulczynski(), r.Jaccard())
+		}
+	}
+	_ = itemset.Set{}
+}

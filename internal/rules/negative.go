@@ -1,0 +1,143 @@
+package rules
+
+import (
+	"sort"
+
+	"repro/internal/itemset"
+)
+
+// Negative association rules (Wu, Zhang & Zhang, TOIS'04; the paper's COVID
+// related work mines "positive and negative" rules). A negative rule
+// X ⇒ ¬Y states that the antecedent *suppresses* the consequent: seeing X
+// makes Y significantly less likely than its base rate. For operators that
+// reads as "jobs from group G never fail" or "T4 jobs never queue long" —
+// the protective associations positive mining cannot express.
+//
+// All metrics derive from positive supports alone:
+//
+//	supp(X ⇒ ¬Y) = P(X) − P(X, Y)
+//	conf(X ⇒ ¬Y) = 1 − P(Y | X)
+//	lift(X ⇒ ¬Y) = conf / (1 − P(Y))
+//
+// so negative rules are generated from the same frequent-itemset lattice
+// with no extra database pass.
+
+// NegativeRule is an implication Antecedent ⇒ ¬Consequent.
+type NegativeRule struct {
+	Antecedent itemset.Set
+	// Consequent is the suppressed itemset (the rule denies it).
+	Consequent itemset.Set
+	// Support is P(X, ¬Y) = P(X) − P(X, Y).
+	Support float64
+	// Confidence is P(¬Y | X).
+	Confidence float64
+	// Lift is confidence / P(¬Y); > 1 means X suppresses Y beyond the
+	// base rate.
+	Lift float64
+}
+
+// NegativeOptions configures GenerateNegative.
+type NegativeOptions struct {
+	// MinLift keeps rules whose negative lift exceeds the threshold.
+	// Zero means 1.05 — negative lift is bounded by 1/(1−P(Y)), so even
+	// a total suppression of a 20 %-frequent consequent only reaches
+	// 1.25; thresholds meaningful for positive rules are unreachable.
+	MinLift float64
+	// MinConfidence keeps rules with P(¬Y|X) at least this high; zero
+	// means 0.9 (the antecedent should nearly always exclude Y).
+	MinConfidence float64
+	// MinSupport keeps rules whose antecedent-without-consequent mass is
+	// at least this fraction; zero means 0.05.
+	MinSupport float64
+}
+
+// GenerateNegative derives X ⇒ ¬Y rules for the given consequent item from
+// the frequent itemsets. Only single-item consequents are considered — the
+// keyword-study use case ("what makes failure *unlikely*"). nTxns is |D|
+// and miningMinCount the absolute support threshold the itemsets were mined
+// at.
+//
+// An antecedent qualifies only when it is itself frequent; P(X, Y) is read
+// from the lattice when the union is frequent, and otherwise bounded above
+// by the mining threshold (the union was pruned as infrequent), making the
+// reported confidence a lower bound — conservative in the direction that
+// matters.
+func GenerateNegative(frequent []itemset.Frequent, nTxns, miningMinCount int, consequent itemset.Item, opts NegativeOptions) []NegativeRule {
+	if opts.MinLift == 0 {
+		opts.MinLift = 1.05
+	}
+	if opts.MinConfidence == 0 {
+		opts.MinConfidence = 0.9
+	}
+	if opts.MinSupport == 0 {
+		opts.MinSupport = 0.05
+	}
+	if miningMinCount < 1 {
+		miningMinCount = 1
+	}
+	counts := make(map[string]int, len(frequent))
+	for _, f := range frequent {
+		counts[f.Items.Key()] = f.Count
+	}
+	consCount, ok := counts[itemset.NewSet(consequent).Key()]
+	if !ok {
+		// The consequent itself is infrequent; every frequent antecedent
+		// trivially suppresses it, which is uninformative.
+		return nil
+	}
+	total := float64(nTxns)
+	pY := float64(consCount) / total
+	if pY >= 1 {
+		return nil
+	}
+	var out []NegativeRule
+	for _, f := range frequent {
+		if f.Items.Contains(consequent) {
+			continue
+		}
+		// Joint count: exact when the union is frequent, else bounded by
+		// the mining threshold (it was pruned as infrequent).
+		joint, ok := counts[f.Items.With(consequent).Key()]
+		if !ok {
+			joint = miningMinCount - 1 // upper bound; conf is a lower bound
+		}
+		pX := float64(f.Count) / total
+		pXY := float64(joint) / total
+		supp := pX - pXY
+		if supp < opts.MinSupport {
+			continue
+		}
+		conf := 1 - pXY/pX
+		if conf < opts.MinConfidence {
+			continue
+		}
+		lift := conf / (1 - pY)
+		if lift < opts.MinLift {
+			continue
+		}
+		out = append(out, NegativeRule{
+			Antecedent: f.Items.Clone(),
+			Consequent: itemset.NewSet(consequent),
+			Support:    supp,
+			Confidence: conf,
+			Lift:       lift,
+		})
+	}
+	SortNegative(out)
+	return out
+}
+
+// SortNegative orders negative rules by descending lift, then support, then
+// structure.
+func SortNegative(rs []NegativeRule) {
+	sort.Slice(rs, func(i, j int) bool {
+		a, b := rs[i], rs[j]
+		if a.Lift != b.Lift {
+			return a.Lift > b.Lift
+		}
+		if a.Support != b.Support {
+			return a.Support > b.Support
+		}
+		return compareSets(a.Antecedent, b.Antecedent) < 0
+	})
+}

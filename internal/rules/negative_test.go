@@ -1,0 +1,128 @@
+package rules
+
+import (
+	"testing"
+
+	"repro/internal/fpgrowth"
+	"repro/internal/itemset"
+	"repro/internal/stats"
+	"repro/internal/transaction"
+)
+
+// protectiveDB plants a suppression: jobs with item "safe" almost never
+// carry "failed", while base failure is 30%.
+func protectiveDB(g *stats.RNG, n int) (*transaction.DB, itemset.Item, itemset.Item) {
+	db := transaction.NewDB(nil)
+	failed := db.Catalog().Intern("failed")
+	safe := db.Catalog().Intern("safe")
+	other := db.Catalog().Intern("other")
+	for i := 0; i < n; i++ {
+		if g.Bernoulli(0.4) {
+			// Protected population: fails 2% of the time.
+			if g.Bernoulli(0.02) {
+				db.Add(safe, failed)
+			} else {
+				db.Add(safe, other)
+			}
+		} else {
+			// Unprotected: fails ~48%, so the base rate is ~0.3.
+			if g.Bernoulli(0.48) {
+				db.Add(other, failed)
+			} else {
+				db.Add(other)
+			}
+		}
+	}
+	return db, failed, safe
+}
+
+func TestGenerateNegativeFindsProtectiveRule(t *testing.T) {
+	g := stats.NewRNG(17)
+	db, failed, safe := protectiveDB(g, 5000)
+	fs := fpgrowth.Mine(db, fpgrowth.Options{MinCount: db.Len() / 50})
+	neg := GenerateNegative(fs, db.Len(), db.Len()/50, failed, NegativeOptions{})
+	if len(neg) == 0 {
+		t.Fatal("no negative rules found")
+	}
+	var found *NegativeRule
+	for i := range neg {
+		if neg[i].Antecedent.Equal(itemset.NewSet(safe)) {
+			found = &neg[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("safe => ¬failed not found among %d rules", len(neg))
+	}
+	if found.Confidence < 0.95 {
+		t.Errorf("protective confidence = %.3f, want ~0.98", found.Confidence)
+	}
+	// Base survival ≈ 0.7, protected survival ≈ 0.98 → lift ≈ 1.4.
+	if found.Lift < 1.2 {
+		t.Errorf("protective lift = %.3f", found.Lift)
+	}
+	// Verify against the scan oracle. The joint {safe, failed} is below
+	// the mining threshold, so the generator used the threshold as an
+	// upper bound for P(X,Y): the reported support and confidence are
+	// lower bounds within one threshold-width of the exact values.
+	pX := db.Support(found.Antecedent)
+	pXY := db.Support(found.Antecedent.Union(itemset.NewSet(failed)))
+	exact := pX - pXY
+	slack := float64(db.Len()/50) / float64(db.Len())
+	if found.Support > exact+1e-9 {
+		t.Errorf("reported support %v exceeds exact %v (must be a lower bound)", found.Support, exact)
+	}
+	if found.Support < exact-slack {
+		t.Errorf("reported support %v more than one threshold below exact %v", found.Support, exact)
+	}
+	exactConf := 1 - pXY/pX
+	if found.Confidence > exactConf+1e-9 {
+		t.Errorf("reported confidence %v exceeds exact %v", found.Confidence, exactConf)
+	}
+}
+
+func TestGenerateNegativeSkipsConsequentBearingAntecedents(t *testing.T) {
+	g := stats.NewRNG(18)
+	db, failed, _ := protectiveDB(g, 2000)
+	fs := fpgrowth.Mine(db, fpgrowth.Options{MinCount: db.Len() / 50})
+	for _, r := range GenerateNegative(fs, db.Len(), db.Len()/50, failed, NegativeOptions{}) {
+		if r.Antecedent.Contains(failed) {
+			t.Fatalf("antecedent contains the negated consequent: %v", r)
+		}
+		if r.Confidence < 0 || r.Confidence > 1 {
+			t.Fatalf("confidence out of range: %v", r.Confidence)
+		}
+		if r.Support < 0.05 {
+			t.Fatalf("support filter leaked: %v", r.Support)
+		}
+	}
+}
+
+func TestGenerateNegativeInfrequentConsequent(t *testing.T) {
+	db := transaction.NewDB(nil)
+	rare := db.Catalog().Intern("rare")
+	common := db.Catalog().Intern("common")
+	for i := 0; i < 100; i++ {
+		db.Add(common)
+	}
+	db.Add(rare)
+	fs := fpgrowth.Mine(db, fpgrowth.Options{MinCount: 10})
+	if got := GenerateNegative(fs, db.Len(), 10, rare, NegativeOptions{}); got != nil {
+		t.Errorf("infrequent consequent should yield nil, got %v", got)
+	}
+}
+
+func TestGenerateNegativeThresholds(t *testing.T) {
+	g := stats.NewRNG(19)
+	db, failed, _ := protectiveDB(g, 3000)
+	fs := fpgrowth.Mine(db, fpgrowth.Options{MinCount: db.Len() / 50})
+	all := GenerateNegative(fs, db.Len(), db.Len()/50, failed, NegativeOptions{MinLift: 1.01, MinConfidence: 0.5})
+	strict := GenerateNegative(fs, db.Len(), db.Len()/50, failed, NegativeOptions{MinLift: 1.3, MinConfidence: 0.95})
+	if len(strict) >= len(all) {
+		t.Errorf("stricter thresholds should keep fewer rules: %d vs %d", len(strict), len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Lift > all[i-1].Lift+1e-12 {
+			t.Fatal("not sorted by lift")
+		}
+	}
+}

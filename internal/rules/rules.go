@@ -1,0 +1,196 @@
+// Package rules generates association rules from frequent itemsets and
+// evaluates the paper's three quality metrics — support, confidence and
+// lift (Sec. III-B) — plus the auxiliary leverage and conviction measures.
+// Rule generation follows the paper's two-step approach: itemsets first
+// (package fpgrowth), then every antecedent/consequent split of each
+// itemset, filtered by a minimum lift so rules whose sides are nearly
+// independent never reach the analyst.
+package rules
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/itemset"
+)
+
+// Rule is an implication Antecedent ⇒ Consequent with its quality metrics.
+type Rule struct {
+	Antecedent itemset.Set
+	Consequent itemset.Set
+	// Count is the absolute number of transactions containing both sides.
+	Count int
+	// Support is P(X, Y): the fraction of transactions containing both
+	// sides (Eq. 2).
+	Support float64
+	// Confidence is P(Y | X) (Eq. 3).
+	Confidence float64
+	// Lift is confidence normalized by the consequent support (Eq. 4);
+	// 1 means independence, >1 positive dependence.
+	Lift float64
+	// Leverage is P(X,Y) − P(X)·P(Y), the additive analogue of lift.
+	Leverage float64
+	// Conviction is (1 − P(Y)) / (1 − confidence); +Inf for exact rules.
+	Conviction float64
+}
+
+// Items returns the union of both sides.
+func (r Rule) Items() itemset.Set { return r.Antecedent.Union(r.Consequent) }
+
+// Format renders the rule with readable item names.
+func (r Rule) Format(c *itemset.Catalog) string {
+	return fmt.Sprintf("{%s} => {%s}  supp=%.2f conf=%.2f lift=%.2f",
+		strings.Join(c.Names(r.Antecedent), ", "),
+		strings.Join(c.Names(r.Consequent), ", "),
+		r.Support, r.Confidence, r.Lift)
+}
+
+// Options configures Generate.
+type Options struct {
+	// MinLift drops rules with lift below the threshold. Zero means the
+	// paper's 1.5. Set negative to disable.
+	MinLift float64
+	// MinConfidence drops rules with confidence below the threshold.
+	MinConfidence float64
+	// MinSupport drops rules with support below the threshold (the miner
+	// normally enforces this already via its min count).
+	MinSupport float64
+}
+
+// Generate derives association rules from the mined frequent itemsets.
+// nTxns is the database size |D|. Every frequent itemset of length >= 2 is
+// split into each non-empty antecedent/consequent partition; metric
+// computation looks up the parts' supports in the frequent list itself
+// (every subset of a frequent itemset is frequent, so the lookups always
+// hit). Results are sorted by descending lift, ties by descending support.
+func Generate(frequent []itemset.Frequent, nTxns int, opts Options) []Rule {
+	if opts.MinLift == 0 {
+		opts.MinLift = 1.5
+	}
+	counts := make(map[string]int, len(frequent))
+	for _, f := range frequent {
+		counts[f.Items.Key()] = f.Count
+	}
+	total := float64(nTxns)
+	var out []Rule
+	ante := make(itemset.Set, 0, 8)
+	cons := make(itemset.Set, 0, 8)
+	for _, f := range frequent {
+		k := len(f.Items)
+		if k < 2 {
+			continue
+		}
+		// Enumerate proper non-empty subsets as antecedents via bitmask.
+		for mask := 1; mask < (1<<k)-1; mask++ {
+			ante = ante[:0]
+			cons = cons[:0]
+			for i := 0; i < k; i++ {
+				if mask&(1<<i) != 0 {
+					ante = append(ante, f.Items[i])
+				} else {
+					cons = append(cons, f.Items[i])
+				}
+			}
+			anteCount, ok := counts[ante.Key()]
+			if !ok || anteCount == 0 {
+				continue
+			}
+			consCount, ok := counts[cons.Key()]
+			if !ok || consCount == 0 {
+				continue
+			}
+			support := float64(f.Count) / total
+			confidence := float64(f.Count) / float64(anteCount)
+			consSupport := float64(consCount) / total
+			lift := confidence / consSupport
+			if lift < opts.MinLift || confidence < opts.MinConfidence || support < opts.MinSupport {
+				continue
+			}
+			anteSupport := float64(anteCount) / total
+			conviction := math.Inf(1)
+			if confidence < 1 {
+				conviction = (1 - consSupport) / (1 - confidence)
+			}
+			out = append(out, Rule{
+				Antecedent: ante.Clone(),
+				Consequent: cons.Clone(),
+				Count:      f.Count,
+				Support:    support,
+				Confidence: confidence,
+				Lift:       lift,
+				Leverage:   support - anteSupport*consSupport,
+				Conviction: conviction,
+			})
+		}
+	}
+	Sort(out)
+	return out
+}
+
+// Sort orders rules by descending lift, then descending support, then by a
+// deterministic structural comparison so equal-metric rules have a stable
+// order.
+func Sort(rs []Rule) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Lift != rs[j].Lift {
+			return rs[i].Lift > rs[j].Lift
+		}
+		if rs[i].Support != rs[j].Support {
+			return rs[i].Support > rs[j].Support
+		}
+		return structuralLess(rs[i], rs[j])
+	})
+}
+
+func structuralLess(a, b Rule) bool {
+	if c := compareSets(a.Antecedent, b.Antecedent); c != 0 {
+		return c < 0
+	}
+	return compareSets(a.Consequent, b.Consequent) < 0
+}
+
+func compareSets(a, b itemset.Set) int {
+	if len(a) != len(b) {
+		return len(a) - len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return int(a[i]) - int(b[i])
+		}
+	}
+	return 0
+}
+
+// Analysis partitions rules for one keyword: cause rules carry the keyword
+// in the consequent ("what leads to the observation"), characteristic rules
+// carry it in the antecedent ("what else is true of jobs with the
+// observation"). A rule with the keyword on both sides is impossible since
+// the sides are disjoint; rules without the keyword are excluded.
+type Analysis struct {
+	Keyword        itemset.Item
+	Cause          []Rule
+	Characteristic []Rule
+}
+
+// Split builds the keyword analysis from a rule list.
+func Split(rs []Rule, keyword itemset.Item) Analysis {
+	a := Analysis{Keyword: keyword}
+	for _, r := range rs {
+		switch {
+		case r.Consequent.Contains(keyword):
+			a.Cause = append(a.Cause, r)
+		case r.Antecedent.Contains(keyword):
+			a.Characteristic = append(a.Characteristic, r)
+		}
+	}
+	return a
+}
+
+// All returns cause rules followed by characteristic rules.
+func (a Analysis) All() []Rule {
+	out := make([]Rule, 0, len(a.Cause)+len(a.Characteristic))
+	out = append(out, a.Cause...)
+	return append(out, a.Characteristic...)
+}

@@ -1,0 +1,164 @@
+// Package son implements the SON partition-based frequent-itemset miner
+// (Savasere, Omiecinski & Navathe, VLDB'95) — the classic two-phase
+// algorithm behind distributed mining on MapReduce/Spark, which the paper's
+// related-work section points to for scaling the workflow beyond one
+// machine. Phase one mines each database partition independently (any
+// itemset globally frequent must be locally frequent in at least one
+// partition at the scaled threshold); phase two counts the union of local
+// candidates exactly in one global pass. Both phases run on a worker pool,
+// making this the miner to reach for when the trace no longer fits one
+// FP-tree comfortably.
+package son
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/fpgrowth"
+	"repro/internal/itemset"
+	"repro/internal/transaction"
+)
+
+// Options configures Mine.
+type Options struct {
+	// MinCount is the global absolute minimum support count (>= 1).
+	MinCount int
+	// MaxLen caps itemset length; zero means unlimited.
+	MaxLen int
+	// Partitions splits the database; zero picks one per worker.
+	Partitions int
+	// Workers bounds parallelism; zero means GOMAXPROCS.
+	Workers int
+}
+
+// Mine returns exactly the itemsets FP-Growth would return: SON is exact,
+// not approximate — the partition phase only proposes candidates, the count
+// phase verifies them against the full database.
+func Mine(db *transaction.DB, opts Options) []itemset.Frequent {
+	if opts.MinCount < 1 {
+		opts.MinCount = 1
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	parts := opts.Partitions
+	if parts <= 0 {
+		parts = workers
+	}
+	n := db.Len()
+	if n == 0 {
+		return nil
+	}
+	if parts > n {
+		parts = n
+	}
+
+	// Phase 1: mine each partition at the proportionally scaled threshold.
+	type span struct{ lo, hi int }
+	spans := make([]span, 0, parts)
+	per, rem := n/parts, n%parts
+	lo := 0
+	for i := 0; i < parts; i++ {
+		size := per
+		if i < rem {
+			size++
+		}
+		spans = append(spans, span{lo, lo + size})
+		lo += size
+	}
+	candidateSets := make([][]itemset.Frequent, len(spans))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, sp := range spans {
+		wg.Add(1)
+		go func(i int, sp span) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			local := transaction.NewDB(db.Catalog())
+			for t := sp.lo; t < sp.hi; t++ {
+				local.Add(db.Txn(t)...)
+			}
+			// Scale the threshold to the partition size, rounding down
+			// so no globally frequent itemset can be missed.
+			localMin := opts.MinCount * (sp.hi - sp.lo) / n
+			if localMin < 1 {
+				localMin = 1
+			}
+			candidateSets[i] = fpgrowth.Mine(local, fpgrowth.Options{
+				MinCount: localMin,
+				MaxLen:   opts.MaxLen,
+				Workers:  1, // outer loop already saturates the pool
+			})
+		}(i, sp)
+	}
+	wg.Wait()
+
+	// Union of local winners = the global candidate set.
+	candidates := make(map[string]itemset.Set)
+	for _, fs := range candidateSets {
+		for _, f := range fs {
+			candidates[f.Items.Key()] = f.Items
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+
+	// Phase 2: one exact counting pass over the full database, sharded
+	// across the worker pool with per-worker partial counts. Candidates
+	// are indexed by their smallest item so each transaction only tests
+	// candidates that can possibly be contained.
+	ordered := make([]itemset.Set, 0, len(candidates))
+	for _, s := range candidates {
+		ordered = append(ordered, s)
+	}
+	byFirst := make(map[itemset.Item][]int)
+	for i, s := range ordered {
+		byFirst[s[0]] = append(byFirst[s[0]], i)
+	}
+	partials := make([][]int, workers)
+	var wg2 sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			partials[w] = make([]int, len(ordered))
+			continue
+		}
+		wg2.Add(1)
+		go func(w, lo, hi int) {
+			defer wg2.Done()
+			counts := make([]int, len(ordered))
+			for t := lo; t < hi; t++ {
+				txn := itemset.Set(db.Txn(t))
+				for _, first := range txn {
+					for _, i := range byFirst[first] {
+						if txn.ContainsAll(ordered[i]) {
+							counts[i]++
+						}
+					}
+				}
+			}
+			partials[w] = counts
+		}(w, lo, hi)
+	}
+	wg2.Wait()
+
+	var out []itemset.Frequent
+	for i, s := range ordered {
+		total := 0
+		for _, p := range partials {
+			total += p[i]
+		}
+		if total >= opts.MinCount {
+			out = append(out, itemset.Frequent{Items: s, Count: total})
+		}
+	}
+	itemset.SortFrequent(out)
+	return out
+}

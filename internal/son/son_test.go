@@ -1,0 +1,115 @@
+package son
+
+import (
+	"testing"
+
+	"repro/internal/fpgrowth"
+	"repro/internal/itemset"
+	"repro/internal/stats"
+	"repro/internal/transaction"
+)
+
+func buildDB(g *stats.RNG, nTxns, nItems, maxLen int) *transaction.DB {
+	db := transaction.NewDB(nil)
+	ids := make([]itemset.Item, nItems)
+	for i := range ids {
+		ids[i] = db.Catalog().Intern("i" + string(rune('a'+i%26)) + string(rune('0'+i/26)))
+	}
+	for i := 0; i < nTxns; i++ {
+		n := 1 + g.Intn(maxLen)
+		items := make([]itemset.Item, 0, n)
+		for j := 0; j < n; j++ {
+			u := g.Float64()
+			idx := int(u * u * float64(nItems))
+			if idx >= nItems {
+				idx = nItems - 1
+			}
+			items = append(items, ids[idx])
+		}
+		db.Add(items...)
+	}
+	return db
+}
+
+func sameResults(a, b []itemset.Frequent) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Items.Equal(b[i].Items) || a[i].Count != b[i].Count {
+			return false
+		}
+	}
+	return true
+}
+
+// SON must be exact: identical results to FP-Growth over the full database,
+// for any partition count.
+func TestSONMatchesFPGrowth(t *testing.T) {
+	g := stats.NewRNG(11)
+	for trial := 0; trial < 10; trial++ {
+		db := buildDB(g, 100+g.Intn(400), 5+g.Intn(20), 9)
+		minCount := 2 + g.Intn(20)
+		maxLen := g.Intn(5)
+		want := fpgrowth.Mine(db, fpgrowth.Options{MinCount: minCount, MaxLen: maxLen})
+		for _, parts := range []int{1, 2, 3, 7, 16} {
+			got := Mine(db, Options{MinCount: minCount, MaxLen: maxLen, Partitions: parts})
+			if !sameResults(want, got) {
+				t.Fatalf("trial %d parts %d: SON diverges from FP-Growth (%d vs %d itemsets)",
+					trial, parts, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestSONWorkerCounts(t *testing.T) {
+	g := stats.NewRNG(5)
+	db := buildDB(g, 300, 12, 7)
+	want := Mine(db, Options{MinCount: 10, Workers: 1})
+	for _, w := range []int{2, 4, 8} {
+		got := Mine(db, Options{MinCount: 10, Workers: w})
+		if !sameResults(want, got) {
+			t.Fatalf("workers=%d changed results", w)
+		}
+	}
+}
+
+func TestSONEmptyAndDegenerate(t *testing.T) {
+	db := transaction.NewDB(nil)
+	if got := Mine(db, Options{MinCount: 1}); got != nil {
+		t.Errorf("empty DB should yield nil, got %v", got)
+	}
+	db.AddNames("only")
+	got := Mine(db, Options{MinCount: 1, Partitions: 8})
+	if len(got) != 1 || got[0].Count != 1 {
+		t.Errorf("single-transaction DB wrong: %v", got)
+	}
+}
+
+func TestSONMorePartitionsThanTransactions(t *testing.T) {
+	db := transaction.NewDB(nil)
+	db.AddNames("a", "b")
+	db.AddNames("a")
+	got := Mine(db, Options{MinCount: 1, Partitions: 64})
+	if len(got) != 3 { // {a}, {b}, {a,b}
+		t.Errorf("got %d itemsets, want 3", len(got))
+	}
+}
+
+func TestSONMinCountDefault(t *testing.T) {
+	db := transaction.NewDB(nil)
+	db.AddNames("x")
+	if got := Mine(db, Options{}); len(got) != 1 {
+		t.Errorf("MinCount 0 should behave as 1, got %d", len(got))
+	}
+}
+
+func TestSONCountsExact(t *testing.T) {
+	g := stats.NewRNG(9)
+	db := buildDB(g, 500, 15, 8)
+	for _, f := range Mine(db, Options{MinCount: 20, Partitions: 5}) {
+		if want := db.SupportCount(f.Items); want != f.Count {
+			t.Errorf("count(%v) = %d, scan says %d", f.Items, f.Count, want)
+		}
+	}
+}

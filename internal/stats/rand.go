@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG wraps math/rand with the distribution samplers the trace simulators
+// need. Every simulator takes an explicit *RNG so runs are reproducible from
+// a seed; no package-level randomness is used anywhere in this repository.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic RNG seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform sample in [0, n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a non-negative uniform 63-bit integer.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Uniform returns a uniform sample in [lo, hi).
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// Normal returns a sample from N(mean, std^2).
+func (g *RNG) Normal(mean, std float64) float64 {
+	return mean + std*g.r.NormFloat64()
+}
+
+// LogNormal returns a sample whose logarithm is N(mu, sigma^2). Job runtimes
+// and queue waits are modelled as lognormal, matching the heavy right tails
+// the paper observes (equal-width binning fails on them).
+func (g *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(g.Normal(mu, sigma))
+}
+
+// Pareto returns a sample from a Pareto distribution with scale xm > 0 and
+// shape alpha > 0. Used for long-tail features such as job submission counts
+// per user.
+func (g *RNG) Pareto(xm, alpha float64) float64 {
+	u := g.r.Float64()
+	for u == 0 {
+		u = g.r.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Exponential returns a sample from Exp(rate).
+func (g *RNG) Exponential(rate float64) float64 {
+	return g.r.ExpFloat64() / rate
+}
+
+// Bernoulli returns true with probability p.
+func (g *RNG) Bernoulli(p float64) bool { return g.r.Float64() < p }
+
+// BoundedNormal returns a Normal(mean, std) sample clamped to [lo, hi].
+// Utilization percentages are modelled this way.
+func (g *RNG) BoundedNormal(mean, std, lo, hi float64) float64 {
+	x := g.Normal(mean, std)
+	if x < lo {
+		x = lo
+	}
+	if x > hi {
+		x = hi
+	}
+	return x
+}
+
+// Categorical samples an index from the (not necessarily normalized)
+// non-negative weight vector w. A zero-sum weight vector yields index 0.
+func (g *RNG) Categorical(w []float64) int {
+	total := 0.0
+	for _, x := range w {
+		total += x
+	}
+	if total <= 0 {
+		return 0
+	}
+	u := g.r.Float64() * total
+	acc := 0.0
+	for i, x := range w {
+		acc += x
+		if u < acc {
+			return i
+		}
+	}
+	return len(w) - 1
+}
+
+// Zipf returns a sampler of Zipfian-distributed values in [0, n), with
+// exponent s > 1. User activity (few users submit most jobs) follows this
+// shape in all three traces.
+func (g *RNG) Zipf(s float64, n uint64) *rand.Zipf {
+	return rand.NewZipf(g.r, s, 1, n-1)
+}
+
+// ZipfFlat is Zipf with the head flattened by the offset v (>= 1): sample
+// probabilities follow (v+k)^-s, so larger v caps how dominant rank 0 is.
+// Used where a single synthetic power user must not dwarf the deliberately
+// planted heavy users.
+func (g *RNG) ZipfFlat(s, v float64, n uint64) *rand.Zipf {
+	return rand.NewZipf(g.r, s, v, n-1)
+}
+
+// Laplace returns a sample from the Laplace distribution with location 0
+// and the given scale (b > 0) — the noise primitive of the differential
+// privacy mechanism in internal/privacy.
+func (g *RNG) Laplace(scale float64) float64 {
+	u := g.r.Float64() - 0.5
+	if u < 0 {
+		return scale * math.Log(1+2*u)
+	}
+	return -scale * math.Log(1-2*u)
+}
+
+// Shuffle permutes the first n indices, calling swap for each exchange.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Fork derives an independent RNG stream from this one. Simulators fork one
+// stream per shard so per-shard generation can run on parallel goroutines
+// while remaining reproducible regardless of scheduling order.
+func (g *RNG) Fork() *RNG {
+	return NewRNG(g.r.Int63())
+}

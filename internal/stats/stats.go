@@ -1,0 +1,315 @@
+// Package stats provides the descriptive statistics used throughout the
+// trace-analysis workflow: quantiles, empirical CDFs, histograms, box-plot
+// summaries and streaming moment accumulators. It also hosts the
+// deterministic random distributions the trace simulators draw from.
+//
+// All functions operate on float64 slices and never mutate their inputs
+// unless the name says otherwise (e.g. SortInPlace).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by reductions that are undefined on empty input.
+var ErrEmpty = errors.New("stats: empty input")
+
+// Mean returns the arithmetic mean of xs. It returns 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (dividing by n, not n-1),
+// matching the variance features derived from monitoring time series.
+// It returns 0 for inputs of length < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the minimum of xs. It returns an error on empty input.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the maximum of xs. It returns an error on empty input.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between closest ranks (the same scheme as numpy's default).
+// The input does not need to be sorted.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, errors.New("stats: quantile out of range [0,1]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q), nil
+}
+
+// quantileSorted computes the q-quantile of an already-sorted slice.
+func quantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Quantiles returns the quantiles of xs at each probability in qs, sorting
+// the data only once.
+func Quantiles(xs []float64, qs []float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		if q < 0 || q > 1 || math.IsNaN(q) {
+			return nil, errors.New("stats: quantile out of range [0,1]")
+		}
+		out[i] = quantileSorted(sorted, q)
+	}
+	return out, nil
+}
+
+// FiveNum is the five-number summary backing a box plot.
+type FiveNum struct {
+	Min    float64
+	Q1     float64
+	Median float64
+	Q3     float64
+	Max    float64
+}
+
+// IQR returns the interquartile range Q3 - Q1.
+func (f FiveNum) IQR() float64 { return f.Q3 - f.Q1 }
+
+// BoxPlot computes the five-number summary of xs.
+func BoxPlot(xs []float64) (FiveNum, error) {
+	qs, err := Quantiles(xs, []float64{0, 0.25, 0.5, 0.75, 1})
+	if err != nil {
+		return FiveNum{}, err
+	}
+	return FiveNum{Min: qs[0], Q1: qs[1], Median: qs[2], Q3: qs[3], Max: qs[4]}, nil
+}
+
+// ECDF is an empirical cumulative distribution function built from a sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from xs. The input is copied.
+func NewECDF(xs []float64) (*ECDF, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return &ECDF{sorted: sorted}, nil
+}
+
+// At returns P(X <= x), the fraction of samples less than or equal to x.
+func (e *ECDF) At(x float64) float64 {
+	// sort.SearchFloat64s returns the first index with sorted[i] >= x;
+	// advance past duplicates equal to x to get "<= x" semantics.
+	i := sort.SearchFloat64s(e.sorted, x)
+	for i < len(e.sorted) && e.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Len returns the sample size behind the ECDF.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// Curve evaluates the ECDF at n evenly spaced points spanning [min, max]
+// and returns the (x, y) series, convenient for rendering CDF figures.
+func (e *ECDF) Curve(n int) (xs, ys []float64) {
+	if n < 2 {
+		n = 2
+	}
+	lo, hi := e.sorted[0], e.sorted[len(e.sorted)-1]
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		xs[i] = x
+		ys[i] = e.At(x)
+	}
+	return xs, ys
+}
+
+// Histogram holds counts of samples falling into contiguous equal-width bins.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+}
+
+// NewHistogram bins xs into k equal-width bins spanning [min(xs), max(xs)].
+// Values equal to the maximum land in the last bin.
+func NewHistogram(xs []float64, k int) (*Histogram, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	if k < 1 {
+		return nil, errors.New("stats: histogram needs at least one bin")
+	}
+	lo, _ := Min(xs)
+	hi, _ := Max(xs)
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, k)}
+	width := (hi - lo) / float64(k)
+	for _, x := range xs {
+		var idx int
+		if width > 0 {
+			idx = int((x - lo) / width)
+		}
+		if idx >= k {
+			idx = k - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		h.Counts[idx]++
+	}
+	return h, nil
+}
+
+// Total returns the number of samples binned into the histogram.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Accumulator is a streaming moment accumulator used by the monitoring
+// substrate to reduce telemetry time series into per-job features without
+// retaining the full series. The zero value is ready to use.
+type Accumulator struct {
+	n          int
+	mean, m2   float64
+	min, max   float64
+	first      bool
+	zeroCount  int
+	totalCount int
+}
+
+// Add folds one observation into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	if !a.first {
+		a.first = true
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	a.n++
+	// Welford's online algorithm.
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+	a.totalCount++
+	if x == 0 {
+		a.zeroCount++
+	}
+}
+
+// N returns the number of observations folded in so far.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the running mean (0 when empty).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the running population variance (0 when n < 2).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest observation (0 when empty).
+func (a *Accumulator) Max() float64 { return a.max }
+
+// ZeroFraction returns the fraction of observations exactly equal to zero.
+func (a *Accumulator) ZeroFraction() float64 {
+	if a.totalCount == 0 {
+		return 0
+	}
+	return float64(a.zeroCount) / float64(a.totalCount)
+}
+
+// SortInPlace sorts xs ascending in place and returns it for chaining.
+func SortInPlace(xs []float64) []float64 {
+	sort.Float64s(xs)
+	return xs
+}

@@ -1,0 +1,401 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestVariance(t *testing.T) {
+	if got := Variance([]float64{2, 2, 2, 2}); got != 0 {
+		t.Errorf("variance of constant = %v, want 0", got)
+	}
+	// Population variance of {1,2,3,4} is 1.25.
+	if got := Variance([]float64{1, 2, 3, 4}); !almostEq(got, 1.25, 1e-12) {
+		t.Errorf("Variance = %v, want 1.25", got)
+	}
+	if got := Variance([]float64{7}); got != 0 {
+		t.Errorf("variance of single = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if _, err := Min(nil); err == nil {
+		t.Error("Min(nil) should error")
+	}
+	if _, err := Max(nil); err == nil {
+		t.Error("Max(nil) should error")
+	}
+	mn, _ := Min([]float64{3, -2, 9})
+	mx, _ := Max([]float64{3, -2, 9})
+	if mn != -2 || mx != 9 {
+		t.Errorf("Min/Max = %v/%v, want -2/9", mn, mx)
+	}
+}
+
+func TestQuantileBasics(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	for _, c := range []struct {
+		q, want float64
+	}{{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}} {
+		got, err := Quantile(xs, c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileInterpolates(t *testing.T) {
+	got, err := Quantile([]float64{0, 10}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(got, 5, 1e-12) {
+		t.Errorf("median of {0,10} = %v, want 5", got)
+	}
+}
+
+func TestQuantileErrors(t *testing.T) {
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := Quantile([]float64{1}, -0.1); err == nil {
+		t.Error("q<0 should error")
+	}
+	if _, err := Quantile([]float64{1}, 1.1); err == nil {
+		t.Error("q>1 should error")
+	}
+	if _, err := Quantile([]float64{1}, math.NaN()); err == nil {
+		t.Error("NaN q should error")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Quantile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestQuantilesMatchesQuantile(t *testing.T) {
+	xs := []float64{9, 1, 4, 4, 7, 2, 8}
+	qs := []float64{0, 0.1, 0.33, 0.5, 0.9, 1}
+	batch, err := Quantiles(xs, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		single, _ := Quantile(xs, q)
+		if !almostEq(batch[i], single, 1e-12) {
+			t.Errorf("Quantiles[%v]=%v, Quantile=%v", q, batch[i], single)
+		}
+	}
+}
+
+func TestBoxPlot(t *testing.T) {
+	f, err := BoxPlot([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Min != 1 || f.Q1 != 2 || f.Median != 3 || f.Q3 != 4 || f.Max != 5 {
+		t.Errorf("unexpected five-number summary: %+v", f)
+	}
+	if !almostEq(f.IQR(), 2, 1e-12) {
+		t.Errorf("IQR = %v, want 2", f.IQR())
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e, err := NewECDF([]float64{0, 0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, want float64 }{
+		{-1, 0}, {0, 0.5}, {0.5, 0.5}, {1, 0.75}, {2, 1}, {3, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("ECDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if e.Len() != 4 {
+		t.Errorf("Len = %d, want 4", e.Len())
+	}
+}
+
+func TestECDFCurveMonotone(t *testing.T) {
+	e, err := NewECDF([]float64{5, 1, 3, 3, 9, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, ys := e.Curve(50)
+	if len(xs) != 50 || len(ys) != 50 {
+		t.Fatalf("curve lengths %d/%d", len(xs), len(ys))
+	}
+	for i := 1; i < len(ys); i++ {
+		if ys[i] < ys[i-1] {
+			t.Fatalf("CDF not monotone at %d: %v < %v", i, ys[i], ys[i-1])
+		}
+	}
+	if ys[len(ys)-1] != 1 {
+		t.Errorf("CDF at max = %v, want 1", ys[len(ys)-1])
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 10 {
+		t.Errorf("Total = %d, want 10", h.Total())
+	}
+	for i, c := range h.Counts {
+		if c != 2 {
+			t.Errorf("bin %d count = %d, want 2", i, c)
+		}
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h, err := NewHistogram([]float64{3, 3, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 3 {
+		t.Errorf("Total = %d, want 3", h.Total())
+	}
+	if _, err := NewHistogram(nil, 3); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := NewHistogram([]float64{1}, 0); err == nil {
+		t.Error("zero bins should error")
+	}
+}
+
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	xs := []float64{0, 4, 2, 0, 8, 5, 1}
+	var a Accumulator
+	for _, x := range xs {
+		a.Add(x)
+	}
+	if a.N() != len(xs) {
+		t.Errorf("N = %d", a.N())
+	}
+	if !almostEq(a.Mean(), Mean(xs), 1e-9) {
+		t.Errorf("Mean = %v, want %v", a.Mean(), Mean(xs))
+	}
+	if !almostEq(a.Variance(), Variance(xs), 1e-9) {
+		t.Errorf("Variance = %v, want %v", a.Variance(), Variance(xs))
+	}
+	mn, _ := Min(xs)
+	mx, _ := Max(xs)
+	if a.Min() != mn || a.Max() != mx {
+		t.Errorf("Min/Max = %v/%v, want %v/%v", a.Min(), a.Max(), mn, mx)
+	}
+	if !almostEq(a.ZeroFraction(), 2.0/7.0, 1e-12) {
+		t.Errorf("ZeroFraction = %v", a.ZeroFraction())
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Variance() != 0 || a.ZeroFraction() != 0 {
+		t.Error("empty accumulator should report zeros")
+	}
+}
+
+// Property: streaming accumulator agrees with batch formulas on random data.
+func TestAccumulatorProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				continue
+			}
+			xs = append(xs, x)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		var a Accumulator
+		for _, x := range xs {
+			a.Add(x)
+		}
+		scale := math.Max(1, math.Abs(a.Mean()))
+		return almostEq(a.Mean(), Mean(xs), 1e-6*scale) &&
+			almostEq(a.Variance(), Variance(xs), 1e-4*math.Max(1, a.Variance()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, q1, q2 float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			xs = append(xs, x)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		clamp := func(q float64) float64 {
+			q = math.Abs(q)
+			q -= math.Floor(q)
+			return q
+		}
+		a, b := clamp(q1), clamp(q2)
+		if a > b {
+			a, b = b, a
+		}
+		va, err1 := Quantile(xs, a)
+		vb, err2 := Quantile(xs, b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		mn, _ := Min(xs)
+		mx, _ := Max(xs)
+		return va <= vb+1e-9 && va >= mn-1e-9 && vb <= mx+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed should produce identical streams")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should diverge")
+	}
+}
+
+func TestRNGBounds(t *testing.T) {
+	g := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if u := g.Uniform(2, 5); u < 2 || u >= 5 {
+			t.Fatalf("Uniform out of range: %v", u)
+		}
+		if x := g.BoundedNormal(50, 30, 0, 100); x < 0 || x > 100 {
+			t.Fatalf("BoundedNormal out of range: %v", x)
+		}
+		if p := g.Pareto(1, 2); p < 1 {
+			t.Fatalf("Pareto below scale: %v", p)
+		}
+		if e := g.Exponential(3); e < 0 {
+			t.Fatalf("Exponential negative: %v", e)
+		}
+	}
+}
+
+func TestRNGCategorical(t *testing.T) {
+	g := NewRNG(11)
+	counts := make([]int, 3)
+	w := []float64{1, 2, 7}
+	for i := 0; i < 30000; i++ {
+		idx := g.Categorical(w)
+		if idx < 0 || idx > 2 {
+			t.Fatalf("index out of range: %d", idx)
+		}
+		counts[idx]++
+	}
+	// Expect roughly 10%, 20%, 70%.
+	if f := float64(counts[2]) / 30000; f < 0.65 || f > 0.75 {
+		t.Errorf("heaviest weight frequency = %v, want ~0.7", f)
+	}
+	if got := g.Categorical([]float64{0, 0}); got != 0 {
+		t.Errorf("degenerate weights should return 0, got %d", got)
+	}
+}
+
+func TestRNGLogNormalPositive(t *testing.T) {
+	g := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		if x := g.LogNormal(1, 2); x <= 0 {
+			t.Fatalf("LogNormal non-positive: %v", x)
+		}
+	}
+}
+
+func TestRNGZipfSkew(t *testing.T) {
+	g := NewRNG(5)
+	z := g.Zipf(1.5, 1000)
+	zeros := 0
+	for i := 0; i < 10000; i++ {
+		if z.Uint64() == 0 {
+			zeros++
+		}
+	}
+	if zeros < 3000 {
+		t.Errorf("Zipf(1.5) rank-0 frequency = %d/10000, expected heavy head", zeros)
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	g := NewRNG(9)
+	f1 := g.Fork()
+	f2 := g.Fork()
+	eq := 0
+	for i := 0; i < 50; i++ {
+		if f1.Float64() == f2.Float64() {
+			eq++
+		}
+	}
+	if eq == 50 {
+		t.Error("forked streams should differ")
+	}
+}
+
+func TestSortInPlace(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	got := SortInPlace(xs)
+	if !sort.Float64sAreSorted(got) {
+		t.Errorf("not sorted: %v", got)
+	}
+	if &got[0] != &xs[0] {
+		t.Error("should sort in place")
+	}
+}

@@ -1,0 +1,194 @@
+// Package stream adapts the analysis workflow to live monitoring data, the
+// extension the paper's related-work section sketches ("since our pruning
+// techniques are applied after the rules are generated, we can integrate"
+// streaming miners into the workflow). A Miner maintains a sliding window
+// of the most recent transactions; snapshots mine the window with FP-Growth
+// and successive snapshots can be diffed to surface rules that appeared or
+// vanished — exactly what an operator dashboard needs to notice, say, a new
+// failure association emerging after a driver rollout.
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/fpgrowth"
+	"repro/internal/itemset"
+	"repro/internal/rules"
+	"repro/internal/transaction"
+)
+
+// Config sizes the window and fixes the mining thresholds.
+type Config struct {
+	// WindowSize is the number of most recent transactions retained.
+	WindowSize int
+	// MinSupport is the per-window support threshold; zero means 0.05.
+	MinSupport float64
+	// MaxLen caps itemset length; zero means 5.
+	MaxLen int
+	// MinLift filters generated rules; zero means 1.5.
+	MinLift float64
+}
+
+// Miner is a sliding-window association rule miner. It is not safe for
+// concurrent use; wrap it if multiple collectors feed one window.
+type Miner struct {
+	cfg     Config
+	catalog *itemset.Catalog
+	ring    [][]itemset.Item
+	next    int
+	filled  bool
+	total   int
+}
+
+// New returns a Miner over catalog (nil allocates a fresh one).
+func New(catalog *itemset.Catalog, cfg Config) (*Miner, error) {
+	if cfg.WindowSize < 1 {
+		return nil, fmt.Errorf("stream: window size %d", cfg.WindowSize)
+	}
+	if cfg.MinSupport == 0 {
+		cfg.MinSupport = 0.05
+	}
+	if cfg.MaxLen == 0 {
+		cfg.MaxLen = 5
+	}
+	if cfg.MinLift == 0 {
+		cfg.MinLift = 1.5
+	}
+	if catalog == nil {
+		catalog = itemset.NewCatalog()
+	}
+	return &Miner{
+		cfg:     cfg,
+		catalog: catalog,
+		ring:    make([][]itemset.Item, cfg.WindowSize),
+	}, nil
+}
+
+// Catalog returns the item catalog backing the miner.
+func (m *Miner) Catalog() *itemset.Catalog { return m.catalog }
+
+// Observe appends one transaction, evicting the oldest when the window is
+// full.
+func (m *Miner) Observe(items ...itemset.Item) {
+	m.ring[m.next] = itemset.NewSet(items...)
+	m.next++
+	m.total++
+	if m.next == len(m.ring) {
+		m.next = 0
+		m.filled = true
+	}
+}
+
+// ObserveNames is Observe with name interning.
+func (m *Miner) ObserveNames(names ...string) {
+	items := make([]itemset.Item, len(names))
+	for i, n := range names {
+		items[i] = m.catalog.Intern(n)
+	}
+	m.Observe(items...)
+}
+
+// Len returns the number of transactions currently in the window.
+func (m *Miner) Len() int {
+	if m.filled {
+		return len(m.ring)
+	}
+	return m.next
+}
+
+// Total returns the number of transactions ever observed.
+func (m *Miner) Total() int { return m.total }
+
+// Snapshot mines the current window and returns the rules above the lift
+// threshold, strongest first.
+func (m *Miner) Snapshot() []rules.Rule {
+	n := m.Len()
+	if n == 0 {
+		return nil
+	}
+	db := transaction.NewDB(m.catalog)
+	for i := 0; i < n; i++ {
+		db.Add(m.ring[i]...)
+	}
+	minCount := int(math.Ceil(m.cfg.MinSupport * float64(n)))
+	if minCount < 1 {
+		minCount = 1
+	}
+	frequent := fpgrowth.Mine(db, fpgrowth.Options{
+		MinCount: minCount,
+		MaxLen:   m.cfg.MaxLen,
+	})
+	return rules.Generate(frequent, n, rules.Options{MinLift: m.cfg.MinLift})
+}
+
+// Delta describes how the rule set changed between two snapshots.
+type Delta struct {
+	// Appeared holds rules present now but not before; Vanished the
+	// reverse. Both are sorted by descending lift.
+	Appeared, Vanished []rules.Rule
+	// Jaccard is the similarity of the two rule sets by structure
+	// (antecedent ⇒ consequent identity, ignoring metric drift): 1 means
+	// unchanged, 0 means disjoint.
+	Jaccard float64
+}
+
+// Diff compares two snapshots structurally.
+func Diff(prev, cur []rules.Rule) Delta {
+	key := func(r rules.Rule) string { return r.Antecedent.Key() + "=>" + r.Consequent.Key() }
+	prevKeys := make(map[string]bool, len(prev))
+	for _, r := range prev {
+		prevKeys[key(r)] = true
+	}
+	curKeys := make(map[string]bool, len(cur))
+	for _, r := range cur {
+		curKeys[key(r)] = true
+	}
+	var d Delta
+	for _, r := range cur {
+		if !prevKeys[key(r)] {
+			d.Appeared = append(d.Appeared, r)
+		}
+	}
+	for _, r := range prev {
+		if !curKeys[key(r)] {
+			d.Vanished = append(d.Vanished, r)
+		}
+	}
+	inter := 0
+	for k := range curKeys {
+		if prevKeys[k] {
+			inter++
+		}
+	}
+	union := len(prevKeys) + len(curKeys) - inter
+	if union == 0 {
+		d.Jaccard = 1
+	} else {
+		d.Jaccard = float64(inter) / float64(union)
+	}
+	sort.Slice(d.Appeared, func(i, j int) bool { return d.Appeared[i].Lift > d.Appeared[j].Lift })
+	sort.Slice(d.Vanished, func(i, j int) bool { return d.Vanished[i].Lift > d.Vanished[j].Lift })
+	return d
+}
+
+// KeywordDelta narrows a delta to the rules mentioning the keyword on
+// either side — the alerting primitive: "a new rule about job failure
+// appeared in the last window".
+func KeywordDelta(d Delta, keyword itemset.Item) Delta {
+	filter := func(rs []rules.Rule) []rules.Rule {
+		var out []rules.Rule
+		for _, r := range rs {
+			if r.Antecedent.Contains(keyword) || r.Consequent.Contains(keyword) {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	return Delta{
+		Appeared: filter(d.Appeared),
+		Vanished: filter(d.Vanished),
+		Jaccard:  d.Jaccard,
+	}
+}

@@ -1,0 +1,182 @@
+package stream
+
+import (
+	"testing"
+
+	"repro/internal/itemset"
+	"repro/internal/stats"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("zero window should error")
+	}
+	m, err := New(nil, Config{WindowSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.cfg.MinSupport != 0.05 || m.cfg.MaxLen != 5 || m.cfg.MinLift != 1.5 {
+		t.Errorf("defaults not applied: %+v", m.cfg)
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	m, err := New(nil, Config{WindowSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 0 {
+		t.Error("fresh window should be empty")
+	}
+	m.ObserveNames("a")
+	m.ObserveNames("b")
+	if m.Len() != 2 {
+		t.Errorf("Len = %d", m.Len())
+	}
+	m.ObserveNames("c")
+	m.ObserveNames("d") // evicts "a"
+	if m.Len() != 3 {
+		t.Errorf("Len = %d, want window size", m.Len())
+	}
+	if m.Total() != 4 {
+		t.Errorf("Total = %d", m.Total())
+	}
+	// "a" must be gone: a snapshot of the window has no rule or itemset
+	// mentioning it; easiest check is via a fresh snapshot's rules over a
+	// window where 'a' no longer reaches min support.
+	rules := m.Snapshot()
+	a, _ := m.Catalog().Lookup("a")
+	for _, r := range rules {
+		if r.Antecedent.Contains(a) || r.Consequent.Contains(a) {
+			t.Fatalf("evicted item still present: %v", r)
+		}
+	}
+}
+
+func TestSnapshotFindsWindowRules(t *testing.T) {
+	m, err := New(nil, Config{WindowSize: 200, MinLift: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := stats.NewRNG(1)
+	// Phase 1: x and y co-occur strongly.
+	for i := 0; i < 200; i++ {
+		if g.Bernoulli(0.5) {
+			m.ObserveNames("x", "y")
+		} else {
+			m.ObserveNames("z")
+		}
+	}
+	snap := m.Snapshot()
+	if len(snap) == 0 {
+		t.Fatal("expected rules in phase 1")
+	}
+	x, _ := m.Catalog().Lookup("x")
+	y, _ := m.Catalog().Lookup("y")
+	foundXY := false
+	for _, r := range snap {
+		if r.Antecedent.Contains(x) && r.Consequent.Contains(y) {
+			foundXY = true
+		}
+	}
+	if !foundXY {
+		t.Fatal("x => y rule missing")
+	}
+}
+
+func TestDriftDetection(t *testing.T) {
+	m, err := New(nil, Config{WindowSize: 300, MinLift: 1.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := stats.NewRNG(2)
+	healthy := func() {
+		if g.Bernoulli(0.5) {
+			m.ObserveNames("train", "gpu_busy")
+		} else {
+			m.ObserveNames("infer", "gpu_idle")
+		}
+	}
+	for i := 0; i < 300; i++ {
+		healthy()
+	}
+	before := m.Snapshot()
+
+	// Regime change: a new failure association floods in.
+	for i := 0; i < 300; i++ {
+		if g.Bernoulli(0.4) {
+			m.ObserveNames("driver_v2", "failed")
+		} else {
+			healthy()
+		}
+	}
+	after := m.Snapshot()
+
+	d := Diff(before, after)
+	if len(d.Appeared) == 0 {
+		t.Fatal("regime change should create new rules")
+	}
+	if d.Jaccard >= 0.99 {
+		t.Errorf("Jaccard = %v, expected visible drift", d.Jaccard)
+	}
+	failed, _ := m.Catalog().Lookup("failed")
+	kd := KeywordDelta(d, failed)
+	if len(kd.Appeared) == 0 {
+		t.Fatal("failure keyword delta should flag the new rule")
+	}
+	for _, r := range kd.Appeared {
+		if !r.Antecedent.Contains(failed) && !r.Consequent.Contains(failed) {
+			t.Fatalf("keyword delta leaked unrelated rule: %v", r)
+		}
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	m, err := New(nil, Config{WindowSize: 100, MinLift: 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		m.ObserveNames("a", "b")
+	}
+	s1 := m.Snapshot()
+	s2 := m.Snapshot()
+	d := Diff(s1, s2)
+	if len(d.Appeared) != 0 || len(d.Vanished) != 0 {
+		t.Errorf("identical snapshots should not differ: %+v", d)
+	}
+	if d.Jaccard != 1 {
+		t.Errorf("Jaccard = %v, want 1", d.Jaccard)
+	}
+}
+
+func TestDiffEmptyBothSides(t *testing.T) {
+	d := Diff(nil, nil)
+	if d.Jaccard != 1 {
+		t.Errorf("empty-vs-empty Jaccard = %v, want 1 (nothing changed)", d.Jaccard)
+	}
+}
+
+func TestSnapshotEmptyWindow(t *testing.T) {
+	m, err := New(nil, Config{WindowSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Snapshot(); got != nil {
+		t.Errorf("empty window snapshot = %v", got)
+	}
+}
+
+func TestObserveCanonicalizes(t *testing.T) {
+	m, err := New(nil, Config{WindowSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := m.Catalog().Intern("b") // id 0
+	a := m.Catalog().Intern("a") // id 1
+	m.Observe(b, a, b)
+	// Canonical form sorts by item id and removes duplicates.
+	if got := itemset.Set(m.ring[0]); !got.Equal(itemset.NewSet(a, b)) {
+		t.Errorf("transaction not canonical: %v", got)
+	}
+}

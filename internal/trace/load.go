@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/dataset"
+)
+
+// Save writes the trace in the raw two-file layout cmd/tracegen produces:
+// <dir>/<name>_scheduler.csv and <dir>/<name>_node.csv.
+func (t *Trace) Save(dir string) error {
+	if err := t.Scheduler.WriteCSVFile(filepath.Join(dir, t.Name+"_scheduler.csv")); err != nil {
+		return fmt.Errorf("trace: saving scheduler file: %w", err)
+	}
+	if err := t.Node.WriteCSVFile(filepath.Join(dir, t.Name+"_node.csv")); err != nil {
+		return fmt.Errorf("trace: saving node file: %w", err)
+	}
+	return nil
+}
+
+// Load reads a trace back from the two-file layout, validating that both
+// files share the job_id key column and cover the same jobs.
+func Load(dir, name string) (*Trace, error) {
+	sched, err := dataset.ReadCSVFile(filepath.Join(dir, name+"_scheduler.csv"))
+	if err != nil {
+		return nil, fmt.Errorf("trace: loading scheduler file: %w", err)
+	}
+	node, err := dataset.ReadCSVFile(filepath.Join(dir, name+"_node.csv"))
+	if err != nil {
+		return nil, fmt.Errorf("trace: loading node file: %w", err)
+	}
+	for _, f := range []*dataset.Frame{sched, node} {
+		if !f.Has("job_id") {
+			return nil, fmt.Errorf("trace: %s files must carry a job_id column", name)
+		}
+	}
+	tr := &Trace{Name: name, Scheduler: sched, Node: node}
+	joined, err := tr.Join()
+	if err != nil {
+		return nil, err
+	}
+	if joined.NumRows() != sched.NumRows() {
+		return nil, fmt.Errorf("trace: node file covers %d of %d scheduler jobs", joined.NumRows(), sched.NumRows())
+	}
+	return tr, nil
+}

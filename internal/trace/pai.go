@@ -1,0 +1,476 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// DefaultPAIJobs is the default PAI scale: one tenth of the paper's 850k.
+const DefaultPAIJobs = 85000
+
+// PAI archetypes. Each generated job belongs to exactly one archetype; the
+// archetype fixes the joint distribution of its attributes. The mixture is
+// calibrated so the workflow rediscovers the paper's Table II / V / VIII
+// rules and the Fig. 4/5 headline fractions (46 % zero-SM jobs, highest
+// failure rate of the three traces).
+const (
+	paiTemplate  = iota // low-customization TF template jobs, idle GPU
+	paiFailGroup        // the dominant failing user's frequent-group jobs
+	paiBigMisuse        // large GPU gangs that never touch the GPU and fail
+	paiRecSys           // recommender inference: T4, many parallel tasks
+	paiNLP              // language models: GPU-bound, zero CPU utilization
+	paiCV               // vision training: balanced utilization
+	paiNormal           // healthy mixed workload
+	paiArchetypes
+)
+
+var paiWeights = [paiArchetypes]float64{
+	paiTemplate:  0.28,
+	paiFailGroup: 0.12,
+	paiBigMisuse: 0.06,
+	paiRecSys:    0.10,
+	paiNLP:       0.07,
+	paiCV:        0.07,
+	paiNormal:    0.30,
+}
+
+type paiJob struct {
+	id, user, group, gpuType, framework, model string
+	cpuRequest, gpuRequest, memRequestGB       float64
+	numTasks                                   int
+	submitS, queueS, runtimeS                  float64
+	cpuUtil, smUtil, memUsedGB, gmemUsedGB     float64
+	failed                                     bool
+}
+
+// stdCPURequest is the platform's default CPU allocation: roughly half of
+// all jobs request exactly this count, which the workflow detects as the
+// "Std" bin.
+const stdCPURequest = 600
+
+// stdMemRequest is the default memory allocation in GB.
+const stdMemRequest = 30
+
+// GeneratePAI generates the Alibaba-PAI-like MLaaS trace.
+func GeneratePAI(cfg Config) (*Trace, error) {
+	n := cfg.Jobs
+	if n == 0 {
+		n = DefaultPAIJobs
+	}
+	if n < 0 {
+		return nil, errNegativeJobs("pai", n)
+	}
+	root := stats.NewRNG(cfg.Seed)
+	jobs := make([]paiJob, n)
+	window := float64(n) * 6 // ≈ the paper's arrival rate (850k over 2 months)
+
+	shards := makeShards(n, cfg.Workers, root)
+	runShards(shards, func(s shard) {
+		g := s.rng
+		for i := s.start; i < s.start+s.n; i++ {
+			jobs[i] = genPAIJob(g, i, window)
+		}
+	})
+	gpus, err := paiQueueWaits(jobs, window, root.Fork())
+	if err != nil {
+		return nil, err
+	}
+	tr := paiFrames(jobs)
+	tr.GPUs = gpus
+	return tr, nil
+}
+
+// paiSubmitTime draws an arrival with a diurnal intensity pattern: demand
+// roughly doubles at daytime peaks. The bursts are what make queues form at
+// sub-unit average utilization, as on the real platform.
+func paiSubmitTime(g *stats.RNG, window float64) float64 {
+	for {
+		t := g.Float64() * window
+		intensity := 1 + 0.8*math.Sin(2*math.Pi*t/86400)
+		if g.Float64()*1.8 < intensity {
+			return t
+		}
+	}
+}
+
+func genPAIJob(g *stats.RNG, i int, window float64) paiJob {
+	j := paiJob{id: jobID("pai", i), submitS: paiSubmitTime(g, window)}
+	arch := g.Categorical(paiWeights[:])
+	switch arch {
+	case paiTemplate:
+		// Low-customization exploration: frequent user, every request
+		// left at the default, TF template, tiny GPU ask, idle GPU.
+		j.user = paiTemplateUser(g)
+		j.group = paiBroadGroup(g)
+		j.gpuType = "none"
+		j.framework = "tensorflow"
+		j.cpuRequest = stdCPURequest
+		j.gpuRequest = 1 + float64(g.Intn(2))
+		j.memRequestGB = stdMemRequest
+		j.numTasks = 1
+		j.runtimeS = g.LogNormal(4.5, 1.0)
+		j.cpuUtil = g.Uniform(1, 10)
+		j.smUtil = 0
+		j.memUsedGB = g.Uniform(0.05, 1)
+		j.gmemUsedGB = 0
+		j.failed = g.Bernoulli(0.30)
+	case paiFailGroup:
+		// One dominant user re-submitting a frequent-group job whose
+		// container dies before anything reaches the GPU.
+		j.user = "user-fail"
+		j.group = paiFailGroupName(g)
+		j.gpuType = "none"
+		j.framework = "tensorflow"
+		j.cpuRequest = g.Uniform(50, 200)
+		j.gpuRequest = g.Uniform(25, 99)
+		j.memRequestGB = stdMemRequest
+		j.numTasks = 1
+		j.runtimeS = g.LogNormal(5.0, 1.0)
+		j.cpuUtil = g.Uniform(1, 8)
+		j.smUtil = 0
+		j.memUsedGB = g.Uniform(0.05, 1)
+		j.gmemUsedGB = 0
+		j.failed = g.Bernoulli(0.95)
+	case paiBigMisuse:
+		// Users deploying at scale without testing small first.
+		j.user = paiZipfUser(g)
+		j.group = paiBroadGroup(g)
+		j.gpuType = paiPick(g, "none", 0.5, "v100", 0.3, "p100")
+		j.framework = paiPick(g, "tensorflow", 0.5, "pytorch", 0.3, "other")
+		j.cpuRequest = g.Uniform(100, 1200)
+		j.gpuRequest = g.Uniform(25, 99)
+		j.memRequestGB = g.Uniform(16, 128)
+		j.numTasks = 1
+		j.runtimeS = g.LogNormal(6.0, 1.0)
+		j.cpuUtil = g.Uniform(1, 10)
+		j.smUtil = 0
+		j.memUsedGB = g.Uniform(0.1, 2)
+		j.gmemUsedGB = 0
+		j.failed = g.Bernoulli(0.90)
+	case paiRecSys:
+		j.user = paiZipfUser(g)
+		j.group = paiBroadGroup(g)
+		j.gpuType = "t4"
+		j.framework = paiPick(g, "tensorflow", 0.55, "pytorch", 0.35, "other")
+		j.cpuRequest = paiMaybeStd(g, 0.2, 100, 1500)
+		j.gpuRequest = 2 + float64(g.Intn(7))
+		j.memRequestGB = paiMaybeStdMem(g, 0.4, 8, 128)
+		j.numTasks = 3 + g.Intn(8)
+		j.model = paiPick(g, "dlrm", 0.4, "din", 0.35, "dssm")
+		j.runtimeS = g.LogNormal(8.0, 1.0)
+		j.cpuUtil = g.Uniform(30, 70)
+		j.smUtil = g.Uniform(20, 60)
+		j.memUsedGB = g.Uniform(4, 64)
+		j.gmemUsedGB = g.Uniform(2, 14)
+		j.failed = g.Bernoulli(0.06)
+	case paiNLP:
+		j.user = paiZipfUser(g)
+		j.group = paiBroadGroup(g)
+		j.gpuType = paiPick(g, "v100", 0.6, "p100", 0.4, "v100")
+		j.framework = paiPick(g, "pytorch", 0.6, "tensorflow", 0.4, "pytorch")
+		j.cpuRequest = g.Uniform(100, 400)
+		j.gpuRequest = 8 + float64(g.Intn(57))
+		j.memRequestGB = paiMaybeStdMem(g, 0.3, 16, 256)
+		j.numTasks = 1
+		j.model = paiPick(g, "bert", 0.45, "nmt", 0.3, "xlnet")
+		j.runtimeS = g.LogNormal(9.5, 1.0)
+		if g.Bernoulli(0.85) {
+			j.cpuUtil = 0 // all preprocessing is offloaded; the CPU idles
+		} else {
+			j.cpuUtil = g.Uniform(1, 5)
+		}
+		j.smUtil = g.Uniform(75, 100)
+		j.memUsedGB = g.Uniform(8, 128)
+		j.gmemUsedGB = g.Uniform(8, 30)
+		j.failed = g.Bernoulli(0.06)
+	case paiCV:
+		j.user = paiZipfUser(g)
+		j.group = paiBroadGroup(g)
+		j.gpuType = paiPick(g, "v100", 0.4, "p100", 0.3, "none")
+		j.framework = paiPick(g, "pytorch", 0.5, "tensorflow", 0.4, "other")
+		j.cpuRequest = paiMaybeStd(g, 0.15, 100, 2000)
+		j.gpuRequest = 2 + float64(g.Intn(15))
+		j.memRequestGB = paiMaybeStdMem(g, 0.4, 8, 128)
+		j.numTasks = paiTasks(g)
+		j.model = paiPick(g, "resnet", 0.45, "vgg", 0.3, "inception")
+		j.runtimeS = g.LogNormal(8.5, 1.0)
+		j.cpuUtil = g.Uniform(20, 60)
+		j.smUtil = g.Uniform(40, 90)
+		j.memUsedGB = g.Uniform(4, 64)
+		j.gmemUsedGB = g.Uniform(4, 24)
+		j.failed = g.Bernoulli(0.08)
+	default: // paiNormal
+		j.user = paiZipfUser(g)
+		if g.Bernoulli(0.15) {
+			j.group = paiFailGroupName(g) // healthy jobs in the hot groups
+		} else {
+			j.group = paiBroadGroup(g)
+		}
+		j.gpuType = paiPick(g, "none", 0.4, "t4", 0.33, "v100")
+		j.framework = paiPick(g, "pytorch", 0.45, "tensorflow", 0.35, "other")
+		j.cpuRequest = paiMaybeStd(g, 0.1, 100, 2000)
+		j.gpuRequest = math.Ceil(g.LogNormal(1.5, 1.0))
+		if j.gpuRequest > 99 {
+			j.gpuRequest = 99
+		}
+		j.memRequestGB = paiMaybeStdMem(g, 0.5, 8, 256)
+		j.numTasks = paiTasks(g)
+		if g.Bernoulli(0.10) {
+			j.model = paiPick(g, "resnet", 0.3, "bert", 0.3, "dlrm")
+		}
+		j.runtimeS = g.LogNormal(7.5, 1.5)
+		j.cpuUtil = g.Uniform(10, 90)
+		j.smUtil = g.Uniform(15, 95)
+		j.memUsedGB = g.Uniform(2, 200)
+		j.gmemUsedGB = g.Uniform(1, 30)
+		j.failed = g.Bernoulli(0.10)
+	}
+	return j
+}
+
+// User and group populations.
+
+func paiTemplateUser(g *stats.RNG) string {
+	return "user-tmpl-" + string(rune('0'+g.Intn(3)))
+}
+
+func paiZipfUser(g *stats.RNG) string {
+	// Flattened Zipf over ~1230 remaining users (paper: 1242 users
+	// total): activity is skewed, but no background user outranks the
+	// planted template and failing users.
+	u := g.ZipfFlat(1.4, 5, 1230).Uint64()
+	return "user-" + itoa(int(u))
+}
+
+func paiFailGroupName(g *stats.RNG) string {
+	return "grp-hot-" + string(rune('0'+g.Intn(2)))
+}
+
+// paiBroadGroup spreads the non-hot jobs nearly uniformly over many groups
+// so that none of them rivals the hot failing groups in frequency.
+func paiBroadGroup(g *stats.RNG) string {
+	return "grp-" + itoa(g.Intn(400))
+}
+
+func paiTasks(g *stats.RNG) int {
+	if g.Bernoulli(0.8) {
+		return 1
+	}
+	return 2 + g.Intn(3)
+}
+
+// paiPick returns a with probability pa, b with probability pb, else c.
+func paiPick(g *stats.RNG, a string, pa float64, b string, pb float64, c string) string {
+	u := g.Float64()
+	switch {
+	case u < pa:
+		return a
+	case u < pa+pb:
+		return b
+	default:
+		return c
+	}
+}
+
+func paiMaybeStd(g *stats.RNG, pStd, lo, hi float64) float64 {
+	if g.Bernoulli(pStd) {
+		return stdCPURequest
+	}
+	return g.Uniform(lo, hi)
+}
+
+func paiMaybeStdMem(g *stats.RNG, pStd, lo, hi float64) float64 {
+	if g.Bernoulli(pStd) {
+		return stdMemRequest
+	}
+	return g.Uniform(lo, hi)
+}
+
+// paiQueueWaits runs the gang scheduler over three pools whose capacities
+// are derived from the generated demand: the T4 pool is kept lightly loaded
+// and the performant pool near saturation, reproducing the PAI1/PAI2
+// queue-time asymmetry at the paper's 1:3.5 T4:non-T4 hardware ratio.
+// paiQueueWaits simulates the scheduler and returns the total GPU capacity
+// it provisioned.
+func paiQueueWaits(jobs []paiJob, window float64, g *stats.RNG) (int, error) {
+	pool := func(t string) string {
+		switch t {
+		case "t4":
+			return "t4"
+		case "p100", "v100":
+			return "perf"
+		default:
+			return "misc"
+		}
+	}
+	demand := map[string]float64{}
+	maxGang := map[string]int{}
+	reqs := make([]cluster.Request, len(jobs))
+	for i, j := range jobs {
+		p := pool(j.gpuType)
+		gpus := int(j.gpuRequest)
+		if gpus < 1 {
+			gpus = 1
+		}
+		demand[p] += float64(gpus) * j.runtimeS
+		if gpus > maxGang[p] {
+			maxGang[p] = gpus
+		}
+		reqs[i] = cluster.Request{ID: j.id, Type: p, GPUs: gpus, Submit: j.submitS, Duration: j.runtimeS}
+	}
+	// Target utilizations: T4 light, performant pool oversubscribed,
+	// misc moderately loaded. Combined with the diurnal arrival bursts,
+	// these produce the paper's queue asymmetry.
+	rho := map[string]float64{"t4": 0.30, "perf": 1.15, "misc": 0.90}
+	var pools []cluster.Pool
+	totalGPUs := 0
+	for name, d := range demand {
+		capacity := int(math.Ceil(d / (window * rho[name])))
+		if capacity < 2*maxGang[name] {
+			capacity = 2 * maxGang[name]
+		}
+		totalGPUs += capacity
+		pools = append(pools, cluster.Pool{Type: name, Capacity: capacity})
+	}
+	sched, err := cluster.New(pools)
+	if err != nil {
+		return 0, err
+	}
+	// Warm start: replay the whole workload in a preceding window so the
+	// measured window starts with the pools already occupied — otherwise
+	// the first arrivals into a saturated pool would report zero waits
+	// that a steady-state cluster never shows.
+	warm := make([]cluster.Request, 0, 2*len(reqs))
+	for _, r := range reqs {
+		w := r
+		w.ID = "warm-" + r.ID
+		warm = append(warm, w)
+	}
+	for _, r := range reqs {
+		r.Submit += window
+		warm = append(warm, r)
+	}
+	all, err := sched.Run(warm)
+	if err != nil {
+		return 0, err
+	}
+	placements := all[len(reqs):]
+	for i := range jobs {
+		// Every job additionally pays a few seconds of scheduler
+		// overhead, so the wait distribution has spread even in the
+		// uncontended pools.
+		jobs[i].queueS = placements[i].QueueWait + g.Uniform(1, 10)
+	}
+	return totalGPUs, nil
+}
+
+func paiFrames(jobs []paiJob) *Trace {
+	n := len(jobs)
+	ids := make([]string, n)
+	users := make([]string, n)
+	groups := make([]string, n)
+	gpuTypes := make([]string, n)
+	frameworks := make([]string, n)
+	models := make([]string, n)
+	modelValid := make([]bool, n)
+	cpuReq := make([]float64, n)
+	gpuReq := make([]float64, n)
+	memReq := make([]float64, n)
+	numTasks := make([]int64, n)
+	multiTask := make([]bool, n)
+	submit := make([]float64, n)
+	queue := make([]float64, n)
+	runtime := make([]float64, n)
+	status := make([]string, n)
+
+	ids2 := make([]string, n)
+	cpuUtil := make([]float64, n)
+	smUtil := make([]float64, n)
+	memUsed := make([]float64, n)
+	gmemUsed := make([]float64, n)
+
+	for i, j := range jobs {
+		ids[i] = j.id
+		users[i] = j.user
+		groups[i] = j.group
+		gpuTypes[i] = j.gpuType
+		frameworks[i] = j.framework
+		models[i] = j.model
+		modelValid[i] = j.model != ""
+		cpuReq[i] = j.cpuRequest
+		gpuReq[i] = j.gpuRequest
+		memReq[i] = j.memRequestGB
+		numTasks[i] = int64(j.numTasks)
+		multiTask[i] = j.numTasks > 1
+		submit[i] = j.submitS
+		queue[i] = j.queueS
+		runtime[i] = j.runtimeS
+		if j.failed {
+			status[i] = StatusFailed
+		} else {
+			status[i] = StatusSuccess
+		}
+		ids2[i] = j.id
+		cpuUtil[i] = j.cpuUtil
+		smUtil[i] = j.smUtil
+		memUsed[i] = j.memUsedGB
+		gmemUsed[i] = j.gmemUsedGB
+	}
+	sched := dataset.MustNew(
+		dataset.NewString("job_id", ids),
+		dataset.NewString("user", users),
+		dataset.NewString("group", groups),
+		dataset.NewString("gpu_type", gpuTypes),
+		dataset.NewString("framework", frameworks),
+		dataset.NewString("model", models).WithValidity(modelValid),
+		dataset.NewFloat("cpu_request", cpuReq),
+		dataset.NewFloat("gpu_request", gpuReq),
+		dataset.NewFloat("mem_request_gb", memReq),
+		dataset.NewInt("num_tasks", numTasks),
+		dataset.NewBool("multi_task", multiTask),
+		dataset.NewFloat("submit_s", submit),
+		dataset.NewFloat("queue_s", queue),
+		dataset.NewFloat("runtime_s", runtime),
+		dataset.NewString("status", status),
+	)
+	node := dataset.MustNew(
+		dataset.NewString("job_id", ids2),
+		dataset.NewFloat("cpu_util", cpuUtil),
+		dataset.NewFloat("sm_util", smUtil),
+		dataset.NewFloat("mem_used_gb", memUsed),
+		dataset.NewFloat("gmem_used_gb", gmemUsed),
+	)
+	return &Trace{Name: "pai", Scheduler: sched, Node: node}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+func errNegativeJobs(name string, n int) error {
+	return &ConfigError{Trace: name, Jobs: n}
+}
+
+// ConfigError reports an invalid generator configuration.
+type ConfigError struct {
+	Trace string
+	Jobs  int
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("trace: invalid job count %d for %s", e.Jobs, e.Trace)
+}

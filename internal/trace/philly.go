@@ -1,0 +1,235 @@
+package trace
+
+import (
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/monitoring"
+	"repro/internal/stats"
+)
+
+// DefaultPhillyJobs is the default Philly scale: half the paper's 100k jobs.
+const DefaultPhillyJobs = 50000
+
+// phillyInterval is Philly's Ganglia-style sampling interval.
+const phillyInterval = time.Minute
+
+// Philly archetypes.
+const (
+	phIdle     = iota // jobs that never exercised the GPU
+	phMulti           // distributed multi-GPU training (fragile gangs)
+	phNew             // new users' first jobs
+	phTraining        // healthy single-GPU training
+	phLongFail        // long runs that eventually die
+	phArchetypes
+)
+
+var phWeights = [phArchetypes]float64{
+	phIdle:     0.30,
+	phMulti:    0.12,
+	phNew:      0.18,
+	phTraining: 0.34,
+	phLongFail: 0.06,
+}
+
+type phJob struct {
+	id, user, vc       string
+	gpus               int
+	attempts           int
+	gpuMemGB           int
+	submitS, runtimeS  float64
+	status             string
+	cpuUtil, memUsedGB float64
+	metrics            monitoring.JobMetrics
+}
+
+// GeneratePhilly generates the Microsoft-Philly-like trace: 14 virtual
+// clusters on two GPU SKUs (12 GB and 24 GB), 1-minute telemetry, automatic
+// retry on failure, and the multi-GPU / new-user failure structure the
+// paper's Table VII reports.
+func GeneratePhilly(cfg Config) (*Trace, error) {
+	n := cfg.Jobs
+	if n == 0 {
+		n = DefaultPhillyJobs
+	}
+	if n < 0 {
+		return nil, errNegativeJobs("philly", n)
+	}
+	root := stats.NewRNG(cfg.Seed)
+	jobs := make([]phJob, n)
+	window := float64(n) * 65 // ≈ the paper's arrival rate (100k over 75 days)
+
+	shards := makeShards(n, cfg.Workers, root)
+	runShards(shards, func(s shard) {
+		g := s.rng
+		for i := s.start; i < s.start+s.n; i++ {
+			jobs[i] = genPhillyJob(g, i, window)
+		}
+	})
+	return phFrames(jobs), nil
+}
+
+func genPhillyJob(g *stats.RNG, i int, window float64) phJob {
+	j := phJob{
+		id:      jobID("ph", i),
+		submitS: g.Float64() * window,
+		vc:      "vc" + itoa(1+g.Intn(14)),
+		gpus:    1,
+	}
+	// Two SKUs; the 24 GB machines host about 30% of jobs.
+	j.gpuMemGB = 12
+	if g.Bernoulli(0.30) {
+		j.gpuMemGB = 24
+	}
+
+	arch := g.Categorical(phWeights[:])
+	var profile monitoring.Profile
+	switch arch {
+	case phIdle:
+		j.user = phZipfUser(g)
+		j.runtimeS = g.LogNormal(5.5, 1.0)
+		j.cpuUtil = g.Uniform(1, 10)
+		j.memUsedGB = g.Uniform(0.5, 4)
+		profile = monitoring.IdleProfile()
+		j.status = scStatus(g, 0.10, 0.15)
+	case phMulti:
+		// Distributed training: one worker dying kills the whole gang.
+		j.user = phZipfUser(g)
+		j.gpus = 2 << g.Intn(3) // 2, 4 or 8
+		j.runtimeS = g.LogNormal(11.0, 1.0)
+		j.cpuUtil = g.Uniform(20, 80)
+		j.memUsedGB = g.Uniform(8, 128)
+		profile = monitoring.TrainingProfile(g.Uniform(40, 90), g.Uniform(6, float64(j.gpuMemGB)-1))
+		j.status = scStatus(g, 0.40, 0.10)
+	case phNew:
+		j.user = phNewUser(g, i)
+		if g.Bernoulli(0.20) {
+			j.gpus = 2
+		}
+		j.runtimeS = g.LogNormal(6.0, 1.2)
+		if g.Bernoulli(0.3) {
+			j.cpuUtil = g.Uniform(1, 10)
+			j.memUsedGB = g.Uniform(0.5, 4)
+			profile = monitoring.IdleProfile()
+		} else {
+			j.cpuUtil = g.Uniform(10, 60)
+			j.memUsedGB = g.Uniform(2, 32)
+			profile = monitoring.TrainingProfile(g.Uniform(20, 70), g.Uniform(2, 10))
+		}
+		j.status = scStatus(g, 0.38, 0.12)
+	case phTraining:
+		j.user = phZipfUser(g)
+		j.runtimeS = g.LogNormal(8.5, 1.3)
+		j.cpuUtil = g.Uniform(15, 85)
+		j.memUsedGB = g.Uniform(4, 64)
+		profile = monitoring.TrainingProfile(g.Uniform(35, 95), g.Uniform(4, float64(j.gpuMemGB)-1))
+		if g.Bernoulli(0.30) {
+			// Occasional idle minutes (data stalls) make the 1-minute
+			// minimum hit zero without moving the average much.
+			profile.Bursty = true
+			profile.BurstProb = 0.97
+		}
+		j.status = scStatus(g, 0.06, 0.12)
+	default: // phLongFail
+		j.user = phZipfUser(g)
+		j.runtimeS = g.LogNormal(12.0, 0.6)
+		j.cpuUtil = g.Uniform(15, 80)
+		j.memUsedGB = g.Uniform(4, 64)
+		profile = monitoring.TrainingProfile(g.Uniform(30, 85), g.Uniform(4, 10))
+		profile.Bursty = true
+		profile.BurstProb = 0.95
+		j.status = StatusFailed
+	}
+
+	duration := time.Duration(j.runtimeS * float64(time.Second))
+	j.metrics = monitoring.Collect(g, profile, duration, phillyInterval)
+
+	// Philly auto-retries failed jobs, but not always successfully and
+	// not always at all. Failed jobs whose GPU showed an idle window are
+	// retried more aggressively (the scheduler suspects a node issue).
+	j.attempts = 1
+	if j.status == StatusFailed {
+		p := 0.35
+		if j.metrics.SMUtilMin == 0 {
+			p = 0.55
+		}
+		if g.Bernoulli(p) {
+			j.attempts = 2 + g.Intn(2)
+		}
+	}
+	return j
+}
+
+func phZipfUser(g *stats.RNG) string {
+	return "phuser-" + itoa(int(g.Zipf(1.5, 230).Uint64()))
+}
+
+func phNewUser(g *stats.RNG, i int) string {
+	_ = g
+	return "phnew-" + itoa(i%600)
+}
+
+func phFrames(jobs []phJob) *Trace {
+	n := len(jobs)
+	ids := make([]string, n)
+	users := make([]string, n)
+	vcs := make([]string, n)
+	gpus := make([]int64, n)
+	multi := make([]bool, n)
+	attempts := make([]int64, n)
+	retried := make([]bool, n)
+	submit := make([]float64, n)
+	runtime := make([]float64, n)
+	status := make([]string, n)
+
+	ids2 := make([]string, n)
+	cpuUtil := make([]float64, n)
+	memUsed := make([]float64, n)
+	smUtil := make([]float64, n)
+	smMin := make([]float64, n)
+	smMax := make([]float64, n)
+	gpuMem := make([]int64, n)
+
+	for i, j := range jobs {
+		ids[i] = j.id
+		users[i] = j.user
+		vcs[i] = j.vc
+		gpus[i] = int64(j.gpus)
+		multi[i] = j.gpus > 1
+		attempts[i] = int64(j.attempts)
+		retried[i] = j.attempts > 1
+		submit[i] = j.submitS
+		runtime[i] = j.runtimeS
+		status[i] = j.status
+		ids2[i] = j.id
+		cpuUtil[i] = j.cpuUtil
+		memUsed[i] = j.memUsedGB
+		smUtil[i] = j.metrics.SMUtilAvg
+		smMin[i] = j.metrics.SMUtilMin
+		smMax[i] = j.metrics.SMUtilMax
+		gpuMem[i] = int64(j.gpuMemGB)
+	}
+	sched := dataset.MustNew(
+		dataset.NewString("job_id", ids),
+		dataset.NewString("user", users),
+		dataset.NewString("vc", vcs),
+		dataset.NewInt("gpus", gpus),
+		dataset.NewBool("multi_gpu", multi),
+		dataset.NewInt("num_attempts", attempts),
+		dataset.NewBool("retried", retried),
+		dataset.NewFloat("submit_s", submit),
+		dataset.NewFloat("runtime_s", runtime),
+		dataset.NewString("status", status),
+	)
+	node := dataset.MustNew(
+		dataset.NewString("job_id", ids2),
+		dataset.NewFloat("cpu_util", cpuUtil),
+		dataset.NewFloat("mem_used_gb", memUsed),
+		dataset.NewFloat("sm_util", smUtil),
+		dataset.NewFloat("sm_util_min", smMin),
+		dataset.NewFloat("sm_util_max", smMax),
+		dataset.NewInt("gpu_mem_gb", gpuMem),
+	)
+	// ~2.5k GPUs across the 14 virtual clusters, as in the paper's Table I.
+	return &Trace{Name: "philly", Scheduler: sched, Node: node, GPUs: 2500}
+}

@@ -1,0 +1,225 @@
+package trace
+
+import (
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/monitoring"
+	"repro/internal/stats"
+)
+
+// DefaultSuperCloudJobs is the default SuperCloud scale: half the paper's
+// 98k jobs.
+const DefaultSuperCloudJobs = 49000
+
+// superCloudInterval is the nvidia-smi sampling interval on SuperCloud.
+const superCloudInterval = 100 * time.Millisecond
+
+// SuperCloud archetypes.
+const (
+	scIdle      = iota // requested a GPU and never used it
+	scInference        // serving jobs: memory resident, SM mostly idle
+	scTraining         // healthy training workload
+	scLongFail         // long jobs killed by node failures or time limits
+	scNewbie           // new users experimenting (and often aborting)
+	scArchetypes
+)
+
+var scWeights = [scArchetypes]float64{
+	scIdle:      0.06,
+	scInference: 0.03,
+	scTraining:  0.71,
+	scLongFail:  0.06,
+	scNewbie:    0.14,
+}
+
+type scJob struct {
+	id, user           string
+	cpus, gpus         int
+	submitS, runtimeS  float64
+	status             string
+	cpuUtil, memUsedGB float64
+	metrics            monitoring.JobMetrics
+}
+
+// GenerateSuperCloud generates the MIT-SuperCloud-like trace: a homogeneous
+// V100 cluster whose per-job GPU features (average, variance, min/max of SM
+// and memory utilization, power) are reduced from simulated 100 ms
+// telemetry streams.
+func GenerateSuperCloud(cfg Config) (*Trace, error) {
+	n := cfg.Jobs
+	if n == 0 {
+		n = DefaultSuperCloudJobs
+	}
+	if n < 0 {
+		return nil, errNegativeJobs("supercloud", n)
+	}
+	root := stats.NewRNG(cfg.Seed)
+	jobs := make([]scJob, n)
+	window := float64(n) * 200 // ≈ the paper's arrival rate (98k over 8 months)
+
+	shards := makeShards(n, cfg.Workers, root)
+	runShards(shards, func(s shard) {
+		g := s.rng
+		for i := s.start; i < s.start+s.n; i++ {
+			jobs[i] = genSCJob(g, i, window)
+		}
+	})
+	return scFrames(jobs), nil
+}
+
+func genSCJob(g *stats.RNG, i int, window float64) scJob {
+	j := scJob{id: jobID("sc", i), submitS: g.Float64() * window}
+	// 97% of SuperCloud jobs are single-GPU (two V100s per node).
+	j.gpus = 1
+	if g.Bernoulli(0.03) {
+		j.gpus = 2
+	}
+	j.cpus = 4 * (1 + g.Intn(10))
+
+	arch := g.Categorical(scWeights[:])
+	var profile monitoring.Profile
+	switch arch {
+	case scIdle:
+		if g.Bernoulli(0.5) {
+			j.user = scNewUser(g, i)
+		} else {
+			j.user = scZipfUser(g)
+		}
+		j.runtimeS = g.LogNormal(4.5, 1.0)
+		j.cpuUtil = g.Uniform(1, 8)
+		j.memUsedGB = g.Uniform(0.2, 2)
+		profile = monitoring.IdleProfile()
+		j.status = scStatus(g, 0.30, 0.25)
+	case scInference:
+		j.user = scZipfUser(g)
+		j.runtimeS = g.LogNormal(10.0, 1.0)
+		j.cpuUtil = g.Uniform(2, 15)
+		j.memUsedGB = g.Uniform(1, 8)
+		profile = monitoring.InferenceProfile(g.Uniform(8, 24))
+		profile.BurstProb = 0.01 // average SM stays below the zero-bin epsilon
+		j.status = scStatus(g, 0.08, 0.10)
+	case scTraining:
+		j.user = scZipfUser(g)
+		j.runtimeS = g.LogNormal(8.0, 1.5)
+		j.cpuUtil = g.Uniform(20, 90)
+		j.memUsedGB = g.Uniform(4, 128)
+		profile = monitoring.TrainingProfile(g.Uniform(30, 95), g.Uniform(4, 30))
+		j.status = scStatus(g, 0.05, 0.13)
+	case scLongFail:
+		// Long jobs that eventually die: stalled I/O, shrunk inputs or
+		// hung workers keep the GPU nearly idle at low power until a
+		// node failure or the time limit kills the allocation.
+		j.user = scZipfUser(g)
+		j.runtimeS = g.LogNormal(11.5, 0.7) // 8 hours to weeks
+		j.cpuUtil = g.Uniform(5, 25)
+		j.memUsedGB = g.Uniform(4, 64)
+		profile = monitoring.TrainingProfile(g.Uniform(3, 15), g.Uniform(0.5, 3))
+		j.status = StatusFailed
+	default: // scNewbie
+		j.user = scNewUser(g, i)
+		j.runtimeS = g.LogNormal(5.5, 1.2)
+		if g.Bernoulli(0.25) {
+			j.cpuUtil = g.Uniform(1, 8)
+			j.memUsedGB = g.Uniform(0.2, 2)
+			profile = monitoring.IdleProfile()
+		} else {
+			j.cpuUtil = g.Uniform(10, 60)
+			j.memUsedGB = g.Uniform(1, 32)
+			profile = monitoring.TrainingProfile(g.Uniform(15, 60), g.Uniform(2, 12))
+		}
+		j.status = scStatus(g, 0.18, 0.30)
+	}
+	duration := time.Duration(j.runtimeS * float64(time.Second))
+	j.metrics = monitoring.Collect(g, profile, duration, superCloudInterval)
+	return j
+}
+
+// scStatus draws the exit status from failure and kill probabilities.
+func scStatus(g *stats.RNG, pFail, pKill float64) string {
+	u := g.Float64()
+	switch {
+	case u < pFail:
+		return StatusFailed
+	case u < pFail+pKill:
+		return StatusKilled
+	default:
+		return StatusSuccess
+	}
+}
+
+func scZipfUser(g *stats.RNG) string {
+	return "scuser-" + itoa(int(g.Zipf(1.5, 220).Uint64()))
+}
+
+// scNewUser emits mostly one-shot users so the frequency-tier preprocessing
+// classifies them as "new"; the job index keeps ids unique across shards.
+func scNewUser(g *stats.RNG, i int) string {
+	_ = g
+	return "scnew-" + itoa(i%600)
+}
+
+func scFrames(jobs []scJob) *Trace {
+	n := len(jobs)
+	ids := make([]string, n)
+	users := make([]string, n)
+	cpus := make([]int64, n)
+	gpus := make([]int64, n)
+	multi := make([]bool, n)
+	submit := make([]float64, n)
+	runtime := make([]float64, n)
+	status := make([]string, n)
+
+	ids2 := make([]string, n)
+	cpuUtil := make([]float64, n)
+	memUsed := make([]float64, n)
+	smUtil := make([]float64, n)
+	smVar := make([]float64, n)
+	gmemUtil := make([]float64, n)
+	gmemVar := make([]float64, n)
+	gmemUsed := make([]float64, n)
+	power := make([]float64, n)
+
+	for i, j := range jobs {
+		ids[i] = j.id
+		users[i] = j.user
+		cpus[i] = int64(j.cpus)
+		gpus[i] = int64(j.gpus)
+		multi[i] = j.gpus > 1
+		submit[i] = j.submitS
+		runtime[i] = j.runtimeS
+		status[i] = j.status
+		ids2[i] = j.id
+		cpuUtil[i] = j.cpuUtil
+		memUsed[i] = j.memUsedGB
+		smUtil[i] = j.metrics.SMUtilAvg
+		smVar[i] = j.metrics.SMUtilVar
+		gmemUtil[i] = j.metrics.GMemUtilAvg
+		gmemVar[i] = j.metrics.GMemUtilVar
+		gmemUsed[i] = j.metrics.GMemUsedAvg
+		power[i] = j.metrics.PowerAvgW
+	}
+	sched := dataset.MustNew(
+		dataset.NewString("job_id", ids),
+		dataset.NewString("user", users),
+		dataset.NewInt("cpus", cpus),
+		dataset.NewInt("gpus", gpus),
+		dataset.NewBool("multi_gpu", multi),
+		dataset.NewFloat("submit_s", submit),
+		dataset.NewFloat("runtime_s", runtime),
+		dataset.NewString("status", status),
+	)
+	node := dataset.MustNew(
+		dataset.NewString("job_id", ids2),
+		dataset.NewFloat("cpu_util", cpuUtil),
+		dataset.NewFloat("mem_used_gb", memUsed),
+		dataset.NewFloat("sm_util", smUtil),
+		dataset.NewFloat("sm_util_var", smVar),
+		dataset.NewFloat("gmem_util", gmemUtil),
+		dataset.NewFloat("gmem_util_var", gmemVar),
+		dataset.NewFloat("gmem_used_gb", gmemUsed),
+		dataset.NewFloat("gpu_power_w", power),
+	)
+	// 225 dual-V100 nodes, as in the paper's Table I.
+	return &Trace{Name: "supercloud", Scheduler: sched, Node: node, GPUs: 450}
+}

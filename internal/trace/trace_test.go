@@ -1,0 +1,383 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+const testJobs = 4000
+
+func genAll(t *testing.T) map[string]*Trace {
+	t.Helper()
+	pai, err := GeneratePAI(Config{Jobs: testJobs, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := GenerateSuperCloud(Config{Jobs: testJobs, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph, err := GeneratePhilly(Config{Jobs: testJobs, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*Trace{"pai": pai, "supercloud": sc, "philly": ph}
+}
+
+func zeroSMFraction(t *testing.T, tr *Trace, eps float64) float64 {
+	t.Helper()
+	col := tr.Node.MustColumn("sm_util")
+	zero := 0
+	for i := 0; i < col.Len(); i++ {
+		if col.Float(i) <= eps {
+			zero++
+		}
+	}
+	return float64(zero) / float64(col.Len())
+}
+
+func statusFraction(t *testing.T, tr *Trace, status string) float64 {
+	t.Helper()
+	counts, err := tr.Scheduler.ValueCounts("status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return float64(counts[status]) / float64(tr.Scheduler.NumRows())
+}
+
+// TestHeadlineFractions pins the Fig. 4 / Fig. 5 calibration targets.
+func TestHeadlineFractions(t *testing.T) {
+	traces := genAll(t)
+
+	// Fig. 4: zero-SM mass ≈ 46% (PAI), ≈ 10% (SuperCloud), ≈ 35% (Philly).
+	if f := zeroSMFraction(t, traces["pai"], 0); f < 0.40 || f > 0.52 {
+		t.Errorf("PAI zero-SM fraction = %.3f, want ≈0.46", f)
+	}
+	if f := zeroSMFraction(t, traces["supercloud"], 0.5); f < 0.06 || f > 0.16 {
+		t.Errorf("SuperCloud zero-SM fraction = %.3f, want ≈0.10", f)
+	}
+	if f := zeroSMFraction(t, traces["philly"], 0.5); f < 0.28 || f > 0.44 {
+		t.Errorf("Philly zero-SM fraction = %.3f, want ≈0.35", f)
+	}
+
+	// Fig. 5: every trace fails >13% of jobs; PAI fails the most; killed
+	// exists only on SuperCloud and Philly.
+	paiFail := statusFraction(t, traces["pai"], StatusFailed)
+	scFail := statusFraction(t, traces["supercloud"], StatusFailed)
+	phFail := statusFraction(t, traces["philly"], StatusFailed)
+	for name, f := range map[string]float64{"pai": paiFail, "supercloud": scFail, "philly": phFail} {
+		if f < 0.13 {
+			t.Errorf("%s failed fraction = %.3f, want > 0.13", name, f)
+		}
+	}
+	if paiFail <= scFail || paiFail <= phFail {
+		t.Errorf("PAI should fail most: pai=%.3f sc=%.3f ph=%.3f", paiFail, scFail, phFail)
+	}
+	if f := statusFraction(t, traces["pai"], StatusKilled); f != 0 {
+		t.Errorf("PAI should have no killed label, got %.3f", f)
+	}
+	if f := statusFraction(t, traces["supercloud"], StatusKilled); f < 0.08 {
+		t.Errorf("SuperCloud killed fraction = %.3f, want significant", f)
+	}
+	if f := statusFraction(t, traces["philly"], StatusKilled); f < 0.05 {
+		t.Errorf("Philly killed fraction = %.3f, want significant", f)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := GeneratePAI(Config{Jobs: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GeneratePAI(Config{Jobs: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFramesEqual(t, a.Scheduler, b.Scheduler)
+	assertFramesEqual(t, a.Node, b.Node)
+	c, err := GeneratePAI(Config{Jobs: 500, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if framesEqual(a.Scheduler, c.Scheduler) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestWorkerCountInvariance(t *testing.T) {
+	a, err := GenerateSuperCloud(Config{Jobs: 600, Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateSuperCloud(Config{Jobs: 600, Seed: 3, Workers: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different worker counts shard the RNG differently, so exact equality
+	// is not expected — but the aggregate distribution must be stable.
+	za := zeroSMFractionF(a)
+	zb := zeroSMFractionF(b)
+	if diff := za - zb; diff > 0.05 || diff < -0.05 {
+		t.Errorf("worker count changed zero-SM mass: %.3f vs %.3f", za, zb)
+	}
+	// Same worker count must be bit-identical.
+	c, err := GenerateSuperCloud(Config{Jobs: 600, Seed: 3, Workers: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFramesEqual(t, b.Node, c.Node)
+}
+
+func zeroSMFractionF(tr *Trace) float64 {
+	col := tr.Node.MustColumn("sm_util")
+	zero := 0
+	for i := 0; i < col.Len(); i++ {
+		if col.Float(i) <= 0.5 {
+			zero++
+		}
+	}
+	return float64(zero) / float64(col.Len())
+}
+
+func framesEqual(a, b *dataset.Frame) bool {
+	if a.NumRows() != b.NumRows() || a.NumCols() != b.NumCols() {
+		return false
+	}
+	for ci := 0; ci < a.NumCols(); ci++ {
+		ca, cb := a.ColumnAt(ci), b.ColumnAt(ci)
+		if ca.Name() != cb.Name() || ca.Kind() != cb.Kind() {
+			return false
+		}
+		for i := 0; i < ca.Len(); i++ {
+			if ca.IsValid(i) != cb.IsValid(i) {
+				return false
+			}
+			if ca.IsValid(i) && ca.Format(i) != cb.Format(i) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func assertFramesEqual(t *testing.T, a, b *dataset.Frame) {
+	t.Helper()
+	if !framesEqual(a, b) {
+		t.Fatal("frames differ")
+	}
+}
+
+func TestJoinCoversAllJobs(t *testing.T) {
+	for name, tr := range genAll(t) {
+		joined, err := tr.Join()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if joined.NumRows() != tr.Scheduler.NumRows() {
+			t.Errorf("%s: join lost rows: %d vs %d", name, joined.NumRows(), tr.Scheduler.NumRows())
+		}
+		if joined.NumCols() != tr.Scheduler.NumCols()+tr.Node.NumCols()-1 {
+			t.Errorf("%s: join column count %d unexpected", name, joined.NumCols())
+		}
+	}
+}
+
+func TestPAIQueueAsymmetry(t *testing.T) {
+	pai, err := GeneratePAI(Config{Jobs: 8000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := pai.Scheduler.MustColumn("gpu_type")
+	q := pai.Scheduler.MustColumn("queue_s")
+	var t4Sum, perfSum float64
+	var t4N, perfN int
+	for i := 0; i < gt.Len(); i++ {
+		switch gt.Str(i) {
+		case "t4":
+			t4Sum += q.Float(i)
+			t4N++
+		case "p100", "v100":
+			perfSum += q.Float(i)
+			perfN++
+		}
+	}
+	if t4N == 0 || perfN == 0 {
+		t.Fatal("missing GPU types")
+	}
+	if t4Sum/float64(t4N) >= perfSum/float64(perfN) {
+		t.Errorf("T4 queues should be shorter: %.1f vs %.1f", t4Sum/float64(t4N), perfSum/float64(perfN))
+	}
+}
+
+func TestPAIStdRequests(t *testing.T) {
+	pai, err := GeneratePAI(Config{Jobs: 6000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := pai.Scheduler.MustColumn("cpu_request")
+	std := 0
+	for i := 0; i < cpu.Len(); i++ {
+		if cpu.Float(i) == stdCPURequest {
+			std++
+		}
+	}
+	// The paper's prose says ~50% of jobs request the default 600 cores,
+	// but its rule arithmetic (Table II C5: supp 0.11 at conf 0.61)
+	// implies a Std share nearer 0.2-0.35; the generator targets the
+	// latter so the C5/A2/A3 rules carry the paper's lift.
+	f := float64(std) / float64(cpu.Len())
+	if f < 0.25 || f > 0.45 {
+		t.Errorf("Std CPU request fraction = %.3f, want ≈0.33", f)
+	}
+}
+
+func TestPhillyStructure(t *testing.T) {
+	ph, err := GeneratePhilly(Config{Jobs: 6000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := ph.Scheduler.ValueCounts("status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = multi
+	mg := ph.Scheduler.MustColumn("multi_gpu")
+	st := ph.Scheduler.MustColumn("status")
+	at := ph.Scheduler.MustColumn("num_attempts")
+	nMulti, nMultiFail, nRetried := 0, 0, 0
+	for i := 0; i < mg.Len(); i++ {
+		if mg.Bool(i) {
+			nMulti++
+			if st.Str(i) == StatusFailed {
+				nMultiFail++
+			}
+		}
+		if at.Int(i) > 1 {
+			nRetried++
+			if st.Str(i) != StatusFailed {
+				t.Fatal("only failed jobs are retried")
+			}
+		}
+	}
+	multiFrac := float64(nMulti) / float64(mg.Len())
+	if multiFrac < 0.10 || multiFrac > 0.20 {
+		t.Errorf("multi-GPU fraction = %.3f, want ≈0.14", multiFrac)
+	}
+	// Multi-GPU jobs fail well above the base rate (paper Table VII C1
+	// reports lift 2.55; the mined rule needs at least the 1.5 lift
+	// threshold to surface).
+	baseFail := statusFraction(t, ph, StatusFailed)
+	multiFail := float64(nMultiFail) / float64(nMulti)
+	if multiFail < 1.55*baseFail {
+		t.Errorf("multi-GPU failure rate %.3f should clearly exceed base %.3f", multiFail, baseFail)
+	}
+	if nRetried == 0 {
+		t.Error("expected some retried jobs")
+	}
+}
+
+func TestSuperCloudTelemetryColumns(t *testing.T) {
+	sc, err := GenerateSuperCloud(Config{Jobs: 1500, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"sm_util", "sm_util_var", "gmem_util", "gmem_util_var", "gmem_used_gb", "gpu_power_w"} {
+		col := sc.Node.MustColumn(name)
+		for i := 0; i < col.Len(); i++ {
+			if v := col.Float(i); v < 0 {
+				t.Fatalf("%s has negative value %v", name, v)
+			}
+		}
+	}
+	// Power must separate idle from busy jobs.
+	sm := sc.Node.MustColumn("sm_util")
+	pw := sc.Node.MustColumn("gpu_power_w")
+	var idleP, busyP float64
+	var idleN, busyN int
+	for i := 0; i < sm.Len(); i++ {
+		if sm.Float(i) <= 0.5 {
+			idleP += pw.Float(i)
+			idleN++
+		} else if sm.Float(i) > 50 {
+			busyP += pw.Float(i)
+			busyN++
+		}
+	}
+	if idleN == 0 || busyN == 0 {
+		t.Fatal("missing idle or busy jobs")
+	}
+	if idleP/float64(idleN) >= busyP/float64(busyN)/2 {
+		t.Errorf("idle power %.1f should be well below busy %.1f", idleP/float64(idleN), busyP/float64(busyN))
+	}
+}
+
+func TestNegativeJobsRejected(t *testing.T) {
+	if _, err := GeneratePAI(Config{Jobs: -1}); err == nil {
+		t.Error("negative jobs should error")
+	}
+	if _, err := GenerateSuperCloud(Config{Jobs: -1}); err == nil {
+		t.Error("negative jobs should error")
+	}
+	if _, err := GeneratePhilly(Config{Jobs: -1}); err == nil {
+		t.Error("negative jobs should error")
+	}
+}
+
+func TestUserPopulations(t *testing.T) {
+	pai, err := GeneratePAI(Config{Jobs: 5000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := pai.Scheduler.ValueCounts("user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["user-fail"] < 400 {
+		t.Errorf("dominant failing user has %d jobs, want ≈12%% of 5000", counts["user-fail"])
+	}
+	if len(counts) < 100 {
+		t.Errorf("user population too small: %d", len(counts))
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	orig, err := GeneratePhilly(Config{Jobs: 600, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(dir, "philly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Scheduler.NumRows() != orig.Scheduler.NumRows() {
+		t.Errorf("rows = %d, want %d", back.Scheduler.NumRows(), orig.Scheduler.NumRows())
+	}
+	assertFramesEqual(t, orig.Node, back.Node)
+}
+
+func TestLoadErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Load(dir, "missing"); err == nil {
+		t.Error("missing files should error")
+	}
+	// A node file that lacks half the jobs must be rejected.
+	tr, err := GeneratePAI(Config{Jobs: 100, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	truncated := tr.Node.Head(50)
+	if err := truncated.WriteCSVFile(dir + "/pai_node.csv"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, "pai"); err == nil {
+		t.Error("incomplete node coverage should error")
+	}
+}

@@ -1,0 +1,100 @@
+package transaction
+
+import "sort"
+
+// Tier labels produced by FrequencyTiers.
+const (
+	TierFrequent = "frequent"
+	TierRegular  = "regular"
+	TierNew      = "new"
+)
+
+// FrequencyTiers classifies each row's categorical value (typically a user
+// or job-group id) by how active that value is overall, mirroring the
+// paper's preprocessing: the most active values jointly responsible for
+// topShare of the rows are labelled "frequent", the least active values
+// jointly responsible for bottomShare are labelled "new", everything in
+// between "regular". Both shares are fractions in [0, 1]; the paper uses
+// 0.25 for users.
+func FrequencyTiers(values []string, topShare, bottomShare float64) []string {
+	counts := make(map[string]int)
+	for _, v := range values {
+		if v != "" {
+			counts[v]++
+		}
+	}
+	type vc struct {
+		v string
+		c int
+	}
+	ordered := make([]vc, 0, len(counts))
+	for v, c := range counts {
+		ordered = append(ordered, vc{v, c})
+	}
+	// Most active first; ties broken by name for determinism.
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].c != ordered[j].c {
+			return ordered[i].c > ordered[j].c
+		}
+		return ordered[i].v < ordered[j].v
+	})
+	total := 0
+	for _, e := range ordered {
+		total += e.c
+	}
+	tier := make(map[string]string, len(ordered))
+	// Walk from the most active down, assigning "frequent" until the
+	// cumulative share reaches topShare.
+	acc := 0
+	i := 0
+	for ; i < len(ordered); i++ {
+		if total > 0 && float64(acc) >= topShare*float64(total) {
+			break
+		}
+		tier[ordered[i].v] = TierFrequent
+		acc += ordered[i].c
+	}
+	// Walk from the least active up, assigning "new" while staying within
+	// bottomShare (never overriding "frequent"). Unlike the top walk, the
+	// value that would cross the threshold is excluded: a moderately
+	// active user must not be dragged into the "new" tier.
+	acc = 0
+	for j := len(ordered) - 1; j >= i; j-- {
+		if total > 0 && float64(acc+ordered[j].c) > bottomShare*float64(total) {
+			break
+		}
+		tier[ordered[j].v] = TierNew
+		acc += ordered[j].c
+	}
+	out := make([]string, len(values))
+	for k, v := range values {
+		if v == "" {
+			continue
+		}
+		if t, ok := tier[v]; ok {
+			out[k] = t
+		} else {
+			out[k] = TierRegular
+		}
+	}
+	return out
+}
+
+// MapValues rewrites each value through groups (e.g. {"resnet": "CV",
+// "bert": "NLP"}). Values missing from groups map to fallback; empty values
+// stay empty. This is the paper's aggregation of low-support categorical
+// values into families.
+func MapValues(values []string, groups map[string]string, fallback string) []string {
+	out := make([]string, len(values))
+	for i, v := range values {
+		if v == "" {
+			continue
+		}
+		if g, ok := groups[v]; ok {
+			out[i] = g
+		} else {
+			out[i] = fallback
+		}
+	}
+	return out
+}

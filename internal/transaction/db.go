@@ -1,0 +1,222 @@
+// Package transaction builds the mining database from a preprocessed data
+// frame. It implements the paper's data-engineering steps: one-hot encoding
+// of nominal job attributes into items, dropping items present in more than
+// 80 % of jobs (they generate uninteresting rules), aggregating rare
+// categorical values into groups, and tiering users/groups by activity
+// (frequent / regular / new).
+package transaction
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+)
+
+// DB is a horizontal transaction database: one sorted itemset per job.
+type DB struct {
+	catalog *itemset.Catalog
+	txns    [][]itemset.Item
+}
+
+// NewDB returns an empty database over catalog. A nil catalog allocates a
+// fresh one.
+func NewDB(catalog *itemset.Catalog) *DB {
+	if catalog == nil {
+		catalog = itemset.NewCatalog()
+	}
+	return &DB{catalog: catalog}
+}
+
+// Catalog returns the item catalog backing the database.
+func (db *DB) Catalog() *itemset.Catalog { return db.catalog }
+
+// Len returns the number of transactions.
+func (db *DB) Len() int { return len(db.txns) }
+
+// Txn returns the i-th transaction. Callers must not modify it.
+func (db *DB) Txn(i int) []itemset.Item { return db.txns[i] }
+
+// Add appends a transaction given item ids; the items are canonicalized
+// (sorted, deduplicated).
+func (db *DB) Add(items ...itemset.Item) {
+	db.txns = append(db.txns, itemset.NewSet(items...))
+}
+
+// AddNames appends a transaction given item names, interning as needed.
+func (db *DB) AddNames(names ...string) {
+	items := make([]itemset.Item, len(names))
+	for i, n := range names {
+		items[i] = db.catalog.Intern(n)
+	}
+	db.Add(items...)
+}
+
+// SupportCount returns the number of transactions containing every item in
+// s, by linear scan. Miners compute this faster; the scan is the oracle the
+// tests compare against.
+func (db *DB) SupportCount(s itemset.Set) int {
+	n := 0
+	for _, t := range db.txns {
+		if itemset.Set(t).ContainsAll(s) {
+			n++
+		}
+	}
+	return n
+}
+
+// Support returns SupportCount(s) as a fraction of the database size.
+func (db *DB) Support(s itemset.Set) float64 {
+	if len(db.txns) == 0 {
+		return 0
+	}
+	return float64(db.SupportCount(s)) / float64(len(db.txns))
+}
+
+// ItemCounts returns the per-item transaction counts, indexed by item id.
+func (db *DB) ItemCounts() []int {
+	counts := make([]int, db.catalog.Len())
+	for _, t := range db.txns {
+		for _, it := range t {
+			counts[it]++
+		}
+	}
+	return counts
+}
+
+// Vertical returns the tid-list (sorted transaction indices) per item id —
+// the representation the Eclat miner consumes.
+func (db *DB) Vertical() [][]int32 {
+	lists := make([][]int32, db.catalog.Len())
+	for tid, t := range db.txns {
+		for _, it := range t {
+			lists[it] = append(lists[it], int32(tid))
+		}
+	}
+	return lists
+}
+
+// AvgLen returns the mean transaction length, a density measure used when
+// reporting miner benchmarks.
+func (db *DB) AvgLen() float64 {
+	if len(db.txns) == 0 {
+		return 0
+	}
+	total := 0
+	for _, t := range db.txns {
+		total += len(t)
+	}
+	return float64(total) / float64(len(db.txns))
+}
+
+// EncodeOptions configures Encode.
+type EncodeOptions struct {
+	// MaxPrevalence drops items appearing in more than this fraction of
+	// transactions. Zero means the paper's 0.8. Set to 1 to disable.
+	MaxPrevalence float64
+	// Skip lists column names to exclude from encoding (identifiers such
+	// as job ids that would otherwise become singleton items).
+	Skip []string
+	// KeepAlways lists item names exempt from prevalence dropping, so a
+	// keyword under study is never silently removed.
+	KeepAlways []string
+}
+
+// Encode one-hot encodes a frame into a transaction database. String columns
+// contribute items named "col=value"; bool columns contribute a presence
+// item named after the column when true; null cells contribute nothing.
+// Numeric columns must be discretized into string columns beforehand —
+// encountering one is an error, because silently skipping it would hide a
+// preprocessing bug.
+func Encode(f *dataset.Frame, opts EncodeOptions) (*DB, error) {
+	maxPrev := opts.MaxPrevalence
+	if maxPrev == 0 {
+		maxPrev = 0.8
+	}
+	skip := make(map[string]bool, len(opts.Skip))
+	for _, s := range opts.Skip {
+		skip[s] = true
+	}
+
+	db := NewDB(nil)
+	n := f.NumRows()
+	// First pass: collect raw items per row and global counts.
+	rows := make([][]itemset.Item, n)
+	counts := make(map[itemset.Item]int)
+	for ci := 0; ci < f.NumCols(); ci++ {
+		col := f.ColumnAt(ci)
+		if skip[col.Name()] {
+			continue
+		}
+		switch col.Kind() {
+		case dataset.String:
+			for i := 0; i < n; i++ {
+				if !col.IsValid(i) || col.Str(i) == "" {
+					continue
+				}
+				it := db.catalog.Intern(col.Name() + "=" + col.Str(i))
+				rows[i] = append(rows[i], it)
+				counts[it]++
+			}
+		case dataset.Bool:
+			for i := 0; i < n; i++ {
+				if !col.IsValid(i) || !col.Bool(i) {
+					continue
+				}
+				it := db.catalog.Intern(col.Name())
+				rows[i] = append(rows[i], it)
+				counts[it]++
+			}
+		default:
+			return nil, fmt.Errorf("transaction: column %q is %v; discretize numeric features before encoding", col.Name(), col.Kind())
+		}
+	}
+	// Second pass: drop over-prevalent items (the "single GPU"-style items
+	// the paper removes) unless explicitly kept.
+	keep := make(map[itemset.Item]bool, len(opts.KeepAlways))
+	for _, name := range opts.KeepAlways {
+		if id, ok := db.catalog.Lookup(name); ok {
+			keep[id] = true
+		}
+	}
+	limit := int(maxPrev * float64(n))
+	for i, items := range rows {
+		filtered := make([]itemset.Item, 0, len(items))
+		for _, it := range items {
+			if counts[it] > limit && !keep[it] {
+				continue
+			}
+			filtered = append(filtered, it)
+		}
+		rows[i] = filtered
+	}
+	for _, items := range rows {
+		db.Add(items...)
+	}
+	return db, nil
+}
+
+// Prevalence returns each item's share of transactions, sorted descending,
+// as (name, fraction) pairs — handy for inspecting what Encode dropped.
+func (db *DB) Prevalence() []ItemShare {
+	counts := db.ItemCounts()
+	out := make([]ItemShare, 0, len(counts))
+	for id, c := range counts {
+		if c == 0 {
+			continue
+		}
+		out = append(out, ItemShare{
+			Name:  db.catalog.Name(itemset.Item(id)),
+			Share: float64(c) / float64(db.Len()),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Share > out[j].Share })
+	return out
+}
+
+// ItemShare pairs an item name with its transaction share.
+type ItemShare struct {
+	Name  string
+	Share float64
+}

@@ -1,0 +1,266 @@
+package transaction
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+)
+
+func TestAddAndSupport(t *testing.T) {
+	db := NewDB(nil)
+	db.AddNames("a", "b")
+	db.AddNames("a")
+	db.AddNames("b", "c", "a")
+	if db.Len() != 3 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	a, _ := db.Catalog().Lookup("a")
+	b, _ := db.Catalog().Lookup("b")
+	c, _ := db.Catalog().Lookup("c")
+	if got := db.SupportCount(itemset.NewSet(a)); got != 3 {
+		t.Errorf("supp(a) = %d, want 3", got)
+	}
+	if got := db.SupportCount(itemset.NewSet(a, b)); got != 2 {
+		t.Errorf("supp(ab) = %d, want 2", got)
+	}
+	if got := db.SupportCount(itemset.NewSet(a, b, c)); got != 1 {
+		t.Errorf("supp(abc) = %d, want 1", got)
+	}
+	if got := db.Support(itemset.NewSet(a)); got != 1.0 {
+		t.Errorf("Support(a) = %v, want 1", got)
+	}
+}
+
+func TestAddCanonicalizes(t *testing.T) {
+	db := NewDB(nil)
+	x := db.Catalog().Intern("x")
+	y := db.Catalog().Intern("y")
+	db.Add(y, x, y)
+	txn := db.Txn(0)
+	if len(txn) != 2 || txn[0] != x || txn[1] != y {
+		t.Errorf("transaction not canonical: %v", txn)
+	}
+}
+
+func TestItemCountsAndVertical(t *testing.T) {
+	db := NewDB(nil)
+	db.AddNames("a", "b")
+	db.AddNames("b")
+	counts := db.ItemCounts()
+	a, _ := db.Catalog().Lookup("a")
+	b, _ := db.Catalog().Lookup("b")
+	if counts[a] != 1 || counts[b] != 2 {
+		t.Errorf("counts = %v", counts)
+	}
+	vert := db.Vertical()
+	if len(vert[b]) != 2 || vert[b][0] != 0 || vert[b][1] != 1 {
+		t.Errorf("tidlist(b) = %v", vert[b])
+	}
+}
+
+func TestAvgLen(t *testing.T) {
+	db := NewDB(nil)
+	if db.AvgLen() != 0 {
+		t.Error("empty DB AvgLen should be 0")
+	}
+	db.AddNames("a", "b")
+	db.AddNames("a")
+	if got := db.AvgLen(); got != 1.5 {
+		t.Errorf("AvgLen = %v", got)
+	}
+}
+
+func TestEncodeBasics(t *testing.T) {
+	f := dataset.MustNew(
+		dataset.NewString("job", []string{"j1", "j2", "j3"}),
+		dataset.NewString("user_tier", []string{"frequent", "new", "frequent"}),
+		dataset.NewBool("multi_gpu", []bool{true, false, true}),
+		dataset.NewString("framework", []string{"tensorflow", "", "pytorch"}),
+	)
+	db, err := Encode(f, EncodeOptions{Skip: []string{"job"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 3 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	if _, ok := db.Catalog().Lookup("job=j1"); ok {
+		t.Error("skipped column should not be encoded")
+	}
+	tf, ok := db.Catalog().Lookup("framework=tensorflow")
+	if !ok {
+		t.Fatal("framework item missing")
+	}
+	if got := db.SupportCount(itemset.NewSet(tf)); got != 1 {
+		t.Errorf("supp(tensorflow) = %d", got)
+	}
+	mg, ok := db.Catalog().Lookup("multi_gpu")
+	if !ok {
+		t.Fatal("bool presence item missing")
+	}
+	if got := db.SupportCount(itemset.NewSet(mg)); got != 2 {
+		t.Errorf("supp(multi_gpu) = %d", got)
+	}
+	// Row j2: framework empty and multi_gpu false → only user_tier item.
+	if got := len(db.Txn(1)); got != 1 {
+		t.Errorf("txn 1 has %d items, want 1", got)
+	}
+}
+
+func TestEncodePrevalenceDrop(t *testing.T) {
+	n := 10
+	vals := make([]string, n)
+	rare := make([]string, n)
+	for i := range vals {
+		vals[i] = "x" // present in 100% of rows
+		if i == 0 {
+			rare[i] = "r"
+		}
+	}
+	f := dataset.MustNew(
+		dataset.NewString("common", vals),
+		dataset.NewString("rare", rare),
+	)
+	db, err := Encode(f, EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.Catalog().Lookup("common=x"); !ok {
+		t.Fatal("item should still be interned")
+	}
+	id, _ := db.Catalog().Lookup("common=x")
+	if got := db.SupportCount(itemset.NewSet(id)); got != 0 {
+		t.Errorf("over-prevalent item should be dropped from transactions, supp = %d", got)
+	}
+	rid, _ := db.Catalog().Lookup("rare=r")
+	if got := db.SupportCount(itemset.NewSet(rid)); got != 1 {
+		t.Errorf("rare item should survive, supp = %d", got)
+	}
+}
+
+func TestEncodeKeepAlways(t *testing.T) {
+	n := 10
+	vals := make([]string, n)
+	for i := range vals {
+		vals[i] = "failed"
+	}
+	f := dataset.MustNew(dataset.NewString("status", vals))
+	db, err := Encode(f, EncodeOptions{KeepAlways: []string{"status=failed"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := db.Catalog().Lookup("status=failed")
+	if got := db.SupportCount(itemset.NewSet(id)); got != n {
+		t.Errorf("KeepAlways item dropped, supp = %d", got)
+	}
+}
+
+func TestEncodeMaxPrevalenceDisable(t *testing.T) {
+	vals := []string{"x", "x", "x"}
+	f := dataset.MustNew(dataset.NewString("c", vals))
+	db, err := Encode(f, EncodeOptions{MaxPrevalence: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := db.Catalog().Lookup("c=x")
+	if got := db.SupportCount(itemset.NewSet(id)); got != 3 {
+		t.Errorf("MaxPrevalence=1 should keep everything, supp = %d", got)
+	}
+}
+
+func TestEncodeRejectsNumeric(t *testing.T) {
+	f := dataset.MustNew(dataset.NewFloat("util", []float64{1, 2}))
+	if _, err := Encode(f, EncodeOptions{}); err == nil || !strings.Contains(err.Error(), "discretize") {
+		t.Errorf("numeric column should error, got %v", err)
+	}
+}
+
+func TestEncodeNullsSkipped(t *testing.T) {
+	f := dataset.MustNew(
+		dataset.NewString("a", []string{"x", "y"}).WithValidity([]bool{true, false}),
+	)
+	db, err := Encode(f, EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(db.Txn(1)); got != 0 {
+		t.Errorf("null row should produce empty transaction, got %d items", got)
+	}
+}
+
+func TestPrevalence(t *testing.T) {
+	db := NewDB(nil)
+	db.AddNames("a", "b")
+	db.AddNames("b")
+	p := db.Prevalence()
+	if len(p) != 2 || p[0].Name != "b" || p[0].Share != 1.0 || p[1].Share != 0.5 {
+		t.Errorf("Prevalence = %v", p)
+	}
+}
+
+func TestFrequencyTiers(t *testing.T) {
+	// heavy submits 5 jobs (50%), mid 3 (30%), two singletons (20%).
+	values := []string{
+		"heavy", "heavy", "heavy", "heavy", "heavy",
+		"mid", "mid", "mid",
+		"one", "two",
+	}
+	tiers := FrequencyTiers(values, 0.25, 0.25)
+	if tiers[0] != TierFrequent {
+		t.Errorf("heavy tier = %s, want frequent", tiers[0])
+	}
+	if tiers[8] != TierNew || tiers[9] != TierNew {
+		t.Errorf("singleton tiers = %s/%s, want new", tiers[8], tiers[9])
+	}
+	if tiers[5] != TierRegular {
+		t.Errorf("mid tier = %s, want regular", tiers[5])
+	}
+}
+
+func TestFrequencyTiersEmptyValues(t *testing.T) {
+	tiers := FrequencyTiers([]string{"", "u", ""}, 0.5, 0.0)
+	if tiers[0] != "" || tiers[2] != "" {
+		t.Error("empty values should stay empty")
+	}
+	if tiers[1] != TierFrequent {
+		t.Errorf("single user should be frequent, got %s", tiers[1])
+	}
+}
+
+func TestFrequencyTiersDeterministicTies(t *testing.T) {
+	values := []string{"a", "b"} // both 50%
+	t1 := FrequencyTiers(values, 0.5, 0.0)
+	t2 := FrequencyTiers(values, 0.5, 0.0)
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatal("tie-breaking should be deterministic")
+		}
+	}
+	// topShare 0.5 covered by the first value alone (name order: a first).
+	if t1[0] != TierFrequent || t1[1] != TierRegular {
+		t.Errorf("tiers = %v", t1)
+	}
+}
+
+func TestFrequencyTiersAllCovered(t *testing.T) {
+	values := []string{"a", "a", "b", "c"}
+	tiers := FrequencyTiers(values, 1.0, 0.0)
+	for i, tier := range tiers {
+		if tier != TierFrequent {
+			t.Errorf("row %d tier = %s, want frequent with topShare=1", i, tier)
+		}
+	}
+}
+
+func TestMapValues(t *testing.T) {
+	groups := map[string]string{"resnet": "CV", "vgg": "CV", "bert": "NLP"}
+	got := MapValues([]string{"resnet", "bert", "unknown", ""}, groups, "other")
+	want := []string{"CV", "NLP", "other", ""}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("MapValues[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package repro is the public facade of the interpretable GPU-cluster
+// trace-analysis library, a from-scratch Go reproduction of "Interpretable
+// Analysis of Production GPU Clusters Monitoring Data via Association Rule
+// Mining" (Li, Samsi, Gadepally, Tiwari — IPPS 2024).
+//
+// The library turns a cluster trace (a table of jobs with categorical and
+// continuous attributes) into interpretable association rules:
+//
+//	frame, _ := repro.ReadCSVFile("trace.csv")        // or build a Frame
+//	pipe := repro.NewPipeline()                        // declare features
+//	pipe.Features = []repro.FeatureSpec{{Column: "gpu_util", ZeroSpecial: true}}
+//	res, _ := pipe.Mine(frame)                         // FP-Growth at 5% support
+//	analysis, _ := res.Analyze("gpu_util=0%")          // keyword study
+//	fmt.Print(repro.FormatTable(analysis, 10))
+//
+// Everything the workflow depends on is implemented in this module:
+// a columnar data frame (internal/dataset), discretization
+// (internal/discretize), transaction encoding (internal/transaction), the
+// FP-Growth miner plus Apriori and Eclat baselines (internal/fpgrowth,
+// internal/apriori, internal/eclat), rule generation and the paper's
+// four-condition redundancy pruning (internal/rules, internal/pruning),
+// synthetic reproductions of the PAI / SuperCloud / Philly traces
+// (internal/trace) over a cluster-scheduler and GPU-telemetry simulation
+// (internal/cluster, internal/monitoring), and the full experiment suite
+// regenerating every table and figure of the paper (internal/experiments).
+package repro
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+// Re-exported pipeline types: declaring and running the analysis workflow.
+type (
+	// Pipeline declares preprocessing and mining for one trace.
+	Pipeline = core.Pipeline
+	// FeatureSpec declares discretization of a continuous column.
+	FeatureSpec = core.FeatureSpec
+	// TierSpec declares activity tiering of a categorical column.
+	TierSpec = core.TierSpec
+	// MapSpec declares aggregation of categorical values into families.
+	MapSpec = core.MapSpec
+	// Transform is an arbitrary frame preprocessing step.
+	Transform = core.Transform
+	// Options fixes the mining thresholds (zero value = paper settings).
+	Options = core.Options
+	// Result is a mined trace ready for keyword analyses.
+	Result = core.Result
+	// Analysis is a keyword study: pruned cause + characteristic rules.
+	Analysis = core.Analysis
+	// RuleView is a rendered rule with readable item names.
+	RuleView = core.RuleView
+)
+
+// Re-exported data types.
+type (
+	// Frame is the columnar table all preprocessing operates on.
+	Frame = dataset.Frame
+	// Column is one typed, named vector of a Frame.
+	Column = dataset.Column
+	// Trace is a generated synthetic trace in its raw two-file layout.
+	Trace = trace.Trace
+	// TraceConfig sizes and seeds a synthetic trace.
+	TraceConfig = trace.Config
+	// TraceSet bundles the three paper traces for the experiment suite.
+	TraceSet = experiments.TraceSet
+)
+
+// NewPipeline returns an empty pipeline with the paper's default thresholds
+// (5 % support, itemset length <= 5, lift >= 1.5, C_lift = C_supp = 1.5).
+func NewPipeline() *Pipeline { return &Pipeline{} }
+
+// Canonical per-trace pipelines from the case studies.
+var (
+	NewPAIPipeline        = core.PAIPipeline
+	NewSuperCloudPipeline = core.SuperCloudPipeline
+	NewPhillyPipeline     = core.PhillyPipeline
+)
+
+// Canonical keyword item names used in the case studies.
+const (
+	KeywordZeroSM = core.KeywordZeroSM
+	KeywordFailed = core.KeywordFailed
+	KeywordKilled = core.KeywordKilled
+)
+
+// Frame constructors and I/O.
+var (
+	// NewFrame builds a frame from columns.
+	NewFrame = dataset.New
+	// NewFloatColumn, NewIntColumn, NewStringColumn and NewBoolColumn
+	// build typed columns.
+	NewFloatColumn  = dataset.NewFloat
+	NewIntColumn    = dataset.NewInt
+	NewStringColumn = dataset.NewString
+	NewBoolColumn   = dataset.NewBool
+	// ReadCSVFile parses a CSV file with type inference.
+	ReadCSVFile = dataset.ReadCSVFile
+)
+
+// ReadCSV parses a CSV stream with type inference into a Frame.
+func ReadCSV(r io.Reader) (*Frame, error) { return dataset.ReadCSV(r) }
+
+// Synthetic trace generators reproducing the paper's three systems.
+var (
+	GeneratePAI        = trace.GeneratePAI
+	GenerateSuperCloud = trace.GenerateSuperCloud
+	GeneratePhilly     = trace.GeneratePhilly
+)
+
+// GenerateTraces produces all three traces for the experiment suite.
+var GenerateTraces = experiments.Generate
+
+// Rendering helpers.
+var (
+	// FormatTable renders a keyword analysis in the paper's table style.
+	FormatTable = core.FormatTable
+	// FormatRule renders a single rule.
+	FormatRule = core.FormatRule
+	// FindRule locates a rule containing the given items.
+	FindRule = core.FindRule
+	// TopByLift selects concise high-lift rules.
+	TopByLift = core.TopByLift
+)

@@ -1,0 +1,158 @@
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// TestPublicAPIWorkflow drives the whole library through the facade only:
+// build a frame, declare a pipeline, mine, analyze, render.
+func TestPublicAPIWorkflow(t *testing.T) {
+	n := 400
+	users := make([]string, n)
+	util := make([]float64, n)
+	failed := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if i%4 == 0 {
+			users[i] = "heavy"
+			util[i] = 0
+			failed[i] = true
+		} else {
+			users[i] = "u" + string(rune('a'+i%17))
+			util[i] = float64(5 + i%90)
+		}
+	}
+	frame, err := repro.NewFrame(
+		repro.NewStringColumn("user", users),
+		repro.NewFloatColumn("gpu_util", util),
+		repro.NewBoolColumn("failed", failed),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := repro.NewPipeline()
+	pipe.Features = []repro.FeatureSpec{{Column: "gpu_util", ZeroSpecial: true}}
+	pipe.Tiers = []repro.TierSpec{{Column: "user", Out: "user_tier"}}
+
+	res, err := pipe.Mine(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := res.Analyze("gpu_util=0%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Cause) == 0 {
+		t.Fatal("no cause rules")
+	}
+	if _, ok := repro.FindRule(a.Characteristic, []string{"gpu_util=0%"}, []string{"failed"}); !ok {
+		t.Error("planted association not found through facade")
+	}
+	out := repro.FormatTable(a, 5)
+	if !strings.Contains(out, "gpu_util=0%") {
+		t.Errorf("rendering broken:\n%s", out)
+	}
+}
+
+func TestPublicAPICSV(t *testing.T) {
+	frame, err := repro.ReadCSV(strings.NewReader("a,b\nx,1\ny,2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame.NumRows() != 2 {
+		t.Errorf("rows = %d", frame.NumRows())
+	}
+}
+
+func TestPublicAPITraceGenerators(t *testing.T) {
+	for name, gen := range map[string]func(repro.TraceConfig) (*repro.Trace, error){
+		"pai": repro.GeneratePAI, "supercloud": repro.GenerateSuperCloud, "philly": repro.GeneratePhilly,
+	} {
+		tr, err := gen(repro.TraceConfig{Jobs: 300, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		joined, err := tr.Join()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if joined.NumRows() != 300 {
+			t.Errorf("%s: rows = %d", name, joined.NumRows())
+		}
+	}
+}
+
+func TestPublicAPICanonicalPipelines(t *testing.T) {
+	tr, err := repro.GeneratePhilly(repro.TraceConfig{Jobs: 2500, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, err := tr.Join()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := repro.NewPhillyPipeline().Mine(joined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Analyze(repro.KeywordFailed); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIRawMining(t *testing.T) {
+	db := repro.NewTransactionDB(nil)
+	for i := 0; i < 50; i++ {
+		db.AddNames("a", "b")
+	}
+	for i := 0; i < 50; i++ {
+		db.AddNames("c")
+	}
+	fs := repro.MineSON(db, repro.SONOptions{MinCount: 10, Partitions: 4})
+	if len(fs) != 4 { // {a}, {b}, {c}, {a,b}
+		t.Errorf("frequent itemsets = %d, want 4", len(fs))
+	}
+	rs := repro.GenerateRules(fs, db.Len(), repro.RuleOptions{MinLift: 1.2})
+	if len(rs) != 2 { // a=>b and b=>a
+		t.Errorf("rules = %d, want 2", len(rs))
+	}
+	for _, r := range rs {
+		if r.Cosine() < 0.99 {
+			t.Errorf("perfectly correlated rule cosine = %v", r.Cosine())
+		}
+	}
+}
+
+func TestPublicAPIStreamAndClassifier(t *testing.T) {
+	m, err := repro.NewStreamMiner(nil, repro.StreamConfig{WindowSize: 100, MinLift: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if i%2 == 0 {
+			m.ObserveNames("x", "y")
+		} else {
+			m.ObserveNames("z")
+		}
+	}
+	snap := m.Snapshot()
+	if len(snap) == 0 {
+		t.Fatal("stream snapshot empty")
+	}
+	d := repro.DiffSnapshots(snap, snap)
+	if d.Jaccard != 1 {
+		t.Errorf("self-diff Jaccard = %v", d.Jaccard)
+	}
+
+	y, _ := m.Catalog().Lookup("y")
+	clf, err := repro.TrainClassifier(snap, y, repro.ClassifierOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := m.Catalog().Lookup("x")
+	if pred, _ := clf.Predict([]repro.Item{x}); !pred {
+		t.Error("classifier should predict y from x")
+	}
+}
