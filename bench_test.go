@@ -8,9 +8,15 @@
 package repro_test
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/apriori"
 	"repro/internal/core"
@@ -20,6 +26,7 @@ import (
 	"repro/internal/fpgrowth"
 	"repro/internal/pruning"
 	"repro/internal/rules"
+	"repro/internal/server"
 	"repro/internal/son"
 	"repro/internal/stream"
 	"repro/internal/transaction"
@@ -384,6 +391,75 @@ func BenchmarkStreamSnapshot(b *testing.B) {
 			b.Fatal("empty snapshot")
 		}
 	}
+}
+
+// BenchmarkServerIngestMine times the serving path end to end: one
+// iteration posts a pre-serialized NDJSON chunk of PAI jobs through the
+// HTTP API and waits for the mining loop to publish the snapshot that
+// covers it (MineBatch equals the chunk size, so each chunk triggers
+// exactly one re-mine). Serialization happens outside the timed region.
+func BenchmarkServerIngestMine(b *testing.B) {
+	ts := traces(b)
+	joined, err := ts.Joined("pai")
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := server.FrameEvents(joined)
+	const chunkSize = 2000
+	var chunks [][]byte
+	for start := 0; start+chunkSize <= len(events); start += chunkSize {
+		var buf bytes.Buffer
+		for _, ev := range events[start : start+chunkSize] {
+			line, err := json.Marshal(ev)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf.Write(line)
+			buf.WriteByte('\n')
+		}
+		chunks = append(chunks, buf.Bytes())
+	}
+	srv, err := server.New(server.Config{
+		Spec:         server.PAISpec(),
+		WindowSize:   5000,
+		Bootstrap:    500,
+		MineBatch:    chunkSize,
+		MineInterval: time.Hour, // batch-driven: the ticker must not fire
+		QueueSize:    2 * chunkSize,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ht := httptest.NewServer(srv.Handler())
+	defer ht.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Stop(ctx)
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ht.URL+"/v1/jobs", "application/x-ndjson",
+			bytes.NewReader(chunks[i%len(chunks)]))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("ingest status %d", resp.StatusCode)
+		}
+		wantSeq := int64(i + 1)
+		for {
+			snap := srv.Snapshot()
+			if snap != nil && snap.Seq >= wantSeq {
+				break
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(chunkSize), "jobs/op")
 }
 
 // BenchmarkFailurePrediction times the full train+evaluate classifier study

@@ -45,6 +45,7 @@ func main() {
 	skips := flag.String("skip", "job_id,submit_s", "comma-separated columns to skip (auto pipeline)")
 	zeros := flag.String("zero", "", "comma-separated numeric columns given a zero bin (auto pipeline)")
 	negative := flag.Bool("negative", false, "also print protective rules (antecedents that suppress the keyword)")
+	format := flag.String("format", "table", "primary output: 'table' (human) or 'json' (machine-readable analysis)")
 	export := flag.String("export", "", "also export the analysis: 'csv' or 'markdown' to stdout")
 	describe := flag.Bool("describe", false, "only print per-column summaries of the (joined) trace and exit")
 	flag.Parse()
@@ -55,7 +56,7 @@ func main() {
 		minSupport: *minSupport, minLift: *minLift, maxLen: *maxLen,
 		cLift: *cLift, cSupp: *cSupp,
 		tiers: splitList(*tiers), skips: splitList(*skips), zeros: splitList(*zeros),
-		negative: *negative, export: *export, describe: *describe,
+		negative: *negative, format: *format, export: *export, describe: *describe,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "armine:", err)
 		os.Exit(1)
@@ -68,6 +69,7 @@ type config struct {
 	minSupport, minLift, cLift, cSupp      float64
 	tiers, skips, zeros                    []string
 	negative                               bool
+	format                                 string
 	export                                 string
 	describe                               bool
 }
@@ -92,6 +94,12 @@ func run(cfg config) error {
 	}
 	if cfg.keyword == "" && !cfg.describe {
 		return fmt.Errorf("-keyword is required")
+	}
+	switch cfg.format {
+	case "", "table", "json":
+	default:
+		// Fail before mining: a typo'd -format should not cost a full run.
+		return fmt.Errorf("unknown format %q (want table or json)", cfg.format)
 	}
 	frame, err := dataset.ReadCSVFile(cfg.schedPath)
 	if err != nil {
@@ -126,13 +134,24 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("mined %d transactions: %d frequent itemsets, %d rules\n",
-		res.NumTransactions, len(res.Frequent), len(res.Rules()))
 	a, err := res.Analyze(cfg.keyword)
 	if err != nil {
 		return err
 	}
-	fmt.Print(core.FormatTable(a, cfg.rows))
+	switch cfg.format {
+	case "", "table":
+		fmt.Printf("mined %d transactions: %d frequent itemsets, %d rules\n",
+			res.NumTransactions, len(res.Frequent), len(res.Rules()))
+		fmt.Print(core.FormatTable(a, cfg.rows))
+	case "json":
+		// Machine-readable mode: the analysis object is the whole stdout,
+		// so pipelines can `armine -format json | jq` without scraping.
+		if err := core.WriteRulesJSON(os.Stdout, a); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown format %q (want table or json)", cfg.format)
+	}
 	if cfg.negative {
 		neg, err := res.AnalyzeNegative(cfg.keyword, rules.NegativeOptions{})
 		if err != nil {

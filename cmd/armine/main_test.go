@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -116,6 +119,82 @@ func TestRunNegativeAndExport(t *testing.T) {
 	cfg.export = "bogus"
 	if err := run(cfg); err == nil {
 		t.Error("bogus export format should error")
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	// Drain concurrently: the pipe's kernel buffer is small, so a reader
+	// must run while fn writes or a large output deadlocks the test.
+	type readResult struct {
+		data []byte
+		err  error
+	}
+	drained := make(chan readResult, 1)
+	go func() {
+		data, err := io.ReadAll(r)
+		drained <- readResult{data, err}
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	res := <-drained
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if runErr != nil {
+		t.Fatalf("run failed: %v\noutput:\n%s", runErr, res.data)
+	}
+	return string(res.data)
+}
+
+func TestRunJSONFormat(t *testing.T) {
+	sched, node := writeTestTrace(t)
+	cfg := baseConfig(sched, node)
+	cfg.keyword = "status=failed"
+	cfg.format = "json"
+	out := captureStdout(t, func() error { return run(cfg) })
+	// JSON mode owns stdout: the whole output must be one decodable
+	// object, no leading summary line.
+	var decoded struct {
+		Keyword string `json:"keyword"`
+		Cause   []struct {
+			Consequent []string `json:"consequent"`
+			Lift       float64  `json:"lift"`
+		} `json:"cause"`
+	}
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("stdout is not pure JSON: %v\n%s", err, out)
+	}
+	if decoded.Keyword != "status=failed" {
+		t.Errorf("keyword = %q", decoded.Keyword)
+	}
+	if len(decoded.Cause) == 0 {
+		t.Fatal("no cause rules in JSON output")
+	}
+	for _, r := range decoded.Cause {
+		found := false
+		for _, c := range r.Consequent {
+			if c == "status=failed" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("cause rule without keyword: %+v", r)
+		}
+	}
+
+	cfg.format = "bogus"
+	if err := run(cfg); err == nil {
+		t.Error("bogus format should error")
 	}
 }
 

@@ -1,0 +1,198 @@
+// Command serve runs the online rule-mining service: a daemon that ingests
+// job-completion events over HTTP, continuously re-mines a sliding window,
+// and answers operator queries with pruned keyword rule tables and rule
+// drift — the serving-side counterpart of the batch cmd/armine.
+//
+// Endpoints:
+//
+//	POST /v1/jobs    ingest NDJSON (default) or CSV (Content-Type: text/csv)
+//	GET  /v1/rules   current rules; ?keyword=failed&kind=cause for analyses
+//	GET  /v1/drift   rules appeared/vanished between the last two snapshots
+//	GET  /healthz    liveness plus snapshot age
+//	GET  /metrics    ingest/mining counters as flat JSON
+//
+// Example against a generated trace:
+//
+//	tracegen -trace pai -jobs 20000 -out /tmp/t
+//	serve -addr :8080 &
+//	# join scheduler+node rows into NDJSON with your tool of choice, or
+//	# post the scheduler CSV directly:
+//	curl -sS -X POST -H 'Content-Type: text/csv' \
+//	     --data-binary @/tmp/t/pai_scheduler.csv localhost:8080/v1/jobs
+//	curl -sS 'localhost:8080/v1/rules?keyword=failed&kind=cause'
+//
+// With -spec generic the encoder is derived from flags instead of the
+// canonical PAI shape: -numeric columns are quartile-binned (-zero /
+// -spike subsets get their special bins), -tier columns are
+// activity-tiered, -bool columns parse as booleans in CSV bodies, and
+// -skip columns are ignored.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	spec := flag.String("spec", "pai", "encoder spec: pai or generic")
+	window := flag.Int("window", 5000, "sliding window size in jobs")
+	minSupport := flag.Float64("min-support", 0.05, "minimum itemset support")
+	minLift := flag.Float64("min-lift", 1.5, "minimum rule lift")
+	maxLen := flag.Int("max-len", 5, "maximum itemset length")
+	cLift := flag.Float64("c-lift", 1.5, "pruning lift slack C_lift")
+	cSupp := flag.Float64("c-supp", 1.5, "pruning support slack C_supp")
+	mineInterval := flag.Duration("mine-interval", 2*time.Second, "re-mine cadence")
+	mineBatch := flag.Int("mine-batch", 1000, "re-mine after this many new jobs")
+	queue := flag.Int("queue", 8192, "ingest queue capacity (full queue => 429)")
+	bootstrap := flag.Int("bootstrap", 500, "jobs sampled before bin edges are fitted")
+	numeric := flag.String("numeric", "", "generic spec: comma-separated numeric fields to quartile-bin")
+	zeros := flag.String("zero", "", "generic spec: numeric fields given a zero bin")
+	spikes := flag.String("spike", "", "generic spec: numeric fields given a Std spike bin")
+	tiers := flag.String("tier", "", "generic spec: fields to activity-tier")
+	bools := flag.String("bool", "", "generic spec: fields parsed as booleans in CSV bodies")
+	skips := flag.String("skip", "job_id,submit_s", "fields excluded from encoding")
+	flag.Parse()
+
+	cfg, err := buildConfig(options{
+		spec: *spec, window: *window,
+		minSupport: *minSupport, minLift: *minLift, maxLen: *maxLen,
+		cLift: *cLift, cSupp: *cSupp,
+		mineInterval: *mineInterval, mineBatch: *mineBatch,
+		queue: *queue, bootstrap: *bootstrap,
+		numeric: splitList(*numeric), zeros: splitList(*zeros), spikes: splitList(*spikes),
+		tiers: splitList(*tiers), bools: splitList(*bools), skips: splitList(*skips),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	if err := run(*addr, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	spec                                 string
+	window, maxLen, mineBatch            int
+	queue, bootstrap                     int
+	minSupport, minLift, cLift, cSupp    float64
+	mineInterval                         time.Duration
+	numeric, zeros, spikes, tiers, bools []string
+	skips                                []string
+}
+
+func buildConfig(o options) (server.Config, error) {
+	cfg := server.Config{
+		WindowSize:   o.window,
+		MinSupport:   o.minSupport,
+		MinLift:      o.minLift,
+		MaxLen:       o.maxLen,
+		CLift:        o.cLift,
+		CSupp:        o.cSupp,
+		Bootstrap:    o.bootstrap,
+		MineInterval: o.mineInterval,
+		MineBatch:    o.mineBatch,
+		QueueSize:    o.queue,
+	}
+	switch o.spec {
+	case "pai":
+		cfg.Spec = server.PAISpec()
+		if len(o.skips) > 0 {
+			cfg.Spec.Skip = o.skips
+		}
+	case "generic":
+		cfg.Spec = genericSpec(o)
+	default:
+		return server.Config{}, fmt.Errorf("unknown spec %q (want pai or generic)", o.spec)
+	}
+	return cfg, nil
+}
+
+// genericSpec derives an encoder spec from flags, mirroring armine's auto
+// pipeline: quartile bins everywhere, zero/spike bins and tiers where asked.
+func genericSpec(o options) server.Spec {
+	zero := make(map[string]bool, len(o.zeros))
+	for _, z := range o.zeros {
+		zero[z] = true
+	}
+	spike := make(map[string]bool, len(o.spikes))
+	for _, s := range o.spikes {
+		spike[s] = true
+	}
+	spec := server.Spec{Bools: o.bools, Skip: o.skips}
+	for _, f := range o.numeric {
+		n := server.NumericSpec{Field: f, ZeroSpecial: zero[f]}
+		if spike[f] {
+			n.SpikeThreshold = 0.3
+		}
+		spec.Numeric = append(spec.Numeric, n)
+	}
+	for _, t := range o.tiers {
+		spec.Tiers = append(spec.Tiers, server.TierSpec{Field: t})
+	}
+	return spec
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func run(addr string, cfg server.Config) error {
+	s, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+	fmt.Printf("serve: listening on %s (window %d, mine every %s or %d jobs)\n",
+		addr, cfg.WindowSize, cfg.MineInterval, cfg.MineBatch)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("serve: shutting down, draining ingest queue")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := s.Stop(shutdownCtx); err != nil {
+		return err
+	}
+	if snap := s.Snapshot(); snap != nil {
+		fmt.Printf("serve: final snapshot seq=%d rules=%d window=%d observed=%d\n",
+			snap.Seq, len(snap.View.Rules), snap.View.WindowLen, snap.View.Total)
+	}
+	return nil
+}

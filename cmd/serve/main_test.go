@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+func baseOptions() options {
+	return options{
+		spec: "pai", window: 1000,
+		minSupport: 0.05, minLift: 1.5, maxLen: 5, cLift: 1.5, cSupp: 1.5,
+		mineInterval: time.Second, mineBatch: 500, queue: 1024, bootstrap: 100,
+		skips: []string{"job_id", "submit_s", "num_tasks"},
+	}
+}
+
+func TestBuildConfigPAI(t *testing.T) {
+	cfg, err := buildConfig(baseOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Spec.Numeric) == 0 || len(cfg.Spec.Tiers) == 0 {
+		t.Errorf("PAI spec incomplete: %+v", cfg.Spec)
+	}
+	if cfg.WindowSize != 1000 || cfg.MineBatch != 500 {
+		t.Errorf("sizing flags not applied: %+v", cfg)
+	}
+}
+
+func TestBuildConfigGeneric(t *testing.T) {
+	o := baseOptions()
+	o.spec = "generic"
+	o.numeric = []string{"gpu_util", "runtime_s"}
+	o.zeros = []string{"gpu_util"}
+	o.spikes = []string{"runtime_s"}
+	o.tiers = []string{"user"}
+	o.bools = []string{"retried"}
+	cfg, err := buildConfig(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Spec.Numeric) != 2 {
+		t.Fatalf("numeric specs = %+v", cfg.Spec.Numeric)
+	}
+	for _, n := range cfg.Spec.Numeric {
+		switch n.Field {
+		case "gpu_util":
+			if !n.ZeroSpecial || n.SpikeThreshold != 0 {
+				t.Errorf("gpu_util spec = %+v", n)
+			}
+		case "runtime_s":
+			if n.ZeroSpecial || n.SpikeThreshold == 0 {
+				t.Errorf("runtime_s spec = %+v", n)
+			}
+		}
+	}
+	if len(cfg.Spec.Tiers) != 1 || cfg.Spec.Tiers[0].Field != "user" {
+		t.Errorf("tiers = %+v", cfg.Spec.Tiers)
+	}
+}
+
+func TestBuildConfigUnknownSpec(t *testing.T) {
+	o := baseOptions()
+	o.spec = "bogus"
+	if _, err := buildConfig(o); err == nil {
+		t.Error("unknown spec should error")
+	}
+}
+
+// TestServeWiring drives the exact configuration main builds through one
+// ingest + query cycle, covering the glue (spec flags -> server.Config ->
+// handler) without binding a real port.
+func TestServeWiring(t *testing.T) {
+	o := baseOptions()
+	o.spec = "generic"
+	o.numeric = []string{"gpu_util"}
+	o.tiers = []string{"user"}
+	o.bootstrap = 20
+	cfg, err := buildConfig(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MineBatch = 20
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var body bytes.Buffer
+	for i := 0; i < 40; i++ {
+		util := 90.0
+		if i%2 == 0 {
+			util = 5.0
+		}
+		line, _ := json.Marshal(map[string]any{"user": "u1", "gpu_util": util, "status": "ok"})
+		body.Write(line)
+		body.WriteByte('\n')
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/x-ndjson", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status = %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Snapshot() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("no snapshot published")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -41,6 +42,54 @@ func WriteRulesCSV(w io.Writer, a *Analysis) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// ruleViewJSON fixes the wire names of one exported rule. The keys match
+// internal/rules.RuleJSON (and therefore the serve API), so consumers can
+// parse batch exports and live query responses with the same decoder.
+type ruleViewJSON struct {
+	Antecedent []string `json:"antecedent"`
+	Consequent []string `json:"consequent"`
+	Support    float64  `json:"support"`
+	Confidence float64  `json:"confidence"`
+	Lift       float64  `json:"lift"`
+}
+
+// analysisJSON is the envelope WriteRulesJSON emits.
+type analysisJSON struct {
+	Keyword        string         `json:"keyword"`
+	Cause          []ruleViewJSON `json:"cause"`
+	Characteristic []ruleViewJSON `json:"characteristic"`
+	PruneInput     int            `json:"prune_input"`
+	PruneKept      int            `json:"prune_kept"`
+}
+
+// WriteRulesJSON exports a keyword analysis as a single indented JSON
+// object with stable lowercase field names — the machine-readable
+// counterpart of WriteRulesCSV/WriteRulesMarkdown.
+func WriteRulesJSON(w io.Writer, a *Analysis) error {
+	views := func(vs []RuleView) []ruleViewJSON {
+		out := make([]ruleViewJSON, len(vs))
+		for i, v := range vs {
+			out[i] = ruleViewJSON{
+				Antecedent: v.Antecedent,
+				Consequent: v.Consequent,
+				Support:    v.Support,
+				Confidence: v.Confidence,
+				Lift:       v.Lift,
+			}
+		}
+		return out
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(analysisJSON{
+		Keyword:        a.Keyword,
+		Cause:          views(a.Cause),
+		Characteristic: views(a.Characteristic),
+		PruneInput:     a.PruneStats.Input,
+		PruneKept:      a.PruneStats.Kept,
+	})
 }
 
 // WriteRulesMarkdown exports a keyword analysis as a Markdown table in the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -73,6 +74,41 @@ func TestWriteRulesMarkdown(t *testing.T) {
 	// Row cap respected.
 	if strings.Contains(out, "| C4 |") {
 		t.Errorf("row cap ignored:\n%s", out)
+	}
+}
+
+func TestWriteRulesJSON(t *testing.T) {
+	a := exportAnalysis(t)
+	var sb strings.Builder
+	if err := WriteRulesJSON(&sb, a); err != nil {
+		t.Fatal(err)
+	}
+	// Field names are a wire contract shared with the serve API: decode
+	// into a raw map keyed by the documented lowercase names.
+	var decoded map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, sb.String())
+	}
+	for _, key := range []string{"keyword", "cause", "characteristic", "prune_input", "prune_kept"} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("missing key %q in %s", key, sb.String())
+		}
+	}
+	var kw string
+	if err := json.Unmarshal(decoded["keyword"], &kw); err != nil || kw != "util=0%" {
+		t.Errorf("keyword = %q (%v)", kw, err)
+	}
+	var cause []ruleViewJSON
+	if err := json.Unmarshal(decoded["cause"], &cause); err != nil {
+		t.Fatal(err)
+	}
+	if len(cause) != len(a.Cause) {
+		t.Fatalf("cause rules = %d, want %d", len(cause), len(a.Cause))
+	}
+	for i, v := range cause {
+		if v.Lift != a.Cause[i].Lift || len(v.Antecedent) != len(a.Cause[i].Antecedent) {
+			t.Errorf("rule %d mangled: %+v vs %+v", i, v, a.Cause[i])
+		}
 	}
 }
 

@@ -38,6 +38,21 @@ func (c *Catalog) Intern(name string) Item {
 	return id
 }
 
+// Clone returns an independent copy of the catalog. A mining loop that
+// keeps interning new items can hand immutable clones to concurrent
+// readers: ids are stable across clones, so sets resolved against the
+// clone mean the same items they meant at clone time.
+func (c *Catalog) Clone() *Catalog {
+	out := &Catalog{
+		byName: make(map[string]Item, len(c.byName)),
+		names:  append([]string(nil), c.names...),
+	}
+	for name, id := range c.byName {
+		out.byName[name] = id
+	}
+	return out
+}
+
 // Lookup returns the id for name without interning.
 func (c *Catalog) Lookup(name string) (Item, bool) {
 	id, ok := c.byName[name]

@@ -1,0 +1,91 @@
+package rules
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/itemset"
+)
+
+// RuleJSON is the wire form of a Rule: item ids resolved to names so the
+// document is self-describing, metrics under stable lowercase keys. It is
+// what the serving API returns and what `armine -format json` prints.
+//
+// Conviction is +Inf for exact rules (confidence 1), which JSON cannot
+// represent; it is omitted in that case and restored to +Inf on decode.
+type RuleJSON struct {
+	Antecedent []string `json:"antecedent"`
+	Consequent []string `json:"consequent"`
+	Count      int      `json:"count"`
+	Support    float64  `json:"support"`
+	Confidence float64  `json:"confidence"`
+	Lift       float64  `json:"lift"`
+	Leverage   float64  `json:"leverage"`
+	Conviction *float64 `json:"conviction,omitempty"`
+}
+
+// ToJSON renders r against c.
+func ToJSON(r Rule, c *itemset.Catalog) RuleJSON {
+	j := RuleJSON{
+		Antecedent: c.Names(r.Antecedent),
+		Consequent: c.Names(r.Consequent),
+		Count:      r.Count,
+		Support:    r.Support,
+		Confidence: r.Confidence,
+		Lift:       r.Lift,
+		Leverage:   r.Leverage,
+	}
+	if !math.IsInf(r.Conviction, 1) {
+		v := r.Conviction
+		j.Conviction = &v
+	}
+	return j
+}
+
+// ManyToJSON renders each rule against c. The result is never nil, so it
+// marshals as [] rather than null.
+func ManyToJSON(rs []Rule, c *itemset.Catalog) []RuleJSON {
+	out := make([]RuleJSON, len(rs))
+	for i, r := range rs {
+		out[i] = ToJSON(r, c)
+	}
+	return out
+}
+
+// Rule converts the wire form back, interning item names into c. An item
+// name unseen by c is interned fresh, so round-tripping through a new
+// catalog reproduces an equivalent rule under a consistent id space.
+func (j RuleJSON) Rule(c *itemset.Catalog) (Rule, error) {
+	intern := func(names []string, side string) (itemset.Set, error) {
+		if len(names) == 0 {
+			return nil, fmt.Errorf("rules: empty %s in JSON rule", side)
+		}
+		items := make([]itemset.Item, len(names))
+		for i, n := range names {
+			items[i] = c.Intern(n)
+		}
+		return itemset.NewSet(items...), nil
+	}
+	ante, err := intern(j.Antecedent, "antecedent")
+	if err != nil {
+		return Rule{}, err
+	}
+	cons, err := intern(j.Consequent, "consequent")
+	if err != nil {
+		return Rule{}, err
+	}
+	r := Rule{
+		Antecedent: ante,
+		Consequent: cons,
+		Count:      j.Count,
+		Support:    j.Support,
+		Confidence: j.Confidence,
+		Lift:       j.Lift,
+		Leverage:   j.Leverage,
+		Conviction: math.Inf(1),
+	}
+	if j.Conviction != nil {
+		r.Conviction = *j.Conviction
+	}
+	return r, nil
+}

@@ -1,0 +1,127 @@
+package rules
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/itemset"
+)
+
+func jsonRoundTrip(t *testing.T, r Rule, c *itemset.Catalog) Rule {
+	t.Helper()
+	data, err := json.Marshal(ToJSON(r, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded RuleJSON
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	back, err := decoded.Rule(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return back
+}
+
+func TestRuleJSONRoundTrip(t *testing.T) {
+	c := itemset.NewCatalog()
+	a := c.Intern("sm_util=0%")
+	b := c.Intern("framework=tensorflow")
+	k := c.Intern("status=failed")
+	r := Rule{
+		Antecedent: itemset.NewSet(a, b),
+		Consequent: itemset.NewSet(k),
+		Count:      42,
+		Support:    0.12,
+		Confidence: 0.8,
+		Lift:       2.5,
+		Leverage:   0.07,
+		Conviction: 3.1,
+	}
+	back := jsonRoundTrip(t, r, c)
+	if !back.Antecedent.Equal(r.Antecedent) || !back.Consequent.Equal(r.Consequent) {
+		t.Errorf("sets changed: %v => %v", back.Antecedent, back.Consequent)
+	}
+	if back.Count != r.Count || back.Support != r.Support || back.Confidence != r.Confidence ||
+		back.Lift != r.Lift || back.Leverage != r.Leverage || back.Conviction != r.Conviction {
+		t.Errorf("metrics changed: %+v vs %+v", back, r)
+	}
+}
+
+func TestRuleJSONInfiniteConviction(t *testing.T) {
+	c := itemset.NewCatalog()
+	r := Rule{
+		Antecedent: itemset.NewSet(c.Intern("x")),
+		Consequent: itemset.NewSet(c.Intern("y")),
+		Confidence: 1,
+		Conviction: math.Inf(1),
+	}
+	data, err := json.Marshal(ToJSON(r, c))
+	if err != nil {
+		t.Fatalf("infinite conviction must marshal: %v", err)
+	}
+	if strings.Contains(string(data), "conviction") {
+		t.Errorf("infinite conviction should be omitted: %s", data)
+	}
+	back := jsonRoundTrip(t, r, c)
+	if !math.IsInf(back.Conviction, 1) {
+		t.Errorf("conviction = %v, want +Inf restored", back.Conviction)
+	}
+}
+
+func TestRuleJSONStableFieldNames(t *testing.T) {
+	c := itemset.NewCatalog()
+	r := Rule{
+		Antecedent: itemset.NewSet(c.Intern("a")),
+		Consequent: itemset.NewSet(c.Intern("b")),
+		Conviction: 1.5,
+	}
+	data, err := json.Marshal(ToJSON(r, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{
+		`"antecedent"`, `"consequent"`, `"count"`, `"support"`,
+		`"confidence"`, `"lift"`, `"leverage"`, `"conviction"`,
+	} {
+		if !strings.Contains(string(data), field) {
+			t.Errorf("missing field %s in %s", field, data)
+		}
+	}
+}
+
+func TestRuleJSONFreshCatalog(t *testing.T) {
+	c := itemset.NewCatalog()
+	r := Rule{
+		Antecedent: itemset.NewSet(c.Intern("a"), c.Intern("b")),
+		Consequent: itemset.NewSet(c.Intern("k")),
+		Lift:       2,
+		Conviction: 1.2,
+	}
+	j := ToJSON(r, c)
+	fresh := itemset.NewCatalog()
+	back, err := j.Rule(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fresh.Names(back.Antecedent)
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("antecedent names = %v", got)
+	}
+	if names := fresh.Names(back.Consequent); len(names) != 1 || names[0] != "k" {
+		t.Errorf("consequent names = %v", names)
+	}
+}
+
+func TestRuleJSONRejectsEmptySides(t *testing.T) {
+	c := itemset.NewCatalog()
+	if _, err := (RuleJSON{Consequent: []string{"x"}}).Rule(c); err == nil {
+		t.Error("empty antecedent should error")
+	}
+	if _, err := (RuleJSON{Antecedent: []string{"x"}}).Rule(c); err == nil {
+		t.Error("empty consequent should error")
+	}
+}

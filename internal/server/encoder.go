@@ -1,0 +1,381 @@
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/discretize"
+	"repro/internal/transaction"
+)
+
+// Event is one job-completion record as posted to the ingest endpoint: a
+// flat field → value object where values are strings, numbers or bools.
+type Event map[string]any
+
+// NumericSpec declares how one numeric field is binned, mirroring
+// core.FeatureSpec but applied online: edges are fitted once on the
+// bootstrap sample and frozen for the life of the server.
+type NumericSpec struct {
+	Field string
+	// Bins is the regular bin count; zero means quartiles (4).
+	Bins int
+	// ZeroSpecial gives near-zero values a dedicated bin.
+	ZeroSpecial bool
+	ZeroLabel   string
+	ZeroEpsilon float64
+	// SpikeThreshold enables "Std" bin detection on the bootstrap sample.
+	SpikeThreshold float64
+	SpikeLabel     string
+}
+
+// TierSpec declares online activity tiering of a high-cardinality field.
+// Unlike the batch pipeline, tiers are computed from running counts and the
+// tier map is rebuilt periodically as the stream evolves; a value first
+// seen since the last rebuild is labelled "new".
+type TierSpec struct {
+	Field string
+	// Out names the produced field; empty means Field+"_tier".
+	Out string
+	// TopShare and BottomShare default to the paper's 0.25.
+	TopShare, BottomShare float64
+}
+
+// MapSpec declares aggregation of a categorical field's values into
+// families, as in core.MapSpec.
+type MapSpec struct {
+	Field string
+	// Out names the produced field; empty maps in place.
+	Out      string
+	Groups   map[string]string
+	Fallback string
+}
+
+// Spec declares how incoming events are turned into transactions. Fields
+// not covered by any declaration encode directly: strings become
+// "field=value" items, bools become presence items when true. Numeric
+// fields MUST be declared (or skipped) — an undeclared number is an ingest
+// error, because silently one-hot encoding a float would hide a
+// configuration bug, exactly as in transaction.Encode.
+type Spec struct {
+	Numeric []NumericSpec
+	Tiers   []TierSpec
+	Maps    []MapSpec
+	// Bools lists fields the CSV parser should read as booleans ("true"
+	// becomes a presence item). JSON bools need no declaration.
+	Bools []string
+	// Skip lists fields excluded from encoding (identifiers, timestamps).
+	Skip []string
+}
+
+// specIndex is the immutable lookup form of a Spec, shared by the ingest
+// handlers (validation, CSV parsing) and the mining loop (encoding).
+type specIndex struct {
+	numeric map[string]NumericSpec
+	tier    map[string]TierSpec
+	maps    map[string]MapSpec
+	boolCSV map[string]bool
+	skip    map[string]bool
+}
+
+func newSpecIndex(spec Spec) *specIndex {
+	idx := &specIndex{
+		numeric: make(map[string]NumericSpec, len(spec.Numeric)),
+		tier:    make(map[string]TierSpec, len(spec.Tiers)),
+		maps:    make(map[string]MapSpec, len(spec.Maps)),
+		boolCSV: make(map[string]bool, len(spec.Bools)),
+		skip:    make(map[string]bool, len(spec.Skip)),
+	}
+	for _, n := range spec.Numeric {
+		idx.numeric[n.Field] = n
+	}
+	for _, t := range spec.Tiers {
+		if t.Out == "" {
+			t.Out = t.Field + "_tier"
+		}
+		if t.TopShare == 0 {
+			t.TopShare = 0.25
+		}
+		if t.BottomShare == 0 {
+			t.BottomShare = 0.25
+		}
+		idx.tier[t.Field] = t
+	}
+	for _, m := range spec.Maps {
+		if m.Out == "" {
+			m.Out = m.Field
+		}
+		idx.maps[m.Field] = m
+	}
+	for _, b := range spec.Bools {
+		idx.boolCSV[b] = true
+	}
+	for _, s := range spec.Skip {
+		idx.skip[s] = true
+	}
+	return idx
+}
+
+// validate rejects events the encoder could not handle, so the ingest
+// response can report bad lines instead of poisoning the queue.
+func (idx *specIndex) validate(ev Event) error {
+	for field, v := range ev {
+		if idx.skip[field] {
+			continue
+		}
+		switch v.(type) {
+		case nil, string, bool:
+		case float64:
+			if _, ok := idx.numeric[field]; !ok {
+				return fmt.Errorf("numeric field %q has no binning spec (declare it under Numeric or Skip)", field)
+			}
+		default:
+			return fmt.Errorf("field %q has unsupported type %T", field, v)
+		}
+	}
+	return nil
+}
+
+// tierRebuildEvery bounds how stale an online tier map may get; rebuilding
+// is O(V log V) over distinct values, trivial at this cadence.
+const tierRebuildEvery = 1024
+
+// prevalenceFloor delays running-prevalence dropping until enough
+// transactions accumulated that shares are meaningful.
+const prevalenceFloor = 50
+
+// encoder turns events into item-name transactions. It is owned exclusively
+// by the server's mining loop: nothing here is safe for concurrent use.
+type encoder struct {
+	idx       *specIndex
+	bootstrap int
+	maxPrev   float64
+	keep      map[string]bool
+
+	// Bootstrap state: events buffered until the discretizers are fitted.
+	pending []Event
+	samples map[string][]float64
+	disc    map[string]*discretize.Discretizer
+	fitted  bool
+
+	// Online tier state.
+	tierCounts map[string]map[string]int
+	tierMaps   map[string]map[string]string
+	sinceTier  int
+
+	// Running item prevalence, for the paper's >80 % drop applied online.
+	itemCounts map[string]int
+	txns       int
+}
+
+func newEncoder(idx *specIndex, bootstrap int, maxPrev float64, keep []string) *encoder {
+	e := &encoder{
+		idx:        idx,
+		bootstrap:  bootstrap,
+		maxPrev:    maxPrev,
+		keep:       make(map[string]bool, len(keep)),
+		samples:    make(map[string][]float64),
+		disc:       make(map[string]*discretize.Discretizer),
+		tierCounts: make(map[string]map[string]int),
+		tierMaps:   make(map[string]map[string]string),
+		itemCounts: make(map[string]int),
+	}
+	for _, k := range keep {
+		e.keep[k] = true
+	}
+	return e
+}
+
+// add feeds one event in. Before the bootstrap sample is complete it
+// returns no transactions (the event is buffered); the call that completes
+// the sample fits the discretizers and returns the whole backlog encoded.
+func (e *encoder) add(ev Event) [][]string {
+	e.countTiers(ev)
+	if !e.fitted {
+		e.pending = append(e.pending, ev)
+		for field := range e.idx.numeric {
+			if v, ok := ev[field].(float64); ok {
+				e.samples[field] = append(e.samples[field], v)
+			}
+		}
+		if len(e.pending) >= e.bootstrap {
+			return e.fit()
+		}
+		return nil
+	}
+	return [][]string{e.encodeOne(ev)}
+}
+
+// buffered reports how many events await the bootstrap fit.
+func (e *encoder) buffered() int { return len(e.pending) }
+
+// flush force-fits the discretizers on whatever bootstrap sample exists —
+// called at the first mine tick and at shutdown so short streams still
+// produce snapshots.
+func (e *encoder) flush() [][]string {
+	if e.fitted || len(e.pending) == 0 {
+		return nil
+	}
+	return e.fit()
+}
+
+func (e *encoder) fit() [][]string {
+	for field, spec := range e.idx.numeric {
+		d, err := discretize.Fit(e.samples[field], discretize.Options{
+			Bins:           spec.Bins,
+			ZeroSpecial:    spec.ZeroSpecial,
+			ZeroLabel:      spec.ZeroLabel,
+			ZeroEpsilon:    spec.ZeroEpsilon,
+			SpikeThreshold: spec.SpikeThreshold,
+			SpikeLabel:     spec.SpikeLabel,
+		})
+		if err != nil {
+			// No usable sample (field absent so far): leave the field
+			// un-binned; its values encode to nothing until a restart.
+			continue
+		}
+		e.disc[field] = d
+	}
+	e.fitted = true
+	e.samples = nil
+	e.rebuildTiers()
+	out := make([][]string, 0, len(e.pending))
+	for _, ev := range e.pending {
+		out = append(out, e.encodeOne(ev))
+	}
+	e.pending = nil
+	return out
+}
+
+func (e *encoder) countTiers(ev Event) {
+	for field := range e.idx.tier {
+		v, ok := ev[field].(string)
+		if !ok || v == "" {
+			continue
+		}
+		counts := e.tierCounts[field]
+		if counts == nil {
+			counts = make(map[string]int)
+			e.tierCounts[field] = counts
+		}
+		counts[v]++
+	}
+}
+
+func (e *encoder) rebuildTiers() {
+	for field, spec := range e.idx.tier {
+		m := transaction.TiersFromCounts(e.tierCounts[field], spec.TopShare, spec.BottomShare)
+		// TiersFromCounts only names the extremes; values it leaves out are
+		// mid-activity. Backfill them so encodeOne can tell "seen but
+		// regular" apart from "never seen before" (which stays TierNew).
+		for v := range e.tierCounts[field] {
+			if _, ok := m[v]; !ok {
+				m[v] = transaction.TierRegular
+			}
+		}
+		e.tierMaps[field] = m
+	}
+	e.sinceTier = 0
+}
+
+// encodeOne renders an event to item names, applying tiers, maps, binning
+// and the running prevalence drop. Only called after fit.
+func (e *encoder) encodeOne(ev Event) []string {
+	if e.sinceTier++; e.sinceTier >= tierRebuildEvery {
+		e.rebuildTiers()
+	}
+	items := make([]string, 0, len(ev))
+	for field, v := range ev {
+		if e.idx.skip[field] {
+			continue
+		}
+		switch val := v.(type) {
+		case nil:
+		case bool:
+			if val {
+				items = append(items, field)
+			}
+		case float64:
+			if d := e.disc[field]; d != nil {
+				items = append(items, field+"="+d.Label(val))
+			}
+		case string:
+			if val == "" {
+				continue
+			}
+			if spec, ok := e.idx.tier[field]; ok {
+				label, known := e.tierMaps[field][val]
+				if !known {
+					// First seen since the last rebuild: by definition a
+					// low-activity value.
+					label = transaction.TierNew
+				}
+				items = append(items, spec.Out+"="+label)
+				continue
+			}
+			if spec, ok := e.idx.maps[field]; ok {
+				mapped, known := spec.Groups[val]
+				if !known {
+					if spec.Fallback != "" {
+						mapped = spec.Fallback
+					} else {
+						mapped = val
+					}
+				}
+				items = append(items, spec.Out+"="+mapped)
+				continue
+			}
+			items = append(items, field+"="+val)
+		}
+	}
+	// Running prevalence: count first, then drop items whose share of all
+	// transactions seen so far exceeds the cap (the paper's 80 % rule,
+	// applied online — early transactions escape until shares stabilize).
+	e.txns++
+	for _, it := range items {
+		e.itemCounts[it]++
+	}
+	if e.maxPrev >= 1 || e.txns < prevalenceFloor {
+		return items
+	}
+	limit := int(e.maxPrev * float64(e.txns))
+	kept := items[:0]
+	for _, it := range items {
+		if e.itemCounts[it] > limit && !e.keep[it] {
+			continue
+		}
+		kept = append(kept, it)
+	}
+	return kept
+}
+
+// FrameEvents converts a data frame (an offline trace, typically the
+// joined scheduler + node view) into ingestable events — the bridge for
+// replaying generated traces into a running server, used by the benchmarks
+// and the curl walkthrough in the README.
+func FrameEvents(f *dataset.Frame) []Event {
+	n := f.NumRows()
+	out := make([]Event, n)
+	for i := 0; i < n; i++ {
+		out[i] = make(Event, f.NumCols())
+	}
+	for ci := 0; ci < f.NumCols(); ci++ {
+		col := f.ColumnAt(ci)
+		name := col.Name()
+		for i := 0; i < n; i++ {
+			if !col.IsValid(i) {
+				continue
+			}
+			switch col.Kind() {
+			case dataset.String:
+				if s := col.Str(i); s != "" {
+					out[i][name] = s
+				}
+			case dataset.Bool:
+				out[i][name] = col.Bool(i)
+			default:
+				out[i][name] = col.Number(i)
+			}
+		}
+	}
+	return out
+}

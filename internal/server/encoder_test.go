@@ -1,0 +1,181 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/transaction"
+)
+
+func hasItem(items []string, want string) bool {
+	for _, it := range items {
+		if it == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestEncoderBootstrapFitsZeroBin(t *testing.T) {
+	idx := newSpecIndex(Spec{
+		Numeric: []NumericSpec{{Field: "sm", ZeroSpecial: true, ZeroEpsilon: 0.5}},
+	})
+	e := newEncoder(idx, 8, 1, nil)
+	var flushed [][]string
+	for _, v := range []float64{0, 0, 0, 0, 10, 20, 30, 40} {
+		flushed = e.add(Event{"sm": v})
+	}
+	if len(flushed) != 8 {
+		t.Fatalf("bootstrap flush returned %d txns, want 8", len(flushed))
+	}
+	if !hasItem(flushed[0], "sm=0%") {
+		t.Errorf("zero value not in zero bin: %v", flushed[0])
+	}
+	after := e.add(Event{"sm": 0.2})
+	if len(after) != 1 || !hasItem(after[0], "sm=0%") {
+		t.Errorf("near-zero after fit = %v, want sm=0%%", after)
+	}
+	big := e.add(Event{"sm": 35})
+	if len(big) != 1 || hasItem(big[0], "sm=0%") {
+		t.Errorf("large value landed in zero bin: %v", big)
+	}
+}
+
+func TestEncoderBuffersUntilBootstrap(t *testing.T) {
+	idx := newSpecIndex(Spec{Numeric: []NumericSpec{{Field: "x"}}})
+	e := newEncoder(idx, 100, 1, nil)
+	for i := 0; i < 10; i++ {
+		if got := e.add(Event{"x": float64(i)}); got != nil {
+			t.Fatalf("event %d encoded before bootstrap complete: %v", i, got)
+		}
+	}
+	if e.buffered() != 10 {
+		t.Errorf("buffered = %d", e.buffered())
+	}
+	flushed := e.flush()
+	if len(flushed) != 10 {
+		t.Fatalf("flush returned %d txns", len(flushed))
+	}
+	if e.flush() != nil {
+		t.Error("second flush should be empty")
+	}
+	if !e.fitted {
+		t.Error("flush must leave the encoder fitted")
+	}
+}
+
+func TestEncoderOnlineTiers(t *testing.T) {
+	idx := newSpecIndex(Spec{Tiers: []TierSpec{{Field: "user"}}})
+	e := newEncoder(idx, 4, 1, nil)
+	events := []Event{}
+	for i := 0; i < 60; i++ {
+		events = append(events, Event{"user": "alice"})
+	}
+	for i := 0; i < 30; i++ {
+		events = append(events, Event{"user": "bob"})
+	}
+	for i := 0; i < 10; i++ {
+		events = append(events, Event{"user": "rare-" + string(rune('a'+i))})
+	}
+	for _, ev := range events {
+		e.add(ev)
+	}
+	e.rebuildTiers()
+	got := e.encodeOne(Event{"user": "alice"})
+	if !hasItem(got, "user_tier="+transaction.TierFrequent) {
+		t.Errorf("dominant user not frequent: %v", got)
+	}
+	got = e.encodeOne(Event{"user": "bob"})
+	if !hasItem(got, "user_tier="+transaction.TierRegular) {
+		t.Errorf("mid user not regular: %v", got)
+	}
+	got = e.encodeOne(Event{"user": "never-seen-before"})
+	if !hasItem(got, "user_tier="+transaction.TierNew) {
+		t.Errorf("unseen user not new: %v", got)
+	}
+}
+
+func TestEncoderMapsAndBools(t *testing.T) {
+	idx := newSpecIndex(Spec{
+		Maps: []MapSpec{{Field: "model", Out: "model_class", Groups: map[string]string{"resnet": "CV"}, Fallback: "other"}},
+		Skip: []string{"job_id"},
+	})
+	e := newEncoder(idx, 1, 1, nil)
+	got := e.add(Event{"model": "resnet", "multi": true, "single": false, "job_id": "j1", "fw": "tf"})
+	if len(got) != 1 {
+		t.Fatalf("txns = %v", got)
+	}
+	items := got[0]
+	for _, want := range []string{"model_class=CV", "multi", "fw=tf"} {
+		if !hasItem(items, want) {
+			t.Errorf("missing %q in %v", want, items)
+		}
+	}
+	for _, absent := range []string{"single", "job_id=j1"} {
+		if hasItem(items, absent) {
+			t.Errorf("unexpected %q in %v", absent, items)
+		}
+	}
+	got = e.add(Event{"model": "weird"})
+	if !hasItem(got[0], "model_class=other") {
+		t.Errorf("fallback not applied: %v", got)
+	}
+}
+
+func TestEncoderPrevalenceDrop(t *testing.T) {
+	idx := newSpecIndex(Spec{})
+	e := newEncoder(idx, 1, 0.5, []string{"kept=x"})
+	var last []string
+	for i := 0; i < 200; i++ {
+		v := "a"
+		if i%2 == 0 {
+			v = "b"
+		}
+		got := e.add(Event{"always": "x", "kept": "x", "varies": v})
+		last = got[0]
+	}
+	if hasItem(last, "always=x") {
+		t.Errorf("over-prevalent item survived: %v", last)
+	}
+	if !hasItem(last, "kept=x") {
+		t.Errorf("KeepItems exemption ignored: %v", last)
+	}
+	if !hasItem(last, "varies=a") && !hasItem(last, "varies=b") {
+		t.Errorf("50%%-share item dropped: %v", last)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	idx := newSpecIndex(Spec{
+		Numeric: []NumericSpec{{Field: "util"}},
+		Skip:    []string{"ts"},
+	})
+	if err := idx.validate(Event{"util": 1.5, "user": "u", "ok": true, "ts": 3.2}); err != nil {
+		t.Errorf("valid event rejected: %v", err)
+	}
+	if err := idx.validate(Event{"surprise": 3.14}); err == nil {
+		t.Error("undeclared numeric field should be rejected")
+	}
+	if err := idx.validate(Event{"nested": map[string]any{"x": 1}}); err == nil {
+		t.Error("nested object should be rejected")
+	}
+}
+
+func TestFrameEvents(t *testing.T) {
+	f := dataset.MustNew(
+		dataset.NewString("user", []string{"a", "b"}),
+		dataset.NewFloat("util", []float64{1.5, 2.5}),
+		dataset.NewBool("multi", []bool{true, false}),
+		dataset.NewString("model", []string{"resnet", ""}).WithValidity([]bool{true, false}),
+	)
+	events := FrameEvents(f)
+	if len(events) != 2 {
+		t.Fatalf("events = %v", events)
+	}
+	if events[0]["user"] != "a" || events[0]["util"] != 1.5 || events[0]["multi"] != true {
+		t.Errorf("event 0 = %v", events[0])
+	}
+	if _, ok := events[1]["model"]; ok {
+		t.Errorf("null cell leaked into event: %v", events[1])
+	}
+}

@@ -1,0 +1,376 @@
+package server
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/itemset"
+	"repro/internal/pruning"
+	"repro/internal/rules"
+	"repro/internal/stream"
+)
+
+// maxLineBytes bounds one NDJSON line; events are flat job records, so a
+// megabyte is already pathological.
+const maxLineBytes = 1 << 20
+
+// maxReportedErrors caps the per-line error list in ingest responses.
+const maxReportedErrors = 10
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// lineError reports one rejected ingest line.
+type lineError struct {
+	Line  int    `json:"line"`
+	Error string `json:"error"`
+}
+
+// ingestResult is the POST /v1/jobs response body.
+type ingestResult struct {
+	Accepted int         `json:"accepted"`
+	Rejected int         `json:"rejected"`
+	Errors   []lineError `json:"errors,omitempty"`
+	// Dropped flags a 429: the queue filled at this 1-based line and the
+	// rest of the body was not read. Re-send from here after backoff.
+	DroppedAtLine int `json:"dropped_at_line,omitempty"`
+}
+
+// handleIngest accepts NDJSON (default) or CSV (Content-Type text/csv) job
+// events, validates each against the spec, and enqueues them for the
+// mining loop. A full queue stops the read and returns 429 so the client
+// carries the backpressure, not an unbounded buffer.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var res ingestResult
+	reject := func(line int, err error) {
+		res.Rejected++
+		s.metrics.rejected.Add(1)
+		if len(res.Errors) < maxReportedErrors {
+			res.Errors = append(res.Errors, lineError{Line: line, Error: err.Error()})
+		}
+	}
+	// enqueue returns false when the queue is full.
+	enqueue := func(line int, ev Event) bool {
+		if err := s.idx.validate(ev); err != nil {
+			reject(line, err)
+			return true
+		}
+		select {
+		case s.queue <- ev:
+			res.Accepted++
+			s.metrics.accepted.Add(1)
+			return true
+		default:
+			s.metrics.throttled.Add(1)
+			res.DroppedAtLine = line
+			return false
+		}
+	}
+
+	full := false
+	var readErr error
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "text/csv") {
+		full, readErr = s.ingestCSV(r.Body, enqueue, reject)
+	} else {
+		full, readErr = s.ingestNDJSON(r.Body, enqueue, reject)
+	}
+	switch {
+	case readErr != nil:
+		httpError(w, http.StatusBadRequest, "reading body: %v", readErr)
+	case full:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, res)
+	default:
+		writeJSON(w, http.StatusOK, res)
+	}
+}
+
+func (s *Server) ingestNDJSON(body io.Reader, enqueue func(int, Event) bool, reject func(int, error)) (full bool, err error) {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(raw), &ev); err != nil {
+			reject(line, fmt.Errorf("invalid JSON: %v", err))
+			continue
+		}
+		if !enqueue(line, ev) {
+			return true, nil
+		}
+	}
+	return false, sc.Err()
+}
+
+func (s *Server) ingestCSV(body io.Reader, enqueue func(int, Event) bool, reject func(int, error)) (full bool, err error) {
+	cr := csv.NewReader(body)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return false, fmt.Errorf("missing CSV header: %w", err)
+	}
+	fields := append([]string(nil), header...)
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return false, nil
+		}
+		line++
+		if err != nil {
+			reject(line, err)
+			continue
+		}
+		ev := make(Event, len(fields))
+		bad := false
+		for i, field := range fields {
+			if i >= len(rec) || rec[i] == "" {
+				continue
+			}
+			raw := rec[i]
+			if _, isNum := s.idx.numeric[field]; isNum {
+				v, perr := strconv.ParseFloat(raw, 64)
+				if perr != nil {
+					reject(line, fmt.Errorf("field %q: %v", field, perr))
+					bad = true
+					break
+				}
+				ev[field] = v
+			} else if s.idx.boolCSV[field] {
+				ev[field] = raw == "true"
+			} else {
+				ev[field] = raw
+			}
+		}
+		if bad {
+			continue
+		}
+		if !enqueue(line, ev) {
+			return true, nil
+		}
+	}
+}
+
+// rulesResponse is the GET /v1/rules body. Without a keyword only Rules is
+// set; with one, the pruned cause/characteristic split is.
+type rulesResponse struct {
+	Seq            int64            `json:"seq"`
+	MinedAt        time.Time        `json:"mined_at"`
+	WindowLen      int              `json:"window_len"`
+	Total          int              `json:"observed_total"`
+	RuleCount      int              `json:"rule_count"`
+	Keyword        string           `json:"keyword,omitempty"`
+	Rules          []rules.RuleJSON `json:"rules,omitempty"`
+	Cause          []rules.RuleJSON `json:"cause,omitempty"`
+	Characteristic []rules.RuleJSON `json:"characteristic,omitempty"`
+	PruneStats     *pruneStatsJSON  `json:"prune_stats,omitempty"`
+}
+
+type pruneStatsJSON struct {
+	Input       int    `json:"input"`
+	Kept        int    `json:"kept"`
+	ByCondition [4]int `json:"by_condition"`
+}
+
+// handleRules serves the current snapshot's rules. With ?keyword= the
+// response is the paper's keyword analysis — redundancy-pruned cause and
+// characteristic tables — computed on the immutable snapshot, never on the
+// live miner.
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	if snap == nil {
+		httpError(w, http.StatusServiceUnavailable, "no snapshot mined yet; ingest jobs and retry")
+		return
+	}
+	q := r.URL.Query()
+	limit, err := intParam(q.Get("limit"), 50)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "limit: %v", err)
+		return
+	}
+	kind := q.Get("kind")
+	if kind != "" && kind != "all" && kind != "cause" && kind != "characteristic" {
+		httpError(w, http.StatusBadRequest, "kind must be cause, characteristic or all")
+		return
+	}
+	prune := q.Get("prune") != "false" && q.Get("prune") != "0"
+
+	view := snap.View
+	resp := rulesResponse{
+		Seq:       snap.Seq,
+		MinedAt:   snap.MinedAt,
+		WindowLen: view.WindowLen,
+		Total:     view.Total,
+		RuleCount: len(view.Rules),
+	}
+	keyword := q.Get("keyword")
+	if keyword == "" {
+		resp.Rules = rules.ManyToJSON(truncate(view.Rules, limit), view.Catalog)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	item, name, err := resolveKeyword(view.Catalog, keyword)
+	if err != nil {
+		status := http.StatusNotFound
+		if strings.Contains(err.Error(), "ambiguous") {
+			status = http.StatusBadRequest
+		}
+		httpError(w, status, "%v", err)
+		return
+	}
+	resp.Keyword = name
+	var relevant []rules.Rule
+	for _, rule := range view.Rules {
+		if rule.Antecedent.Contains(item) || rule.Consequent.Contains(item) {
+			relevant = append(relevant, rule)
+		}
+	}
+	kept := relevant
+	if prune {
+		var stats pruning.Stats
+		kept, stats = pruning.Prune(relevant, item, pruning.Options{CLift: s.cfg.CLift, CSupp: s.cfg.CSupp})
+		resp.PruneStats = &pruneStatsJSON{Input: stats.Input, Kept: stats.Kept, ByCondition: stats.ByCond}
+	}
+	split := rules.Split(kept, item)
+	if kind == "" || kind == "all" || kind == "cause" {
+		resp.Cause = rules.ManyToJSON(truncate(split.Cause, limit), view.Catalog)
+	}
+	if kind == "" || kind == "all" || kind == "characteristic" {
+		resp.Characteristic = rules.ManyToJSON(truncate(split.Characteristic, limit), view.Catalog)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// driftResponse is the GET /v1/drift body: the structural rule diff
+// between the two most recent snapshots.
+type driftResponse struct {
+	Seq      int64            `json:"seq"`
+	PrevSeq  int64            `json:"prev_seq"`
+	Jaccard  float64          `json:"jaccard"`
+	Keyword  string           `json:"keyword,omitempty"`
+	Appeared []rules.RuleJSON `json:"appeared"`
+	Vanished []rules.RuleJSON `json:"vanished"`
+}
+
+func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	if snap == nil {
+		httpError(w, http.StatusServiceUnavailable, "no snapshot mined yet; ingest jobs and retry")
+		return
+	}
+	q := r.URL.Query()
+	limit, err := intParam(q.Get("limit"), 50)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "limit: %v", err)
+		return
+	}
+	delta := snap.Delta
+	resp := driftResponse{Seq: snap.Seq, PrevSeq: snap.Seq - 1, Jaccard: delta.Jaccard}
+	if keyword := q.Get("keyword"); keyword != "" {
+		item, name, err := resolveKeyword(snap.View.Catalog, keyword)
+		if err != nil {
+			status := http.StatusNotFound
+			if strings.Contains(err.Error(), "ambiguous") {
+				status = http.StatusBadRequest
+			}
+			httpError(w, status, "%v", err)
+			return
+		}
+		resp.Keyword = name
+		delta = stream.KeywordDelta(delta, item)
+	}
+	resp.Appeared = rules.ManyToJSON(truncate(delta.Appeared, limit), snap.View.Catalog)
+	resp.Vanished = rules.ManyToJSON(truncate(delta.Vanished, limit), snap.View.Catalog)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	draining := s.closed
+	s.mu.RUnlock()
+	body := map[string]any{"status": "ok", "snapshot_seq": int64(0)}
+	if draining {
+		body["status"] = "draining"
+	}
+	if snap := s.snap.Load(); snap != nil {
+		body["snapshot_seq"] = snap.Seq
+		body["snapshot_age_s"] = time.Since(snap.MinedAt).Seconds()
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.metricsView())
+}
+
+// resolveKeyword maps a query keyword to a catalog item: exact item name
+// first, then unique substring so operators can write ?keyword=failed for
+// status=failed. Ambiguity is an error listing the candidates.
+func resolveKeyword(c *itemset.Catalog, keyword string) (itemset.Item, string, error) {
+	if id, ok := c.Lookup(keyword); ok {
+		return id, keyword, nil
+	}
+	var matches []string
+	var matchID itemset.Item
+	for id := itemset.Item(0); int(id) < c.Len(); id++ {
+		name := c.Name(id)
+		if strings.Contains(name, keyword) {
+			matches = append(matches, name)
+			matchID = id
+		}
+	}
+	switch len(matches) {
+	case 0:
+		return 0, "", fmt.Errorf("keyword %q matches no item in the current snapshot", keyword)
+	case 1:
+		return matchID, matches[0], nil
+	default:
+		if len(matches) > 8 {
+			matches = append(matches[:8], "…")
+		}
+		return 0, "", fmt.Errorf("keyword %q is ambiguous: %s", keyword, strings.Join(matches, ", "))
+	}
+}
+
+func intParam(raw string, def int) (int, error) {
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 1 {
+		return 0, fmt.Errorf("want a positive integer, got %q", raw)
+	}
+	return v, nil
+}
+
+func truncate(rs []rules.Rule, limit int) []rules.Rule {
+	if len(rs) > limit {
+		return rs[:limit]
+	}
+	return rs
+}

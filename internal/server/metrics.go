@@ -1,0 +1,47 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// metrics are plain expvar-style counters: atomically bumped on the hot
+// paths, dumped as a flat JSON object by /metrics. No histogram machinery —
+// the point is that an operator (or a scrape job) can watch ingest keep up
+// with mining at a glance.
+type metrics struct {
+	accepted      atomic.Int64 // events enqueued
+	rejected      atomic.Int64 // events refused by validation
+	throttled     atomic.Int64 // events refused by backpressure (429)
+	encodeErrors  atomic.Int64 // events dropped inside the mining loop
+	mineCount     atomic.Int64 // snapshots published
+	lastMineNanos atomic.Int64 // duration of the latest re-mine
+}
+
+// view renders the counters plus the derived gauges into a JSON-ready map.
+func (s *Server) metricsView() map[string]any {
+	out := map[string]any{
+		"uptime_s":         time.Since(s.started).Seconds(),
+		"ingest_accepted":  s.metrics.accepted.Load(),
+		"ingest_rejected":  s.metrics.rejected.Load(),
+		"ingest_throttled": s.metrics.throttled.Load(),
+		"encode_errors":    s.metrics.encodeErrors.Load(),
+		"queue_depth":      len(s.queue),
+		"queue_capacity":   cap(s.queue),
+		"window_capacity":  s.cfg.WindowSize,
+		"mine_count":       s.metrics.mineCount.Load(),
+		"last_mine_ms":     float64(s.metrics.lastMineNanos.Load()) / 1e6,
+		"snapshot_seq":     int64(0),
+		"window_len":       0,
+		"rules":            0,
+		"snapshot_age_s":   float64(0),
+	}
+	if snap := s.snap.Load(); snap != nil {
+		out["snapshot_seq"] = snap.Seq
+		out["window_len"] = snap.View.WindowLen
+		out["rules"] = len(snap.View.Rules)
+		out["snapshot_age_s"] = time.Since(snap.MinedAt).Seconds()
+		out["observed_total"] = snap.View.Total
+	}
+	return out
+}

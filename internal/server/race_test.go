@@ -1,0 +1,122 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentIngestAndQuery hammers every endpoint from many goroutines
+// while mining runs on a short cadence. Its value is under `go test -race`:
+// the single-writer loop plus atomic snapshot swap must keep the
+// not-concurrency-safe miner, encoder, and catalog data-race free even
+// though ingest and queries arrive from arbitrary HTTP handler goroutines.
+func TestConcurrentIngestAndQuery(t *testing.T) {
+	s, err := New(Config{
+		Spec:         Spec{Numeric: []NumericSpec{{Field: "util"}}, Tiers: []TierSpec{{Field: "user"}}},
+		WindowSize:   500,
+		Bootstrap:    50,
+		MineBatch:    100,
+		MineInterval: 10 * time.Millisecond,
+		QueueSize:    1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const (
+		writers      = 4
+		readers      = 4
+		linesPerPost = 50
+		postsPerW    = 20
+	)
+	var writerWG, readerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for p := 0; p < postsPerW; p++ {
+				var buf bytes.Buffer
+				for i := 0; i < linesPerPost; i++ {
+					status := "ok"
+					if i%3 == 0 {
+						status = "failed"
+					}
+					fmt.Fprintf(&buf, "{\"user\":\"u%d\",\"util\":%d,\"status\":%q}\n",
+						(w*31+i)%7, (i*17)%100, status)
+				}
+				resp, err := http.Post(ts.URL+"/v1/jobs", "application/x-ndjson", &buf)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+					t.Errorf("ingest status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	paths := []string{"/v1/rules", "/v1/rules?keyword=failed", "/v1/drift", "/healthz", "/metrics"}
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func(r int) {
+			defer readerWG.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + paths[(r+i)%len(paths)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Drain so snapshot rendering actually runs, then assert the
+				// body is coherent JSON — a torn snapshot would corrupt it.
+				var payload any
+				if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+					t.Errorf("torn response from %s: %v", paths[(r+i)%len(paths)], err)
+				}
+				resp.Body.Close()
+			}
+		}(r)
+	}
+
+	// Let writers finish while readers keep querying, then stop readers.
+	writersDone := make(chan struct{})
+	go func() { writerWG.Wait(); close(writersDone) }()
+	select {
+	case <-writersDone:
+	case <-time.After(60 * time.Second):
+		t.Fatal("writers stalled")
+	}
+	close(stop)
+	readersDone := make(chan struct{})
+	go func() { readerWG.Wait(); close(readersDone) }()
+	select {
+	case <-readersDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("readers stalled")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if s.Snapshot() == nil {
+		t.Fatal("no snapshot after concurrent run")
+	}
+}

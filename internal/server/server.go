@@ -1,0 +1,291 @@
+// Package server is the online half of the workflow: a long-running
+// rule-mining service in the shape of Meta's production RCA system. Job
+// completion events arrive over HTTP as NDJSON or CSV, pass through the
+// same discretize → one-hot encoding the batch pipeline uses (bins fitted
+// once on a bootstrap sample, activity tiers maintained from running
+// counts), and land in a sliding window. A background loop re-mines the
+// window — the non-concurrency-safe stream.Miner is confined to that
+// single goroutine, fed by a bounded channel whose overflow surfaces as
+// HTTP 429 — and publishes each result as an immutable snapshot swapped in
+// via atomic.Pointer, so queries never block on mining and mining never
+// blocks on queries. Operators query pruned keyword rule tables
+// (/v1/rules), rule drift between consecutive snapshots (/v1/drift), and
+// plain-JSON counters (/metrics).
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// Config sizes the service. The zero value of every threshold selects the
+// paper's setting, as elsewhere in the codebase.
+type Config struct {
+	// Spec declares how events encode into transactions. Required (an
+	// empty spec rejects every numeric field).
+	Spec Spec
+	// WindowSize is the sliding-window length in jobs; zero means 5000.
+	WindowSize int
+	// MinSupport, MaxLen, MinLift are the mining thresholds (0.05, 5, 1.5).
+	MinSupport float64
+	MaxLen     int
+	MinLift    float64
+	// CLift and CSupp are the pruning slack parameters (1.5) applied when
+	// /v1/rules serves a keyword analysis.
+	CLift, CSupp float64
+	// MaxPrevalence drops items above this running share of transactions;
+	// zero means the paper's 0.8, 1 disables.
+	MaxPrevalence float64
+	// KeepItems exempts item names from prevalence dropping.
+	KeepItems []string
+	// Bootstrap is the number of events buffered to fit bin edges before
+	// any mining happens; zero means 500. Shorter streams fit at the
+	// first mine tick instead.
+	Bootstrap int
+	// MineInterval is the re-mine cadence when data trickles in; zero
+	// means 2s.
+	MineInterval time.Duration
+	// MineBatch re-mines eagerly after this many new jobs regardless of
+	// the interval; zero means 1000.
+	MineBatch int
+	// QueueSize bounds the ingest queue; a full queue turns POSTs into
+	// 429 responses. Zero means 8192.
+	QueueSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.WindowSize == 0 {
+		c.WindowSize = 5000
+	}
+	if c.MinSupport == 0 {
+		c.MinSupport = 0.05
+	}
+	if c.MaxLen == 0 {
+		c.MaxLen = 5
+	}
+	if c.MinLift == 0 {
+		c.MinLift = 1.5
+	}
+	if c.CLift == 0 {
+		c.CLift = 1.5
+	}
+	if c.CSupp == 0 {
+		c.CSupp = 1.5
+	}
+	if c.MaxPrevalence == 0 {
+		c.MaxPrevalence = 0.8
+	}
+	if c.Bootstrap == 0 {
+		c.Bootstrap = 500
+	}
+	if c.MineInterval == 0 {
+		c.MineInterval = 2 * time.Second
+	}
+	if c.MineBatch == 0 {
+		c.MineBatch = 1000
+	}
+	if c.QueueSize == 0 {
+		c.QueueSize = 8192
+	}
+	return c
+}
+
+// Snapshot is one published mining result: immutable once stored, so
+// handlers read it lock-free via atomic.Pointer.
+type Snapshot struct {
+	// Seq increments with every publish; the first snapshot is 1.
+	Seq int64
+	// MinedAt and MineDuration time the re-mine that produced it.
+	MinedAt      time.Time
+	MineDuration time.Duration
+	// View carries the rules plus the frozen catalog to render them.
+	View *stream.View
+	// Delta is the structural diff against the previous snapshot.
+	Delta stream.Delta
+}
+
+// Server is the rule-mining daemon. Create with New, mount Handler on an
+// http.Server, and Stop to drain and flush the final snapshot.
+type Server struct {
+	cfg Config
+	idx *specIndex
+
+	queue chan Event
+	// mu guards closed against the queue close: ingest handlers send
+	// under RLock after checking closed, Stop flips closed under Lock
+	// before closing the channel, so a send can never race the close.
+	mu     sync.RWMutex
+	closed bool
+	done   chan struct{}
+
+	snap    atomic.Pointer[Snapshot]
+	metrics metrics
+	started time.Time
+	mux     *http.ServeMux
+}
+
+// New starts the mining loop and returns the server.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.WindowSize < 1 {
+		return nil, fmt.Errorf("server: window size %d", cfg.WindowSize)
+	}
+	s := &Server{
+		cfg:     cfg,
+		idx:     newSpecIndex(cfg.Spec),
+		queue:   make(chan Event, cfg.QueueSize),
+		done:    make(chan struct{}),
+		started: time.Now(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleIngest)
+	s.mux.HandleFunc("GET /v1/rules", s.handleRules)
+	s.mux.HandleFunc("GET /v1/drift", s.handleDrift)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	miner, err := stream.New(nil, stream.Config{
+		WindowSize: cfg.WindowSize,
+		MinSupport: cfg.MinSupport,
+		MaxLen:     cfg.MaxLen,
+		MinLift:    cfg.MinLift,
+	})
+	if err != nil {
+		return nil, err
+	}
+	go s.loop(miner)
+	return s, nil
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Snapshot returns the latest published snapshot, or nil before the first
+// mine completes.
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Stop drains the ingest queue, mines one final snapshot from whatever
+// arrived, and shuts the loop down. Ingest requests after Stop receive
+// 503. The context bounds the wait for the drain.
+func (s *Server) Stop(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.queue)
+	select {
+	case <-s.done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// loop is the single writer: it alone touches the miner, the encoder and
+// the item catalog, which is what makes the un-synchronized stream.Miner
+// race-free under concurrent ingest and query load.
+func (s *Server) loop(miner *stream.Miner) {
+	defer close(s.done)
+	enc := newEncoder(s.idx, s.cfg.Bootstrap, s.cfg.MaxPrevalence, s.cfg.KeepItems)
+	ticker := time.NewTicker(s.cfg.MineInterval)
+	defer ticker.Stop()
+	pending := 0
+	observe := func(txns [][]string) {
+		for _, items := range txns {
+			miner.ObserveNames(items...)
+			pending++
+		}
+	}
+	for {
+		select {
+		case ev, ok := <-s.queue:
+			if !ok {
+				// Queue closed and drained: flush any unfitted
+				// bootstrap backlog and publish the final snapshot.
+				observe(enc.flush())
+				if pending > 0 {
+					s.mine(miner)
+				}
+				return
+			}
+			observe(enc.add(ev))
+			if pending >= s.cfg.MineBatch {
+				s.mine(miner)
+				pending = 0
+			}
+		case <-ticker.C:
+			// A short stream may never fill the bootstrap sample; fit
+			// on whatever arrived so trickle workloads still get rules.
+			observe(enc.flush())
+			if pending > 0 {
+				s.mine(miner)
+				pending = 0
+			}
+		}
+	}
+}
+
+// mine re-mines the window and publishes the result.
+func (s *Server) mine(miner *stream.Miner) {
+	start := time.Now()
+	view := miner.View()
+	prev := s.snap.Load()
+	var delta stream.Delta
+	seq := int64(1)
+	if prev != nil {
+		delta = stream.Diff(prev.View.Rules, view.Rules)
+		seq = prev.Seq + 1
+	} else {
+		delta = stream.Diff(nil, view.Rules)
+	}
+	snap := &Snapshot{
+		Seq:          seq,
+		MinedAt:      time.Now(),
+		MineDuration: time.Since(start),
+		View:         view,
+		Delta:        delta,
+	}
+	s.snap.Store(snap)
+	s.metrics.mineCount.Add(1)
+	s.metrics.lastMineNanos.Store(int64(snap.MineDuration))
+}
+
+// PAISpec is the live-serving counterpart of core.PAIPipeline: the same
+// bins, tiers and aggregations, declared over event fields instead of
+// frame columns. Use it to serve the PAI-shaped traces tracegen emits.
+func PAISpec() Spec {
+	return Spec{
+		Numeric: []NumericSpec{
+			{Field: "cpu_request", SpikeThreshold: 0.3},
+			{Field: "gpu_request"},
+			{Field: "mem_request_gb", SpikeThreshold: 0.3},
+			{Field: "queue_s"},
+			{Field: "runtime_s"},
+			{Field: "cpu_util", ZeroSpecial: true, ZeroLabel: "Bin0", ZeroEpsilon: 0.5},
+			{Field: "sm_util", ZeroSpecial: true, ZeroEpsilon: 0.5},
+			{Field: "mem_used_gb"},
+			{Field: "gmem_used_gb", ZeroSpecial: true, ZeroLabel: "0GB", ZeroEpsilon: 0.05},
+		},
+		Tiers: []TierSpec{
+			{Field: "user", Out: "user_tier"},
+			{Field: "group", Out: "group_tier"},
+		},
+		Maps: []MapSpec{
+			{Field: "model", Out: "model_class", Groups: core.ModelFamilyGroups(), Fallback: "other"},
+			{Field: "gpu_type", Groups: map[string]string{
+				"t4": "T4", "p100": "NonT4", "v100": "NonT4", "none": "None",
+			}},
+		},
+		Bools: []string{"multi_task"},
+		Skip:  []string{"job_id", "submit_s", "num_tasks"},
+	}
+}

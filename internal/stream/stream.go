@@ -32,7 +32,9 @@ type Config struct {
 }
 
 // Miner is a sliding-window association rule miner. It is not safe for
-// concurrent use; wrap it if multiple collectors feed one window.
+// concurrent use: confine it to a single goroutine (internal/server wraps
+// it behind exactly that — one writer loop fed by a channel) and publish
+// immutable Views to readers instead of sharing the Miner itself.
 type Miner struct {
 	cfg     Config
 	catalog *itemset.Catalog
@@ -121,6 +123,32 @@ func (m *Miner) Snapshot() []rules.Rule {
 		MaxLen:   m.cfg.MaxLen,
 	})
 	return rules.Generate(frequent, n, rules.Options{MinLift: m.cfg.MinLift})
+}
+
+// View is an immutable snapshot of the miner, safe to hand to concurrent
+// readers while the miner keeps observing: the mined rules, a frozen clone
+// of the catalog to render them against (item ids are stable across
+// clones), and the window occupancy at mining time. Nothing in a View
+// aliases miner state that later Observe calls mutate.
+type View struct {
+	// Rules is the mined rule set, strongest first (see Snapshot).
+	Rules []rules.Rule
+	// Catalog resolves the rules' item ids to names as of mining time.
+	Catalog *itemset.Catalog
+	// WindowLen and Total mirror Len and Total at mining time.
+	WindowLen, Total int
+}
+
+// View mines the current window and packages the result with a frozen
+// catalog clone. This is the hand-off point between the single-writer
+// mining loop and lock-free readers.
+func (m *Miner) View() *View {
+	return &View{
+		Rules:     m.Snapshot(),
+		Catalog:   m.catalog.Clone(),
+		WindowLen: m.Len(),
+		Total:     m.total,
+	}
 }
 
 // Delta describes how the rule set changed between two snapshots.

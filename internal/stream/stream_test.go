@@ -167,6 +167,122 @@ func TestSnapshotEmptyWindow(t *testing.T) {
 	}
 }
 
+func TestViewEmptyWindow(t *testing.T) {
+	m, err := New(nil, Config{WindowSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := m.View()
+	if v.WindowLen != 0 || v.Total != 0 || len(v.Rules) != 0 {
+		t.Errorf("empty-window view = %+v", v)
+	}
+	if v.Catalog == nil {
+		t.Fatal("view must carry a catalog even when empty")
+	}
+	// The view's catalog is a clone: interning into it must not leak back
+	// into the miner's live catalog.
+	v.Catalog.Intern("ghost")
+	if _, ok := m.Catalog().Lookup("ghost"); ok {
+		t.Error("view catalog aliases the live catalog")
+	}
+}
+
+func TestWindowSmallerThanBatch(t *testing.T) {
+	// A burst larger than the whole window: only the tail survives, and
+	// mining still works on the fully-churned ring.
+	m, err := New(nil, Config{WindowSize: 5, MinSupport: 0.4, MinLift: 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		m.ObserveNames("old", "stale")
+	}
+	for i := 0; i < 7; i++ {
+		if i%2 == 0 {
+			m.ObserveNames("fresh", "hot")
+		} else {
+			m.ObserveNames("noise")
+		}
+	}
+	if m.Len() != 5 || m.Total() != 107 {
+		t.Fatalf("Len/Total = %d/%d", m.Len(), m.Total())
+	}
+	old, _ := m.Catalog().Lookup("old")
+	fresh, _ := m.Catalog().Lookup("fresh")
+	foundFresh := false
+	for _, r := range m.Snapshot() {
+		if r.Antecedent.Contains(old) || r.Consequent.Contains(old) {
+			t.Fatalf("fully-evicted item still mined: %v", r)
+		}
+		if r.Antecedent.Contains(fresh) || r.Consequent.Contains(fresh) {
+			foundFresh = true
+		}
+	}
+	if !foundFresh {
+		t.Error("no rule over the surviving tail")
+	}
+}
+
+func TestDiffVanishAndReappear(t *testing.T) {
+	// A rule that disappears and later returns must be reported as vanished
+	// in the first diff and appeared again in the second — Diff is stateless
+	// across snapshot pairs.
+	m, err := New(nil, Config{WindowSize: 50, MinSupport: 0.3, MinLift: 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half the window co-occurring (a,b), half background noise, so a=>b
+	// has support 0.5 and lift 2 rather than a degenerate lift of 1.
+	fill := func(a, b string) {
+		for i := 0; i < 50; i++ {
+			if i%2 == 0 {
+				m.ObserveNames(a, b)
+			} else {
+				m.ObserveNames("noise")
+			}
+		}
+	}
+	fill("x", "y")
+	s1 := m.Snapshot()
+	fill("p", "q") // fully evicts x,y
+	s2 := m.Snapshot()
+	fill("x", "y") // x=>y comes back
+	s3 := m.Snapshot()
+
+	x, _ := m.Catalog().Lookup("x")
+	containsX := func(d Delta, appeared bool) bool {
+		rs := d.Vanished
+		if appeared {
+			rs = d.Appeared
+		}
+		for _, r := range rs {
+			if r.Antecedent.Contains(x) || r.Consequent.Contains(x) {
+				return true
+			}
+		}
+		return false
+	}
+	d12 := Diff(s1, s2)
+	if !containsX(d12, false) {
+		t.Error("x rule not reported vanished in s1->s2")
+	}
+	if containsX(d12, true) {
+		t.Error("x rule reported appeared in s1->s2")
+	}
+	d23 := Diff(s2, s3)
+	if !containsX(d23, true) {
+		t.Error("x rule not reported appeared in s2->s3")
+	}
+	if containsX(d23, false) {
+		t.Error("x rule reported vanished in s2->s3")
+	}
+	// Round trip: the reappearing rule set matches the original.
+	d13 := Diff(s1, s3)
+	if len(d13.Appeared) != 0 || len(d13.Vanished) != 0 {
+		t.Errorf("s1 vs s3 should be identical, got %+v", d13)
+	}
+}
+
 func TestObserveCanonicalizes(t *testing.T) {
 	m, err := New(nil, Config{WindowSize: 4})
 	if err != nil {

@@ -23,6 +23,27 @@ func FrequencyTiers(values []string, topShare, bottomShare float64) []string {
 			counts[v]++
 		}
 	}
+	tier := TiersFromCounts(counts, topShare, bottomShare)
+	out := make([]string, len(values))
+	for k, v := range values {
+		if v == "" {
+			continue
+		}
+		if t, ok := tier[v]; ok {
+			out[k] = t
+		} else {
+			out[k] = TierRegular
+		}
+	}
+	return out
+}
+
+// TiersFromCounts assigns a tier label to each distinct value given its
+// occurrence count — the same cumulative-share walk FrequencyTiers performs,
+// exposed for callers that maintain counts incrementally (the online serving
+// path recomputes tier maps from running counts instead of replaying every
+// row). Values absent from the returned map are "regular".
+func TiersFromCounts(counts map[string]int, topShare, bottomShare float64) map[string]string {
 	type vc struct {
 		v string
 		c int
@@ -66,18 +87,7 @@ func FrequencyTiers(values []string, topShare, bottomShare float64) []string {
 		tier[ordered[j].v] = TierNew
 		acc += ordered[j].c
 	}
-	out := make([]string, len(values))
-	for k, v := range values {
-		if v == "" {
-			continue
-		}
-		if t, ok := tier[v]; ok {
-			out[k] = t
-		} else {
-			out[k] = TierRegular
-		}
-	}
-	return out
+	return tier
 }
 
 // MapValues rewrites each value through groups (e.g. {"resnet": "CV",
