@@ -54,6 +54,7 @@ func main() {
 	cSupp := flag.Float64("c-supp", 1.5, "pruning support slack C_supp")
 	mineInterval := flag.Duration("mine-interval", 2*time.Second, "re-mine cadence")
 	mineBatch := flag.Int("mine-batch", 1000, "re-mine after this many new jobs")
+	mineWorkers := flag.Int("mine-workers", 0, "mining parallelism (0 = all cores, 1 = serial)")
 	queue := flag.Int("queue", 8192, "ingest queue capacity (full queue => 429)")
 	bootstrap := flag.Int("bootstrap", 500, "jobs sampled before bin edges are fitted")
 	numeric := flag.String("numeric", "", "generic spec: comma-separated numeric fields to quartile-bin")
@@ -68,7 +69,7 @@ func main() {
 		spec: *spec, window: *window,
 		minSupport: *minSupport, minLift: *minLift, maxLen: *maxLen,
 		cLift: *cLift, cSupp: *cSupp,
-		mineInterval: *mineInterval, mineBatch: *mineBatch,
+		mineInterval: *mineInterval, mineBatch: *mineBatch, mineWorkers: *mineWorkers,
 		queue: *queue, bootstrap: *bootstrap,
 		numeric: splitList(*numeric), zeros: splitList(*zeros), spikes: splitList(*spikes),
 		tiers: splitList(*tiers), bools: splitList(*bools), skips: splitList(*skips),
@@ -86,7 +87,7 @@ func main() {
 type options struct {
 	spec                                 string
 	window, maxLen, mineBatch            int
-	queue, bootstrap                     int
+	queue, bootstrap, mineWorkers        int
 	minSupport, minLift, cLift, cSupp    float64
 	mineInterval                         time.Duration
 	numeric, zeros, spikes, tiers, bools []string
@@ -105,6 +106,7 @@ func buildConfig(o options) (server.Config, error) {
 		MineInterval: o.mineInterval,
 		MineBatch:    o.mineBatch,
 		QueueSize:    o.queue,
+		Workers:      o.mineWorkers,
 	}
 	switch o.spec {
 	case "pai":

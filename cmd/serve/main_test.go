@@ -34,6 +34,22 @@ func TestBuildConfigPAI(t *testing.T) {
 	}
 }
 
+func TestBuildConfigMineWorkers(t *testing.T) {
+	o := baseOptions()
+	o.mineWorkers = 3
+	cfg, err := buildConfig(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Workers != 3 {
+		t.Errorf("Workers = %d, want -mine-workers value 3", cfg.Workers)
+	}
+	o.mineWorkers = 0
+	if cfg, _ = buildConfig(o); cfg.Workers != 0 {
+		t.Errorf("Workers = %d, want 0 (all cores) by default", cfg.Workers)
+	}
+}
+
 func TestBuildConfigGeneric(t *testing.T) {
 	o := baseOptions()
 	o.spec = "generic"

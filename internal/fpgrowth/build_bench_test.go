@@ -1,0 +1,45 @@
+package fpgrowth
+
+import (
+	"testing"
+
+	"repro/internal/itemset"
+	"repro/internal/transaction"
+)
+
+// BenchmarkBuildInitial times the FP-tree construction alone — rank
+// assignment, transaction encoding, dedup, weighted inserts — separately
+// from mining, so the bench harness can track build vs mine trends.
+func BenchmarkBuildInitial(b *testing.B) {
+	db := transaction.NewDB(nil)
+	ids := make([]itemset.Item, 40)
+	for i := range ids {
+		ids[i] = db.Catalog().Intern(string(rune('A'+i%26)) + itoa(i))
+	}
+	s := int64(3)
+	next := func() int64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return (s >> 33) & 0x7fffffff
+	}
+	for i := 0; i < 20000; i++ {
+		n := 2 + int(next())%12
+		items := make([]itemset.Item, 0, n)
+		for j := 0; j < n; j++ {
+			u := float64(next()) / float64(1<<31)
+			idx := int(u * u * float64(len(ids)))
+			if idx >= len(ids) {
+				idx = len(ids) - 1
+			}
+			items = append(items, ids[idx])
+		}
+		db.Add(items...)
+	}
+	minCount := db.Len() / 20
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if t := buildInitial(db, minCount); len(t.counts) == 0 {
+			b.Fatal("no frequent items")
+		}
+	}
+}

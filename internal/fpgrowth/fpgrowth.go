@@ -5,9 +5,28 @@
 // frequency; mining proceeds by projecting conditional pattern bases per
 // item and recursing on conditional trees.
 //
+// The engine is built for the serving hot path (internal/server re-mines a
+// sliding window every few seconds), so the tree is laid out for the cache
+// rather than the garbage collector:
+//
+//   - Frequent items are remapped to dense ranks — rank 0 is the globally
+//     most frequent item — so per-item state (support counts, header
+//     chains, the catalog-id translation) lives in flat slices indexed by
+//     rank, and every root→leaf path carries strictly ascending ranks.
+//   - Nodes are arena-allocated: a tree is one []node slab addressed by
+//     int32 indices, with children as first-child/next-sibling lists,
+//     instead of a pointer + map[Item]*node per node.
+//   - Transactions are encoded once into a flat rank buffer, ordered by an
+//     in-place rank sort (no sort.Slice closures), and identical encodings
+//     — very common after discretization into a few bins — are
+//     deduplicated and inserted once with their multiplicity.
+//   - Conditional projections reuse per-miner pooled trees and scratch
+//     buffers, so recursion allocates nothing once the pool is warm.
+//
 // Mining the conditional tree of each initial header item is independent
-// work, so Mine fans those projections out over a worker pool — the
-// database itself is shared read-only.
+// work, so Mine fans those projections out over a worker pool, dispatching
+// the heaviest header chains first; the initial tree is shared read-only
+// and every worker owns its scratch.
 package fpgrowth
 
 import (
@@ -32,218 +51,393 @@ type Options struct {
 	Workers int
 }
 
+// nilIdx marks an absent arena link.
+const nilIdx = int32(-1)
+
+// node is one FP-tree node. All links are indices into the owning tree's
+// arena, so a whole tree is a handful of contiguous allocations regardless
+// of shape.
 type node struct {
-	item     itemset.Item
-	count    int
-	parent   *node
-	children map[itemset.Item]*node
-	next     *node // header-table chain
+	rank    int32 // dense item rank (see tree.items)
+	count   int32
+	parent  int32
+	child   int32 // first child
+	sibling int32 // next sibling in the parent's child list
+	next    int32 // next node of the same rank (header chain)
 }
 
+// tree is an FP-tree over dense item ranks. nodes[0] is the root; heads,
+// tails, counts and items are indexed by rank. The trailing scratch fields
+// belong to conditional projection and are reused every time the tree is
+// recycled through a miner's pool.
 type tree struct {
-	root    *node
-	heads   map[itemset.Item]*node
-	tails   map[itemset.Item]*node
-	counts  map[itemset.Item]int
-	minCnt  int
-	ordered []itemset.Item // frequent items by ascending count (mining order)
+	nodes  []node
+	heads  []int32
+	tails  []int32
+	counts []int32
+	items  []itemset.Item // rank -> catalog item id
+	minCnt int32
+
+	// Projection scratch: the conditional pattern bases of the item being
+	// projected, expressed in the parent tree's rank space and stored back
+	// to back in baseBuf (baseOff/baseCnt delimit and weight them).
+	baseBuf  []int32
+	baseOff  []int32
+	baseCnt  []int32
+	condCnt  []int32 // per parent-rank conditional count
+	rankOf   []int32 // parent rank -> own rank (nilIdx = infrequent)
+	orderBuf []int32
+	txnBuf   []int32
+	pathBuf  []int32
 }
 
-func newTree(minCount int) *tree {
-	return &tree{
-		root:   &node{children: make(map[itemset.Item]*node)},
-		heads:  make(map[itemset.Item]*node),
-		tails:  make(map[itemset.Item]*node),
-		counts: make(map[itemset.Item]int),
-		minCnt: minCount,
+// reset prepares the tree for nRanks frequent items, keeping every backing
+// array that is already large enough.
+func (t *tree) reset(nRanks int, minCnt int32) {
+	t.nodes = append(t.nodes[:0], node{rank: nilIdx, parent: nilIdx, child: nilIdx, sibling: nilIdx, next: nilIdx})
+	t.heads = resizeFill(t.heads, nRanks, nilIdx)
+	t.tails = resizeFill(t.tails, nRanks, nilIdx)
+	t.counts = resizeFill(t.counts, nRanks, 0)
+	if cap(t.items) < nRanks {
+		t.items = make([]itemset.Item, nRanks)
 	}
+	t.items = t.items[:nRanks]
+	t.minCnt = minCnt
 }
 
-// insert adds a transaction (already filtered to frequent items and sorted
-// in descending global frequency) with multiplicity count.
-func (t *tree) insert(items []itemset.Item, count int) {
-	cur := t.root
-	for _, it := range items {
-		child, ok := cur.children[it]
-		if !ok {
-			child = &node{item: it, parent: cur, children: make(map[itemset.Item]*node)}
-			cur.children[it] = child
-			if t.heads[it] == nil {
-				t.heads[it] = child
+func resizeFill(s []int32, n int, fill int32) []int32 {
+	if cap(s) < n {
+		s = make([]int32, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = fill
+	}
+	return s
+}
+
+// insert adds one transaction, given as ascending ranks, with multiplicity
+// count. Children are found by a linear sibling scan: fan-out is bounded by
+// the item vocabulary and the list nodes are contiguous in the arena, so
+// the scan stays in cache.
+func (t *tree) insert(ranks []int32, count int32) {
+	cur := int32(0)
+	for _, r := range ranks {
+		prev := nilIdx
+		c := t.nodes[cur].child
+		for c != nilIdx && t.nodes[c].rank != r {
+			prev = c
+			c = t.nodes[c].sibling
+		}
+		if c == nilIdx {
+			c = int32(len(t.nodes))
+			t.nodes = append(t.nodes, node{rank: r, parent: cur, child: nilIdx, sibling: nilIdx, next: nilIdx})
+			if prev == nilIdx {
+				t.nodes[cur].child = c
 			} else {
-				t.tails[it].next = child
+				t.nodes[prev].sibling = c
 			}
-			t.tails[it] = child
+			if t.heads[r] == nilIdx {
+				t.heads[r] = c
+			} else {
+				t.nodes[t.tails[r]].next = c
+			}
+			t.tails[r] = c
 		}
-		child.count += count
-		cur = child
+		t.nodes[c].count += count
+		cur = c
 	}
 }
 
-// finish computes the mining order after all inserts: ascending frequency,
-// ties broken by item id for determinism.
-func (t *tree) finish() {
-	t.ordered = t.ordered[:0]
-	for it, c := range t.counts {
-		if c >= t.minCnt {
-			t.ordered = append(t.ordered, it)
-		}
-	}
-	sort.Slice(t.ordered, func(i, j int) bool {
-		ci, cj := t.counts[t.ordered[i]], t.counts[t.ordered[j]]
-		if ci != cj {
-			return ci < cj
-		}
-		return t.ordered[i] < t.ordered[j]
-	})
-}
-
-// singlePath returns the items of the tree's unique path (excluding root)
-// when the tree is a single chain, or nil otherwise. Single-path trees are
+// singlePath returns the node indices of the tree's unique root→leaf chain
+// when no node has a sibling, or false otherwise. Single-path trees are
 // mined by enumerating path subsets directly.
-func (t *tree) singlePath() []*node {
-	var path []*node
-	cur := t.root
-	for {
-		if len(cur.children) == 0 {
-			return path
+func (t *tree) singlePath() ([]int32, bool) {
+	t.pathBuf = t.pathBuf[:0]
+	for cur := t.nodes[0].child; cur != nilIdx; cur = t.nodes[cur].child {
+		if t.nodes[cur].sibling != nilIdx {
+			return nil, false
 		}
-		if len(cur.children) > 1 {
-			return nil
-		}
-		for _, child := range cur.children {
-			cur = child
-		}
-		path = append(path, cur)
+		t.pathBuf = append(t.pathBuf, cur)
 	}
+	return t.pathBuf, true
 }
 
-// buildInitial constructs the FP-tree over the full database.
+// buildInitial constructs the FP-tree over the full database: count items,
+// assign dense ranks by descending support (ties by item id), encode every
+// transaction as an ascending rank sequence into one flat buffer, then
+// deduplicate identical encodings and insert each distinct one once with
+// its multiplicity.
 func buildInitial(db *transaction.DB, minCount int) *tree {
-	t := newTree(minCount)
 	counts := db.ItemCounts()
+	order := make([]int32, 0, len(counts))
+	encLen := 0
 	for id, c := range counts {
 		if c >= minCount {
-			t.counts[itemset.Item(id)] = c
+			order = append(order, int32(id))
+			encLen += c
 		}
 	}
-	buf := make([]itemset.Item, 0, 32)
-	for i := 0; i < db.Len(); i++ {
-		buf = buf[:0]
-		for _, it := range db.Txn(i) {
-			if _, ok := t.counts[it]; ok {
-				buf = append(buf, it)
-			}
-		}
-		sortDescFreq(buf, t.counts)
-		t.insert(buf, 1)
-	}
-	t.finish()
-	return t
-}
-
-// sortDescFreq sorts items by descending global frequency, ties by id.
-func sortDescFreq(items []itemset.Item, counts map[itemset.Item]int) {
-	sort.Slice(items, func(i, j int) bool {
-		ci, cj := counts[items[i]], counts[items[j]]
+	sort.Slice(order, func(i, j int) bool {
+		ci, cj := counts[order[i]], counts[order[j]]
 		if ci != cj {
 			return ci > cj
 		}
-		return items[i] < items[j]
+		return order[i] < order[j]
 	})
-}
+	t := &tree{}
+	t.reset(len(order), int32(minCount))
+	rankOf := resizeFill(nil, len(counts), nilIdx)
+	for r, id := range order {
+		rankOf[id] = int32(r)
+		t.items[r] = itemset.Item(id)
+		t.counts[r] = int32(counts[id])
+	}
 
-// conditional builds the conditional FP-tree for item it: the tree over all
-// prefix paths leading to occurrences of it.
-func (t *tree) conditional(it itemset.Item) *tree {
-	type base struct {
-		path  []itemset.Item
-		count int
-	}
-	var bases []base
-	counts := make(map[itemset.Item]int)
-	for n := t.heads[it]; n != nil; n = n.next {
-		var path []itemset.Item
-		for p := n.parent; p != nil && p.parent != nil; p = p.parent {
-			path = append(path, p.item)
-		}
-		if len(path) == 0 {
-			continue
-		}
-		// path is leaf→root; reverse to root→leaf insertion order.
-		for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
-			path[l], path[r] = path[r], path[l]
-		}
-		bases = append(bases, base{path: path, count: n.count})
-		for _, p := range path {
-			counts[p] += n.count
-		}
-	}
-	cond := newTree(t.minCnt)
-	for p, c := range counts {
-		if c >= t.minCnt {
-			cond.counts[p] = c
-		}
-	}
-	filtered := make([]itemset.Item, 0, 16)
-	for _, b := range bases {
-		filtered = filtered[:0]
-		for _, p := range b.path {
-			if _, ok := cond.counts[p]; ok {
-				filtered = append(filtered, p)
+	// Encode: transactions are canonical sets (ascending item id), so the
+	// rank projection needs a re-sort — an in-place insertion sort, since
+	// discretized transactions are short.
+	n := db.Len()
+	enc := make([]int32, 0, encLen)
+	off := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		start := len(enc)
+		for _, it := range db.Txn(i) {
+			if r := rankOf[it]; r != nilIdx {
+				enc = append(enc, r)
 			}
 		}
-		sortDescFreq(filtered, cond.counts)
-		cond.insert(filtered, b.count)
+		rankSort(enc[start:])
+		off[i+1] = int32(len(enc))
 	}
-	cond.finish()
-	return cond
+
+	// Dedup: order transactions lexicographically by encoding and merge
+	// runs of identical ones into a single weighted insert.
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ta, tb := idx[a], idx[b]
+		return lexLess(enc[off[ta]:off[ta+1]], enc[off[tb]:off[tb+1]])
+	})
+	for i := 0; i < n; {
+		ti := idx[i]
+		cur := enc[off[ti]:off[ti+1]]
+		j := i + 1
+		for j < n {
+			tj := idx[j]
+			if !equalRanks(cur, enc[off[tj]:off[tj+1]]) {
+				break
+			}
+			j++
+		}
+		if len(cur) > 0 {
+			t.insert(cur, int32(j-i))
+		}
+		i = j
+	}
+	return t
+}
+
+// rankSort sorts a short rank slice ascending in place.
+func rankSort(s []int32) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}
+
+func lexLess(a, b []int32) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func equalRanks(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// miner is per-goroutine mining state: a free list of trees so conditional
+// projections at every recursion depth recycle arenas instead of
+// allocating, plus the emit sink. Workers each own a miner; the shared
+// initial tree is only ever read.
+type miner struct {
+	free []*tree
+	emit func(itemset.Frequent)
+}
+
+func (m *miner) get() *tree {
+	if n := len(m.free); n > 0 {
+		t := m.free[n-1]
+		m.free = m.free[:n-1]
+		return t
+	}
+	return &tree{}
+}
+
+func (m *miner) put(t *tree) { m.free = append(m.free, t) }
+
+// conditional builds the conditional FP-tree of rank r in src — the tree
+// over all prefix paths of r's occurrences, re-ranked by conditional
+// frequency (ties by the parent rank, i.e. global frequency order) — into
+// a pooled tree. Returns nil when no item stays frequent. All scratch
+// lives in the destination, so src is never written.
+func (m *miner) conditional(src *tree, r int32) *tree {
+	dst := m.get()
+	dst.condCnt = resizeFill(dst.condCnt, len(src.counts), 0)
+	dst.baseBuf = dst.baseBuf[:0]
+	dst.baseCnt = dst.baseCnt[:0]
+	dst.baseOff = append(dst.baseOff[:0], 0)
+	for ni := src.heads[r]; ni != nilIdx; ni = src.nodes[ni].next {
+		cnt := src.nodes[ni].count
+		start := len(dst.baseBuf)
+		for p := src.nodes[ni].parent; p > 0; p = src.nodes[p].parent {
+			pr := src.nodes[p].rank
+			dst.baseBuf = append(dst.baseBuf, pr)
+			dst.condCnt[pr] += cnt
+		}
+		if len(dst.baseBuf) == start {
+			continue
+		}
+		dst.baseOff = append(dst.baseOff, int32(len(dst.baseBuf)))
+		dst.baseCnt = append(dst.baseCnt, cnt)
+	}
+	dst.orderBuf = dst.orderBuf[:0]
+	for pr, c := range dst.condCnt {
+		if c >= src.minCnt {
+			dst.orderBuf = append(dst.orderBuf, int32(pr))
+		}
+	}
+	if len(dst.orderBuf) == 0 {
+		m.put(dst)
+		return nil
+	}
+	sort.Slice(dst.orderBuf, func(i, j int) bool {
+		ci, cj := dst.condCnt[dst.orderBuf[i]], dst.condCnt[dst.orderBuf[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return dst.orderBuf[i] < dst.orderBuf[j]
+	})
+	dst.reset(len(dst.orderBuf), src.minCnt)
+	dst.rankOf = resizeFill(dst.rankOf, len(src.counts), nilIdx)
+	for nr, pr := range dst.orderBuf {
+		dst.rankOf[pr] = int32(nr)
+		dst.items[nr] = src.items[pr]
+		dst.counts[nr] = dst.condCnt[pr]
+	}
+	for b := 0; b < len(dst.baseCnt); b++ {
+		dst.txnBuf = dst.txnBuf[:0]
+		for _, pr := range dst.baseBuf[dst.baseOff[b]:dst.baseOff[b+1]] {
+			if nr := dst.rankOf[pr]; nr != nilIdx {
+				dst.txnBuf = append(dst.txnBuf, nr)
+			}
+		}
+		if len(dst.txnBuf) == 0 {
+			continue
+		}
+		rankSort(dst.txnBuf)
+		dst.insert(dst.txnBuf, dst.baseCnt[b])
+	}
+	return dst
 }
 
 // mine recursively emits all frequent itemsets extending prefix within t.
-func (t *tree) mine(prefix itemset.Set, maxLen int, emit func(itemset.Frequent)) {
+// Header items are visited in ascending support — descending rank — order,
+// the classic bottom-up FP-Growth traversal.
+func (m *miner) mine(t *tree, prefix itemset.Set, maxLen int) {
 	if maxLen > 0 && len(prefix) >= maxLen {
 		return
 	}
-	// Single-path optimization: every subset of the path, combined with
-	// the prefix, is frequent with the count of its deepest node.
-	if path := t.singlePath(); path != nil {
-		emitPathSubsets(prefix, path, maxLen, emit)
+	if path, ok := t.singlePath(); ok {
+		m.emitPathSubsets(t, prefix, path, maxLen)
 		return
 	}
-	for _, it := range t.ordered {
-		ext := prefix.With(it)
-		emit(itemset.Frequent{Items: ext, Count: t.counts[it]})
-		cond := t.conditional(it)
-		if len(cond.ordered) > 0 {
-			cond.mine(ext, maxLen, emit)
+	for r := int32(len(t.counts)) - 1; r >= 0; r-- {
+		ext := prefix.With(t.items[r])
+		m.emit(itemset.Frequent{Items: ext, Count: int(t.counts[r])})
+		if maxLen > 0 && len(ext) >= maxLen {
+			continue
+		}
+		if cond := m.conditional(t, r); cond != nil {
+			m.mine(cond, ext, maxLen)
+			m.put(cond)
 		}
 	}
 }
 
-// emitPathSubsets enumerates all non-empty subsets of a single-path tree.
-func emitPathSubsets(prefix itemset.Set, path []*node, maxLen int, emit func(itemset.Frequent)) {
+// emitPathSubsets enumerates all non-empty subsets of a single-path tree,
+// each supported by the count of its deepest node.
+func (m *miner) emitPathSubsets(t *tree, prefix itemset.Set, path []int32, maxLen int) {
 	limit := len(path)
 	if maxLen > 0 && maxLen-len(prefix) < limit {
 		limit = maxLen - len(prefix)
 	}
-	var rec func(start int, cur itemset.Set, minCount int)
-	rec = func(start int, cur itemset.Set, minCount int) {
-		if len(cur)-len(prefix) >= limit {
+	base := prefix.Clone()
+	var rec func(start int, cur itemset.Set, minCount int32)
+	rec = func(start int, cur itemset.Set, minCount int32) {
+		if len(cur)-len(base) >= limit {
 			return
 		}
 		for i := start; i < len(path); i++ {
-			n := path[i]
+			n := &t.nodes[path[i]]
 			c := minCount
 			if n.count < c || c == 0 {
 				c = n.count
 			}
-			ext := cur.With(n.item)
-			emit(itemset.Frequent{Items: ext, Count: c})
+			ext := cur.With(t.items[n.rank])
+			m.emit(itemset.Frequent{Items: ext, Count: int(c)})
 			rec(i+1, ext, c)
 		}
 	}
-	rec(0, prefix.Clone(), 0)
+	rec(0, base, 0)
+}
+
+// jobOrder returns the top-level ranks sorted by descending conditional-base
+// size (header-chain node count), ties by rank. Dispatching the heaviest
+// subtrees first keeps one straggler from serializing the tail of the
+// worker pool.
+func (t *tree) jobOrder() []int32 {
+	sizes := make([]int32, len(t.counts))
+	for r := range t.heads {
+		n := int32(0)
+		for ni := t.heads[r]; ni != nilIdx; ni = t.nodes[ni].next {
+			n++
+		}
+		sizes[r] = n
+	}
+	order := make([]int32, len(t.counts))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if sizes[order[a]] != sizes[order[b]] {
+			return sizes[order[a]] > sizes[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	return order
 }
 
 // Mine returns every itemset with support count >= opts.MinCount and length
@@ -257,22 +451,23 @@ func Mine(db *transaction.DB, opts Options) []itemset.Frequent {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(t.ordered) {
-		workers = len(t.ordered)
+	if workers > len(t.counts) {
+		workers = len(t.counts)
 	}
 
 	var results []itemset.Frequent
 	if workers <= 1 {
-		t.mine(nil, opts.MaxLen, func(f itemset.Frequent) { results = append(results, f) })
+		m := &miner{emit: func(f itemset.Frequent) { results = append(results, f) }}
+		m.mine(t, nil, opts.MaxLen)
 		itemset.SortFrequent(results)
 		return results
 	}
 
-	// Parallel top level: each worker takes header items off a shared
-	// index and mines that item's conditional subtree into a private
-	// buffer; buffers are concatenated afterwards. The initial tree is
-	// read-only during mining.
-	jobs := make(chan int)
+	// Parallel top level: each worker takes header ranks off a shared
+	// channel and mines that rank's conditional subtree into a private
+	// buffer with its own arena pool; buffers are concatenated afterwards.
+	// The initial tree is read-only during mining.
+	jobs := make(chan int32)
 	buffers := make([][]itemset.Frequent, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -280,24 +475,23 @@ func Mine(db *transaction.DB, opts Options) []itemset.Frequent {
 		go func(w int) {
 			defer wg.Done()
 			var buf []itemset.Frequent
-			emit := func(f itemset.Frequent) { buf = append(buf, f) }
-			for idx := range jobs {
-				it := t.ordered[idx]
-				ext := itemset.NewSet(it)
-				emit(itemset.Frequent{Items: ext, Count: t.counts[it]})
+			m := &miner{emit: func(f itemset.Frequent) { buf = append(buf, f) }}
+			for r := range jobs {
+				ext := itemset.NewSet(t.items[r])
+				m.emit(itemset.Frequent{Items: ext, Count: int(t.counts[r])})
 				if opts.MaxLen == 1 {
 					continue
 				}
-				cond := t.conditional(it)
-				if len(cond.ordered) > 0 {
-					cond.mine(ext, opts.MaxLen, emit)
+				if cond := m.conditional(t, r); cond != nil {
+					m.mine(cond, ext, opts.MaxLen)
+					m.put(cond)
 				}
 			}
 			buffers[w] = buf
 		}(w)
 	}
-	for i := range t.ordered {
-		jobs <- i
+	for _, r := range t.jobOrder() {
+		jobs <- r
 	}
 	close(jobs)
 	wg.Wait()

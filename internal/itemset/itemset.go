@@ -211,6 +211,23 @@ func (s Set) With(it Item) Set {
 // Clone returns an independent copy of s.
 func (s Set) Clone() Set { return append(Set(nil), s...) }
 
+// Hash returns a 64-bit FNV-1a hash of the set's items: a cheap key for
+// open-addressed lookup tables on hot paths that cannot afford the string
+// allocation of Key. Equal sets hash equal; distinct sets may collide, so
+// callers must confirm matches with Equal.
+func (s Set) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, it := range s {
+		h ^= uint64(uint32(it))
+		h *= prime64
+	}
+	return h
+}
+
 // Key returns a compact string usable as a map key, unique per set.
 func (s Set) Key() string {
 	buf := make([]byte, 4*len(s))

@@ -1,0 +1,53 @@
+package rules
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fpgrowth"
+	"repro/internal/itemset"
+	"repro/internal/stats"
+	"repro/internal/transaction"
+)
+
+// benchFrequent mines a dense random database once so the benchmarks time
+// rule generation alone, over a lattice big enough that the support-lookup
+// table dominates the cost profile.
+func benchFrequent(b *testing.B, nTxns, nItems, avgLen int) ([]itemset.Frequent, int) {
+	b.Helper()
+	g := stats.NewRNG(9)
+	db := transaction.NewDB(nil)
+	ids := make([]itemset.Item, nItems)
+	for i := range ids {
+		ids[i] = db.Catalog().Intern(fmt.Sprintf("item%d", i))
+	}
+	for i := 0; i < nTxns; i++ {
+		n := 1 + g.Intn(2*avgLen)
+		items := make([]itemset.Item, 0, n)
+		for j := 0; j < n; j++ {
+			u := g.Float64()
+			idx := int(u * u * float64(nItems))
+			if idx >= nItems {
+				idx = nItems - 1
+			}
+			items = append(items, ids[idx])
+		}
+		db.Add(items...)
+	}
+	fs := fpgrowth.Mine(db, fpgrowth.Options{MinCount: nTxns / 50, MaxLen: 5})
+	if len(fs) == 0 {
+		b.Fatal("benchmark database mined no frequent itemsets")
+	}
+	return fs, db.Len()
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	fs, n := benchFrequent(b, 20000, 40, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(Generate(fs, n, Options{MinLift: 1.1})) == 0 {
+			b.Fatal("no rules generated")
+		}
+	}
+}

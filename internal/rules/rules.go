@@ -10,8 +10,10 @@ package rules
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/itemset"
 )
@@ -57,6 +59,51 @@ type Options struct {
 	// MinSupport drops rules with support below the threshold (the miner
 	// normally enforces this already via its min count).
 	MinSupport float64
+	// Workers sets the parallelism for sharding itemsets across
+	// goroutines. Zero means GOMAXPROCS; 1 forces serial generation. The
+	// output is identical for any worker count.
+	Workers int
+}
+
+// supportIndex is an open-addressed hash table from itemset to its support
+// count, keyed by Set.Hash — no string Key allocations on lookups. Slots
+// hold 1-based indices into the frequent slice; the table is built once and
+// read concurrently by every generation shard.
+type supportIndex struct {
+	slots []int32
+	mask  uint64
+	fs    []itemset.Frequent
+}
+
+func newSupportIndex(fs []itemset.Frequent) *supportIndex {
+	size := 1
+	for size < 2*len(fs)+1 {
+		size <<= 1
+	}
+	ix := &supportIndex{slots: make([]int32, size), mask: uint64(size - 1), fs: fs}
+	for i := range fs {
+		h := fs[i].Items.Hash() & ix.mask
+		for ix.slots[h] != 0 {
+			h = (h + 1) & ix.mask
+		}
+		ix.slots[h] = int32(i + 1)
+	}
+	return ix
+}
+
+// count returns the support count of s, or false when s is not frequent.
+func (ix *supportIndex) count(s itemset.Set) (int, bool) {
+	h := s.Hash() & ix.mask
+	for {
+		v := ix.slots[h]
+		if v == 0 {
+			return 0, false
+		}
+		if ix.fs[v-1].Items.Equal(s) {
+			return ix.fs[v-1].Count, true
+		}
+		h = (h + 1) & ix.mask
+	}
 }
 
 // Generate derives association rules from the mined frequent itemsets.
@@ -64,20 +111,81 @@ type Options struct {
 // split into each non-empty antecedent/consequent partition; metric
 // computation looks up the parts' supports in the frequent list itself
 // (every subset of a frequent itemset is frequent, so the lookups always
-// hit). Results are sorted by descending lift, ties by descending support.
+// hit). Itemsets are sharded across opts.Workers goroutines — splits of
+// different itemsets are independent — and the shards merged and sorted
+// once, so any worker count yields the same rules in the same order:
+// descending lift, ties by descending support.
 func Generate(frequent []itemset.Frequent, nTxns int, opts Options) []Rule {
 	if opts.MinLift == 0 {
 		opts.MinLift = 1.5
 	}
-	counts := make(map[string]int, len(frequent))
-	for _, f := range frequent {
-		counts[f.Items.Key()] = f.Count
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > len(frequent) {
+		workers = len(frequent)
+	}
+	ix := newSupportIndex(frequent)
 	total := float64(nTxns)
 	var out []Rule
+	if workers <= 1 {
+		out = generateShard(ix, total, opts, 0, 1)
+	} else {
+		// Strided shards: the frequent list is sorted by length, so
+		// striding spreads the expensive long itemsets (2^k splits)
+		// evenly across workers.
+		shards := make([][]Rule, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				shards[w] = generateShard(ix, total, opts, w, workers)
+			}(w)
+		}
+		wg.Wait()
+		n := 0
+		for _, s := range shards {
+			n += len(s)
+		}
+		out = make([]Rule, 0, n)
+		for _, s := range shards {
+			out = append(out, s...)
+		}
+	}
+	Sort(out)
+	return out
+}
+
+// setArena block-allocates the kept rules' side sets, so a shard costs a
+// handful of slab allocations instead of two clones per rule.
+type setArena struct {
+	buf []itemset.Item
+}
+
+func (a *setArena) clone(s itemset.Set) itemset.Set {
+	if cap(a.buf)-len(a.buf) < len(s) {
+		n := 4096
+		if len(s) > n {
+			n = len(s)
+		}
+		a.buf = make([]itemset.Item, 0, n)
+	}
+	start := len(a.buf)
+	a.buf = append(a.buf, s...)
+	return itemset.Set(a.buf[start:len(a.buf):len(a.buf)])
+}
+
+// generateShard enumerates the antecedent/consequent splits of every
+// start+k*stride-th frequent itemset.
+func generateShard(ix *supportIndex, total float64, opts Options, start, stride int) []Rule {
+	var out []Rule
+	var arena setArena
 	ante := make(itemset.Set, 0, 8)
 	cons := make(itemset.Set, 0, 8)
-	for _, f := range frequent {
+	for fi := start; fi < len(ix.fs); fi += stride {
+		f := ix.fs[fi]
 		k := len(f.Items)
 		if k < 2 {
 			continue
@@ -93,11 +201,11 @@ func Generate(frequent []itemset.Frequent, nTxns int, opts Options) []Rule {
 					cons = append(cons, f.Items[i])
 				}
 			}
-			anteCount, ok := counts[ante.Key()]
+			anteCount, ok := ix.count(ante)
 			if !ok || anteCount == 0 {
 				continue
 			}
-			consCount, ok := counts[cons.Key()]
+			consCount, ok := ix.count(cons)
 			if !ok || consCount == 0 {
 				continue
 			}
@@ -114,8 +222,8 @@ func Generate(frequent []itemset.Frequent, nTxns int, opts Options) []Rule {
 				conviction = (1 - consSupport) / (1 - confidence)
 			}
 			out = append(out, Rule{
-				Antecedent: ante.Clone(),
-				Consequent: cons.Clone(),
+				Antecedent: arena.clone(ante),
+				Consequent: arena.clone(cons),
 				Count:      f.Count,
 				Support:    support,
 				Confidence: confidence,
@@ -125,7 +233,6 @@ func Generate(frequent []itemset.Frequent, nTxns int, opts Options) []Rule {
 			})
 		}
 	}
-	Sort(out)
 	return out
 }
 

@@ -260,3 +260,51 @@ func TestGenerateThreeItemSplits(t *testing.T) {
 		t.Errorf("3-itemset rule count = %d, want 6", three)
 	}
 }
+
+// TestGenerateWorkersEquivalence: sharding itemsets across goroutines is a
+// scheduling choice only — on randomized frequent lattices, every worker
+// count must produce exactly the serial output, rule for rule and metric
+// for metric.
+func TestGenerateWorkersEquivalence(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		g := stats.NewRNG(int64(4400 + trial))
+		db := transaction.NewDB(nil)
+		nItems := 5 + g.Intn(20)
+		ids := make([]itemset.Item, nItems)
+		for i := range ids {
+			ids[i] = db.Catalog().Intern(strings.Repeat("x", 1+i%3) + string(rune('a'+i%26)))
+		}
+		nTxns := 40 + g.Intn(250)
+		for i := 0; i < nTxns; i++ {
+			n := 1 + g.Intn(8)
+			items := make([]itemset.Item, 0, n)
+			for j := 0; j < n; j++ {
+				u := g.Float64()
+				items = append(items, ids[int(u*u*float64(nItems-1))])
+			}
+			db.Add(items...)
+		}
+		fs := fpgrowth.Mine(db, fpgrowth.Options{MinCount: 1 + g.Intn(6), MaxLen: 5})
+		opts := Options{MinLift: -1, Workers: 1}
+		serial := Generate(fs, db.Len(), opts)
+		for _, workers := range []int{2, 3, 8} {
+			opts.Workers = workers
+			par := Generate(fs, db.Len(), opts)
+			if len(par) != len(serial) {
+				t.Fatalf("trial %d: workers=%d yields %d rules, serial %d",
+					trial, workers, len(par), len(serial))
+			}
+			for i := range serial {
+				s, p := serial[i], par[i]
+				if !s.Antecedent.Equal(p.Antecedent) || !s.Consequent.Equal(p.Consequent) ||
+					s.Count != p.Count || s.Support != p.Support ||
+					s.Confidence != p.Confidence || s.Lift != p.Lift ||
+					s.Leverage != p.Leverage ||
+					(s.Conviction != p.Conviction && !(math.IsInf(s.Conviction, 1) && math.IsInf(p.Conviction, 1))) {
+					t.Fatalf("trial %d: workers=%d rule %d differs:\n  serial %+v\n  parallel %+v",
+						trial, workers, i, s, p)
+				}
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/dataset"
 	"repro/internal/discretize"
@@ -165,6 +166,13 @@ type encoder struct {
 	// Running item prevalence, for the paper's >80 % drop applied online.
 	itemCounts map[string]int
 	txns       int
+
+	// fieldBuf reorders each event's fields so items are produced — and
+	// therefore interned into the catalog — in a deterministic order.
+	// Without it, Go's randomized map iteration gives every server
+	// instance a different item-id space, so two servers fed the same
+	// stream would render the same rules with differently ordered sides.
+	fieldBuf []string
 }
 
 func newEncoder(idx *specIndex, bootstrap int, maxPrev float64, keep []string) *encoder {
@@ -283,11 +291,16 @@ func (e *encoder) encodeOne(ev Event) []string {
 	if e.sinceTier++; e.sinceTier >= tierRebuildEvery {
 		e.rebuildTiers()
 	}
-	items := make([]string, 0, len(ev))
-	for field, v := range ev {
-		if e.idx.skip[field] {
-			continue
+	e.fieldBuf = e.fieldBuf[:0]
+	for field := range ev {
+		if !e.idx.skip[field] {
+			e.fieldBuf = append(e.fieldBuf, field)
 		}
+	}
+	sort.Strings(e.fieldBuf)
+	items := make([]string, 0, len(e.fieldBuf))
+	for _, field := range e.fieldBuf {
+		v := ev[field]
 		switch val := v.(type) {
 		case nil:
 		case bool:

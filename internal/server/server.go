@@ -58,6 +58,10 @@ type Config struct {
 	// QueueSize bounds the ingest queue; a full queue turns POSTs into
 	// 429 responses. Zero means 8192.
 	QueueSize int
+	// Workers sets the mining parallelism (FP-Growth conditional subtrees
+	// and rule-generation shards). Zero means GOMAXPROCS; 1 forces serial
+	// mining. Snapshots are identical for any worker count.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -155,6 +159,7 @@ func New(cfg Config) (*Server, error) {
 		MinSupport: cfg.MinSupport,
 		MaxLen:     cfg.MaxLen,
 		MinLift:    cfg.MinLift,
+		Workers:    cfg.Workers,
 	})
 	if err != nil {
 		return nil, err

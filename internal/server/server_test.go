@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -481,5 +482,67 @@ func TestRulesHandlerParams(t *testing.T) {
 	}
 	if len(unpruned.Cause)+len(unpruned.Characteristic) < len(withKw.Cause)+len(withKw.Characteristic) {
 		t.Error("pruning added rules")
+	}
+}
+
+// TestWorkersSnapshotEquivalence ingests the same event stream into a
+// 1-worker and an N-worker server and asserts the /v1/rules responses are
+// identical: mining parallelism must never change what operators see.
+func TestWorkersSnapshotEquivalence(t *testing.T) {
+	const jobs = 3000
+	lines := paiNDJSON(t, jobs, 11)
+	type bodies struct {
+		rules, keyword map[string]any
+	}
+	var got []bodies
+	for _, workers := range []int{1, 4} {
+		s, err := New(Config{
+			Spec:         PAISpec(),
+			WindowSize:   5000,
+			Bootstrap:    300,
+			MineBatch:    jobs,
+			MineInterval: time.Hour, // batch-driven: exactly one mine
+			QueueSize:    4096,
+			Workers:      workers,
+			KeepItems:    []string{"status=failed"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		postChunks(t, ts.URL, lines, 500)
+		deadline := time.Now().Add(15 * time.Second)
+		for s.Snapshot() == nil {
+			if time.Now().After(deadline) {
+				t.Fatal("timed out waiting for the batch-triggered snapshot")
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		var b bodies
+		if code := getJSON(t, ts.URL+"/v1/rules?limit=100000", &b.rules); code != http.StatusOK {
+			t.Fatalf("/v1/rules status %d", code)
+		}
+		if code := getJSON(t, ts.URL+"/v1/rules?keyword=failed&kind=all&limit=100000", &b.keyword); code != http.StatusOK {
+			t.Fatalf("/v1/rules?keyword=failed status %d", code)
+		}
+		// Timing fields legitimately differ between runs.
+		delete(b.rules, "mined_at")
+		delete(b.keyword, "mined_at")
+		got = append(got, b)
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := s.Stop(ctx); err != nil {
+			t.Fatal(err)
+		}
+		cancel()
+	}
+	if n, ok := got[0].rules["rule_count"].(float64); !ok || n == 0 {
+		t.Fatalf("serial run mined no rules: %v", got[0].rules["rule_count"])
+	}
+	if !reflect.DeepEqual(got[0].rules, got[1].rules) {
+		t.Error("/v1/rules differs between 1-worker and 4-worker runs")
+	}
+	if !reflect.DeepEqual(got[0].keyword, got[1].keyword) {
+		t.Error("/v1/rules?keyword=failed differs between 1-worker and 4-worker runs")
 	}
 }

@@ -29,6 +29,10 @@ type Config struct {
 	MaxLen int
 	// MinLift filters generated rules; zero means 1.5.
 	MinLift float64
+	// Workers sets the mining parallelism, forwarded to fpgrowth.Mine and
+	// rules.Generate. Zero means GOMAXPROCS; 1 forces serial mining. The
+	// mined rules are identical for any worker count.
+	Workers int
 }
 
 // Miner is a sliding-window association rule miner. It is not safe for
@@ -112,7 +116,9 @@ func (m *Miner) Snapshot() []rules.Rule {
 	}
 	db := transaction.NewDB(m.catalog)
 	for i := 0; i < n; i++ {
-		db.Add(m.ring[i]...)
+		// Ring slots are canonical sets that Observe replaces rather than
+		// mutates, so the window database can alias them.
+		db.AddCanonical(m.ring[i])
 	}
 	minCount := int(math.Ceil(m.cfg.MinSupport * float64(n)))
 	if minCount < 1 {
@@ -121,8 +127,9 @@ func (m *Miner) Snapshot() []rules.Rule {
 	frequent := fpgrowth.Mine(db, fpgrowth.Options{
 		MinCount: minCount,
 		MaxLen:   m.cfg.MaxLen,
+		Workers:  m.cfg.Workers,
 	})
-	return rules.Generate(frequent, n, rules.Options{MinLift: m.cfg.MinLift})
+	return rules.Generate(frequent, n, rules.Options{MinLift: m.cfg.MinLift, Workers: m.cfg.Workers})
 }
 
 // View is an immutable snapshot of the miner, safe to hand to concurrent

@@ -44,6 +44,15 @@ func (db *DB) Add(items ...itemset.Item) {
 	db.txns = append(db.txns, itemset.NewSet(items...))
 }
 
+// AddCanonical appends a transaction that is already a canonical set
+// (sorted, duplicate-free) without copying or re-sorting it. The caller
+// must not modify the slice afterwards. Sliding-window miners whose ring
+// already holds canonical sets use this to rebuild their per-snapshot
+// database allocation-free.
+func (db *DB) AddCanonical(s itemset.Set) {
+	db.txns = append(db.txns, s)
+}
+
 // AddNames appends a transaction given item names, interning as needed.
 func (db *DB) AddNames(names ...string) {
 	items := make([]itemset.Item, len(names))

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# bench.sh — run the mining hot-path benchmarks and record the numbers in
+# BENCH_mining.json at the repo root.
+#
+# Usage:
+#   scripts/bench.sh                 # refresh the "current" numbers
+#   scripts/bench.sh --set-baseline  # also copy them into "baseline"
+#
+# The baseline section is meant to be captured once on the commit you are
+# comparing against (e.g. before a performance change) and left alone
+# afterwards: a plain run preserves whatever baseline the file already
+# holds, so the JSON always shows before/after side by side.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_mining.json
+BENCHTIME=${BENCHTIME:-1s}
+SET_BASELINE=0
+[ "${1:-}" = "--set-baseline" ] && SET_BASELINE=1
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+run() { # run <pkg> <bench regexp>
+    echo ">> go test -run=NONE -bench '$2' -benchtime=$BENCHTIME -benchmem $1" >&2
+    go test -run=NONE -bench "$2" -benchtime="$BENCHTIME" -benchmem "$1" |
+        awk -v pkg="$1" '/^Benchmark/ && /ns\/op/ {
+            name=$1; sub(/-[0-9]+$/, "", name)
+            ns=""; bytes=""; allocs=""
+            # Benchmarks may report custom metrics (e.g. jobs/op), so find
+            # each unit by name instead of assuming fixed columns.
+            for (i = 3; i <= NF; i++) {
+                if ($i == "ns/op") ns = $(i-1)
+                else if ($i == "B/op") bytes = $(i-1)
+                else if ($i == "allocs/op") allocs = $(i-1)
+            }
+            printf "%s\t%s\t%s\t%s\t%s\t%s\n", pkg, name, $2, ns, bytes, allocs
+        }' >>"$raw"
+}
+
+# FP-Growth engine: initial tree construction and mining across densities,
+# thresholds and worker counts (20k-transaction class databases).
+run ./internal/fpgrowth 'BenchmarkBuildInitial|BenchmarkMineByDensity|BenchmarkMineByThreshold|BenchmarkMineParallelism'
+# Rule generation over the mined lattice.
+run ./internal/rules 'BenchmarkGenerate'
+# End-to-end: 20k-job PAI trace through the miner, and the HTTP server
+# ingest+mine loop.
+run . 'BenchmarkMinerFPGrowth$|BenchmarkMinerFPGrowthSequential$|BenchmarkServerIngestMine$'
+
+current=$(jq -Rn '
+  [inputs | split("\t") |
+   {package: .[0], name: .[1], iterations: (.[2] | tonumber),
+    ns_per_op: (.[3] | tonumber), bytes_per_op: (.[4] | tonumber),
+    allocs_per_op: (.[5] | tonumber)}]' <"$raw")
+
+baseline=null
+if [ "$SET_BASELINE" = 1 ]; then
+    baseline=$current
+elif [ -f "$OUT" ]; then
+    baseline=$(jq '.baseline' "$OUT")
+fi
+
+jq -n --argjson current "$current" --argjson baseline "$baseline" \
+    --arg go "$(go version | awk '{print $3}')" \
+    --arg benchtime "$BENCHTIME" '
+  {generated_by: "scripts/bench.sh", go: $go, benchtime: $benchtime,
+   note: "ns/B/allocs are per op; baseline is the pre-optimization capture, current the latest run",
+   baseline: $baseline, current: $current}' >"$OUT"
+echo "wrote $OUT" >&2
