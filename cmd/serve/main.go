@@ -8,18 +8,27 @@
 //	POST /v1/jobs    ingest NDJSON (default) or CSV (Content-Type: text/csv)
 //	GET  /v1/rules   current rules; ?keyword=failed&kind=cause for analyses
 //	GET  /v1/drift   rules appeared/vanished between the last two snapshots
-//	GET  /healthz    liveness plus snapshot age
+//	GET  /healthz    liveness plus snapshot age; 503 once draining begins
 //	GET  /metrics    ingest/mining counters as flat JSON
 //
 // Example against a generated trace:
 //
 //	tracegen -trace pai -jobs 20000 -out /tmp/t
-//	serve -addr :8080 &
+//	serve -addr :8080 -state-dir /var/lib/armine &
 //	# join scheduler+node rows into NDJSON with your tool of choice, or
 //	# post the scheduler CSV directly:
 //	curl -sS -X POST -H 'Content-Type: text/csv' \
 //	     --data-binary @/tmp/t/pai_scheduler.csv localhost:8080/v1/jobs
 //	curl -sS 'localhost:8080/v1/rules?keyword=failed&kind=cause'
+//
+// With -state-dir the daemon is restartable without losing fitted state:
+// the mining loop checkpoints the bin edges, activity tiers, prevalence
+// counts, item catalog and the sliding window to an atomically replaced
+// file (every -checkpoint-every mines and again when SIGTERM drains the
+// queue), and the next start restores from it — same window, same rules,
+// no re-bootstrap. -keep exempts item names (e.g. status=failed) from the
+// online prevalence drop so the keyword under study cannot be deleted by a
+// failure-heavy window.
 //
 // With -spec generic the encoder is derived from flags instead of the
 // canonical PAI shape: -numeric columns are quartile-binned (-zero /
@@ -57,6 +66,9 @@ func main() {
 	mineWorkers := flag.Int("mine-workers", 0, "mining parallelism (0 = all cores, 1 = serial)")
 	queue := flag.Int("queue", 8192, "ingest queue capacity (full queue => 429)")
 	bootstrap := flag.Int("bootstrap", 500, "jobs sampled before bin edges are fitted")
+	stateDir := flag.String("state-dir", "", "directory for the durable checkpoint; empty disables checkpoint/restore")
+	checkpointEvery := flag.Int("checkpoint-every", 1, "mines between checkpoints when -state-dir is set")
+	keep := flag.String("keep", "", "comma-separated item names exempt from the prevalence drop (e.g. status=failed)")
 	numeric := flag.String("numeric", "", "generic spec: comma-separated numeric fields to quartile-bin")
 	zeros := flag.String("zero", "", "generic spec: numeric fields given a zero bin")
 	spikes := flag.String("spike", "", "generic spec: numeric fields given a Std spike bin")
@@ -71,6 +83,7 @@ func main() {
 		cLift: *cLift, cSupp: *cSupp,
 		mineInterval: *mineInterval, mineBatch: *mineBatch, mineWorkers: *mineWorkers,
 		queue: *queue, bootstrap: *bootstrap,
+		stateDir: *stateDir, checkpointEvery: *checkpointEvery, keep: splitList(*keep),
 		numeric: splitList(*numeric), zeros: splitList(*zeros), spikes: splitList(*spikes),
 		tiers: splitList(*tiers), bools: splitList(*bools), skips: splitList(*skips),
 	})
@@ -88,25 +101,31 @@ type options struct {
 	spec                                 string
 	window, maxLen, mineBatch            int
 	queue, bootstrap, mineWorkers        int
+	checkpointEvery                      int
 	minSupport, minLift, cLift, cSupp    float64
 	mineInterval                         time.Duration
+	stateDir                             string
+	keep                                 []string
 	numeric, zeros, spikes, tiers, bools []string
 	skips                                []string
 }
 
 func buildConfig(o options) (server.Config, error) {
 	cfg := server.Config{
-		WindowSize:   o.window,
-		MinSupport:   o.minSupport,
-		MinLift:      o.minLift,
-		MaxLen:       o.maxLen,
-		CLift:        o.cLift,
-		CSupp:        o.cSupp,
-		Bootstrap:    o.bootstrap,
-		MineInterval: o.mineInterval,
-		MineBatch:    o.mineBatch,
-		QueueSize:    o.queue,
-		Workers:      o.mineWorkers,
+		WindowSize:      o.window,
+		MinSupport:      o.minSupport,
+		MinLift:         o.minLift,
+		MaxLen:          o.maxLen,
+		CLift:           o.cLift,
+		CSupp:           o.cSupp,
+		Bootstrap:       o.bootstrap,
+		MineInterval:    o.mineInterval,
+		MineBatch:       o.mineBatch,
+		QueueSize:       o.queue,
+		Workers:         o.mineWorkers,
+		StateDir:        o.stateDir,
+		CheckpointEvery: o.checkpointEvery,
+		KeepItems:       o.keep,
 	}
 	switch o.spec {
 	case "pai":
@@ -175,6 +194,10 @@ func run(addr string, cfg server.Config) error {
 	}()
 	fmt.Printf("serve: listening on %s (window %d, mine every %s or %d jobs)\n",
 		addr, cfg.WindowSize, cfg.MineInterval, cfg.MineBatch)
+	if cfg.StateDir != "" {
+		fmt.Printf("serve: durable state in %s (checkpoint every %d mines and at drain)\n",
+			cfg.StateDir, cfg.CheckpointEvery)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

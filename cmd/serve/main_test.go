@@ -150,3 +150,131 @@ func TestServeWiring(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestBuildConfigDurabilityFlags(t *testing.T) {
+	o := baseOptions()
+	o.stateDir = "/var/lib/armine"
+	o.checkpointEvery = 5
+	o.keep = []string{"status=failed", "status=terminated"}
+	cfg, err := buildConfig(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.StateDir != "/var/lib/armine" {
+		t.Errorf("StateDir = %q", cfg.StateDir)
+	}
+	if cfg.CheckpointEvery != 5 {
+		t.Errorf("CheckpointEvery = %d", cfg.CheckpointEvery)
+	}
+	if len(cfg.KeepItems) != 2 || cfg.KeepItems[0] != "status=failed" {
+		t.Errorf("KeepItems = %v", cfg.KeepItems)
+	}
+}
+
+// TestKeepItemSurvivesPrevalenceDrop: in a failure-heavy window status=failed
+// crosses the 80% running-prevalence ceiling and the online drop deletes the
+// very keyword an operator is studying. -keep exempts it: with the flag the
+// rule table carries high-support rules about the item; without it only the
+// few pre-floor occurrences remain and no such rule can exist.
+func TestKeepItemSurvivesPrevalenceDrop(t *testing.T) {
+	const jobs = 400
+	run := func(keep []string) []map[string]any {
+		o := baseOptions()
+		o.spec = "generic" // no declared fields: strings pass through as field=value
+		o.minLift = 1.05   // an 87.5%-share consequent caps lift at ~1.14
+		o.bootstrap = 10
+		o.keep = keep
+		cfg, err := buildConfig(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.MineBatch = jobs
+		cfg.MineInterval = time.Hour
+		s, err := server.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+
+		// 87.5% of jobs fail; node=n1 occurs only on failed jobs (37.5%
+		// share), so n1 => failed holds with confidence 1 and lift 1/0.875.
+		var body bytes.Buffer
+		for i := 0; i < jobs; i++ {
+			ev := map[string]any{"status": "failed", "node": "n2"}
+			if i%8 == 0 {
+				ev["status"] = "ok"
+			} else if i%2 == 0 {
+				ev["node"] = "n1"
+			}
+			line, _ := json.Marshal(ev)
+			body.Write(line)
+			body.WriteByte('\n')
+		}
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/x-ndjson", &body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if snap := s.Snapshot(); snap != nil && snap.View.Total == jobs {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("no snapshot over the full stream")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		resp, err = http.Get(ts.URL + "/v1/rules?limit=100000")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out struct {
+			Rules []map[string]any `json:"rules"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.Stop(ctx); err != nil {
+			t.Fatal(err)
+		}
+		return out.Rules
+	}
+
+	mentionsFailed := func(r map[string]any) bool {
+		for _, side := range []string{"antecedent", "consequent"} {
+			items, _ := r[side].([]any)
+			for _, it := range items {
+				if it == "status=failed" {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	// With -keep: the n1 => failed association survives at its true support.
+	kept := run([]string{"status=failed"})
+	found := false
+	for _, r := range kept {
+		if mentionsFailed(r) && r["support"].(float64) >= 0.3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("with -keep status=failed, no high-support rule mentions it (%d rules)", len(kept))
+	}
+
+	// Without -keep the item is dropped once prevalence tracking kicks in;
+	// only the few early transactions can mention it, far below 0.3 support.
+	control := run(nil)
+	for _, r := range control {
+		if mentionsFailed(r) && r["support"].(float64) >= 0.3 {
+			t.Errorf("without -keep, high-support rule still mentions status=failed: %v", r)
+		}
+	}
+}

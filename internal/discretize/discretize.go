@@ -146,11 +146,14 @@ func Fit(values []float64, opts Options) (*Discretizer, error) {
 			return nil, fmt.Errorf("discretize: unknown method %d", opts.Method)
 		}
 		d.edges = dedupeEdges(edges, d.lo, d.hi)
+		d.labels = make([]string, len(d.edges)+1)
+		for i := range d.labels {
+			d.labels[i] = fmt.Sprintf("Bin%d", i+1)
+		}
 	}
-	d.labels = make([]string, len(d.edges)+1)
-	for i := range d.labels {
-		d.labels[i] = fmt.Sprintf("Bin%d", i+1)
-	}
+	// When the zero and spike bins consumed every sample, no regular bins
+	// exist: d.labels stays empty and Label returns "" for regular values
+	// rather than inventing a "Bin1" fitted on nothing.
 	return d, nil
 }
 
@@ -227,13 +230,18 @@ func (d *Discretizer) HasSpike() (float64, bool) { return d.spikeValue, d.spike 
 
 // Label maps a value to its bin label. Values below (above) the fitted range
 // clamp into the first (last) regular bin, matching how a deployed workflow
-// would label jobs arriving after the bins were fitted.
+// would label jobs arriving after the bins were fitted. When no regular bins
+// were fitted (the zero/spike bins consumed every sample), regular values
+// return "" — callers must treat that as "no label", not as a bin name.
 func (d *Discretizer) Label(v float64) string {
 	if d.isZero(v) {
 		return d.zeroLabel
 	}
 	if d.spike && v == d.spikeValue {
 		return d.spikeLabel
+	}
+	if len(d.labels) == 0 {
+		return ""
 	}
 	if len(d.labels) == 1 {
 		return d.labels[0]
@@ -248,9 +256,13 @@ func (d *Discretizer) Label(v float64) string {
 }
 
 // BinIndex returns the ordinal of the regular bin for v (0-based), or -1 for
-// values landing in a special bin. Useful for monotonicity checks.
+// values landing in a special bin or when no regular bins were fitted.
+// Useful for monotonicity checks.
 func (d *Discretizer) BinIndex(v float64) int {
 	if d.isZero(v) || (d.spike && v == d.spikeValue) {
+		return -1
+	}
+	if len(d.labels) == 0 {
 		return -1
 	}
 	idx := sort.SearchFloat64s(d.edges, v)

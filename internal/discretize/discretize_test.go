@@ -354,3 +354,43 @@ func TestLabelsClosedProperty(t *testing.T) {
 		}
 	}
 }
+
+// Regression: when ZeroSpecial consumes every bootstrap value there are no
+// regular samples to fit, and the old code still emitted a "Bin1" label for
+// every later non-zero value — an item fitted on nothing. Now the
+// no-regular-sample case is explicit: regular values label as "".
+func TestNoRegularSamplesEmitsNoRegularLabels(t *testing.T) {
+	d, err := Fit([]float64{0, 0, 0.2, 0}, Options{ZeroSpecial: true, ZeroEpsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Label(0); got != DefaultZeroLabel {
+		t.Errorf("zero label = %q", got)
+	}
+	if got := d.Label(35); got != "" {
+		t.Errorf("regular value on zero-only fit labelled %q, want \"\"", got)
+	}
+	if got := d.BinIndex(35); got != -1 {
+		t.Errorf("BinIndex = %d, want -1", got)
+	}
+	if got := d.NumBins(); got != 0 {
+		t.Errorf("NumBins = %d, want 0", got)
+	}
+	if got := d.Labels(); len(got) != 1 || got[0] != DefaultZeroLabel {
+		t.Errorf("Labels = %v, want only the zero label", got)
+	}
+}
+
+// The spike bin can consume every non-zero sample the same way.
+func TestSpikeConsumesAllSamples(t *testing.T) {
+	d, err := Fit([]float64{4, 4, 4, 4}, Options{SpikeThreshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Label(4); got != DefaultSpikeLabel {
+		t.Errorf("spike label = %q", got)
+	}
+	if got := d.Label(7); got != "" {
+		t.Errorf("regular value on spike-only fit labelled %q, want \"\"", got)
+	}
+}

@@ -1,0 +1,76 @@
+package discretize
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// state is the wire form of a fitted Discretizer. Every field the labelling
+// path reads is captured, so Unmarshal(Marshal(d)) labels any value exactly
+// as d does. Floats survive the JSON round trip bit-for-bit: encoding/json
+// emits the shortest decimal that parses back to the same float64.
+type state struct {
+	Edges      []float64 `json:"edges,omitempty"`
+	Labels     []string  `json:"labels,omitempty"`
+	Zero       bool      `json:"zero,omitempty"`
+	ZeroEps    float64   `json:"zero_eps,omitempty"`
+	ZeroLabel  string    `json:"zero_label,omitempty"`
+	Spike      bool      `json:"spike,omitempty"`
+	SpikeValue float64   `json:"spike_value,omitempty"`
+	SpikeLabel string    `json:"spike_label,omitempty"`
+	Lo         float64   `json:"lo,omitempty"`
+	Hi         float64   `json:"hi,omitempty"`
+}
+
+// Marshal serializes the fitted discretizer for durable storage (the serving
+// daemon's checkpoint file). The format is versioned by the checkpoint that
+// embeds it, not here.
+func (d *Discretizer) Marshal() ([]byte, error) {
+	return json.Marshal(state{
+		Edges:      d.edges,
+		Labels:     d.labels,
+		Zero:       d.zero,
+		ZeroEps:    d.zeroEps,
+		ZeroLabel:  d.zeroLabel,
+		Spike:      d.spike,
+		SpikeValue: d.spikeValue,
+		SpikeLabel: d.spikeLabel,
+		Lo:         d.lo,
+		Hi:         d.hi,
+	})
+}
+
+// Unmarshal reconstructs a discretizer serialized by Marshal.
+func Unmarshal(data []byte) (*Discretizer, error) {
+	var st state
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("discretize: unmarshal: %w", err)
+	}
+	if len(st.Labels) > 0 && len(st.Labels) != len(st.Edges)+1 {
+		return nil, fmt.Errorf("discretize: unmarshal: %d labels for %d edges", len(st.Labels), len(st.Edges))
+	}
+	for i := 1; i < len(st.Edges); i++ {
+		if st.Edges[i] <= st.Edges[i-1] {
+			return nil, fmt.Errorf("discretize: unmarshal: edges not strictly increasing at %d", i)
+		}
+	}
+	d := &Discretizer{
+		edges:      st.Edges,
+		labels:     st.Labels,
+		zero:       st.Zero,
+		zeroEps:    st.ZeroEps,
+		zeroLabel:  st.ZeroLabel,
+		spike:      st.Spike,
+		spikeValue: st.SpikeValue,
+		spikeLabel: st.SpikeLabel,
+		lo:         st.Lo,
+		hi:         st.Hi,
+	}
+	if d.zeroLabel == "" {
+		d.zeroLabel = DefaultZeroLabel
+	}
+	if d.spikeLabel == "" {
+		d.spikeLabel = DefaultSpikeLabel
+	}
+	return d, nil
+}

@@ -1,0 +1,75 @@
+package discretize
+
+import (
+	"testing"
+)
+
+// Marshal/Unmarshal round trip: the restored discretizer labels every value
+// exactly as the original, across zero, spike, clamped and edge values.
+func TestMarshalRoundTrip(t *testing.T) {
+	fits := map[string]Options{
+		"plain":     {},
+		"zero":      {ZeroSpecial: true, ZeroEpsilon: 0.5},
+		"spike":     {SpikeThreshold: 0.25},
+		"all":       {ZeroSpecial: true, ZeroEpsilon: 0.5, ZeroLabel: "0GB", SpikeThreshold: 0.25, SpikeLabel: "Std", Bins: 3},
+		"zero-only": {ZeroSpecial: true, ZeroEpsilon: 0.5},
+	}
+	samples := map[string][]float64{
+		"plain":     {1, 2, 3, 4, 5, 6, 7, 8},
+		"zero":      {0, 0, 1, 2, 3, 4},
+		"spike":     {4, 4, 4, 1, 2, 3, 5, 6, 7, 8},
+		"all":       {0, 0, 4, 4, 4, 1, 2, 3, 5, 6.25, 7, 8},
+		"zero-only": {0, 0, 0.2},
+	}
+	probes := []float64{-10, 0, 0.2, 0.5000001, 1, 2.5, 4, 6.25, 8, 1e9}
+	for name, opts := range fits {
+		d, err := Fit(samples[name], opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		data, err := d.Marshal()
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		got, err := Unmarshal(data)
+		if err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+		for _, v := range probes {
+			if want, have := d.Label(v), got.Label(v); want != have {
+				t.Errorf("%s: Label(%v) = %q after round trip, want %q", name, v, have, want)
+			}
+			if want, have := d.BinIndex(v), got.BinIndex(v); want != have {
+				t.Errorf("%s: BinIndex(%v) = %d after round trip, want %d", name, v, have, want)
+			}
+		}
+		if want, have := len(d.Labels()), len(got.Labels()); want != have {
+			t.Errorf("%s: Labels() len %d, want %d", name, have, want)
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte("{")); err == nil {
+		t.Error("truncated JSON should fail")
+	}
+	if _, err := Unmarshal([]byte(`{"edges":[2,1],"labels":["a","b","c"]}`)); err == nil {
+		t.Error("non-increasing edges should fail")
+	}
+	if _, err := Unmarshal([]byte(`{"edges":[1],"labels":["a"]}`)); err == nil {
+		t.Error("label/edge count mismatch should fail")
+	}
+}
+
+func TestUnmarshalDefaultsSpecialLabels(t *testing.T) {
+	d, err := Unmarshal([]byte(`{"zero":true,"zero_eps":0.5,"spike":true,"spike_value":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Label(0); got != DefaultZeroLabel {
+		t.Errorf("zero label = %q", got)
+	}
+	if got := d.Label(4); got != DefaultSpikeLabel {
+		t.Errorf("spike label = %q", got)
+	}
+}

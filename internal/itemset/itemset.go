@@ -8,6 +8,7 @@ package itemset
 
 import (
 	"encoding/binary"
+	"fmt"
 	"sort"
 	"strings"
 )
@@ -51,6 +52,31 @@ func (c *Catalog) Clone() *Catalog {
 		out.byName[name] = id
 	}
 	return out
+}
+
+// Export returns the interned names in id order — item i is named
+// Export()[i] — as an independent copy suitable for durable storage.
+// RestoreCatalog(c.Export()) reproduces the catalog with identical ids.
+func (c *Catalog) Export() []string {
+	return append([]string(nil), c.names...)
+}
+
+// RestoreCatalog rebuilds a catalog from an Export list, assigning ids in
+// list order so every set serialized against the original resolves to the
+// same items. Duplicate names are rejected: they would silently remap every
+// id after the first occurrence.
+func RestoreCatalog(names []string) (*Catalog, error) {
+	c := &Catalog{
+		byName: make(map[string]Item, len(names)),
+		names:  append([]string(nil), names...),
+	}
+	for i, name := range names {
+		if _, dup := c.byName[name]; dup {
+			return nil, fmt.Errorf("itemset: duplicate catalog name %q at id %d", name, i)
+		}
+		c.byName[name] = Item(i)
+	}
+	return c, nil
 }
 
 // Lookup returns the id for name without interning.

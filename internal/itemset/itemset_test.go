@@ -226,3 +226,56 @@ func TestKeyRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCatalogExportRestore(t *testing.T) {
+	c := NewCatalog()
+	names := []string{"sm_util=0%", "status=failed", "user_tier=frequent"}
+	for _, n := range names {
+		c.Intern(n)
+	}
+	exported := c.Export()
+	if len(exported) != len(names) {
+		t.Fatalf("export = %v", exported)
+	}
+	// The export is a copy: mutating it must not reach the catalog.
+	exported[0] = "tampered"
+	if c.Name(0) != names[0] {
+		t.Error("Export aliases catalog internals")
+	}
+
+	restored, err := RestoreCatalog(c.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range names {
+		if restored.Name(Item(i)) != n {
+			t.Errorf("restored id %d = %q, want %q", i, restored.Name(Item(i)), n)
+		}
+		if id, ok := restored.Lookup(n); !ok || id != Item(i) {
+			t.Errorf("restored lookup %q = (%d, %v)", n, id, ok)
+		}
+	}
+	// Interning continues from the restored id space.
+	if next := restored.Intern("new-item"); next != Item(len(names)) {
+		t.Errorf("next id after restore = %d, want %d", next, len(names))
+	}
+}
+
+func TestRestoreCatalogRejectsDuplicates(t *testing.T) {
+	if _, err := RestoreCatalog([]string{"a", "b", "a"}); err == nil {
+		t.Error("duplicate names should be rejected")
+	}
+}
+
+func TestRestoreCatalogEmpty(t *testing.T) {
+	c, err := RestoreCatalog(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Errorf("len = %d", c.Len())
+	}
+	if c.Intern("first") != 0 {
+		t.Error("empty restored catalog should intern from id 0")
+	}
+}

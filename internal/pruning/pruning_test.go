@@ -259,3 +259,165 @@ func TestOrderIndependence(t *testing.T) {
 		}
 	}
 }
+
+// TestPruneChainsAndBoundaries drives a⊂b⊂c nesting chains, reversed input
+// order, and exact slack-boundary equalities through every condition,
+// asserting which rules survive and which condition claimed each pruned one.
+func TestPruneChainsAndBoundaries(t *testing.T) {
+	set := itemset.NewSet
+	reverse := func(rs []rules.Rule) []rules.Rule {
+		out := make([]rules.Rule, len(rs))
+		for i, r := range rs {
+			out[len(rs)-1-i] = r
+		}
+		return out
+	}
+
+	// Condition 1 antecedent chain {userA} ⊂ {userA,jobTypeB} ⊂
+	// {userA,jobTypeB,shortRun}: the shortest rule's slack covers every
+	// longer lift, so both longer rules fall to condition 1.
+	cond1Chain := []rules.Rule{
+		rule(set(userA), set(kw), 0.30, 3.0),
+		rule(set(userA, jobTypeB), set(kw), 0.20, 3.2),
+		rule(set(userA, jobTypeB, shortRun), set(kw), 0.10, 3.4),
+	}
+	// Condition 2 consequent chain: each richer consequent has similar lift
+	// and support, so the richest wins and both shorter rules fall.
+	cond2Chain := []rules.Rule{
+		rule(set(kw), set(shortRun), 0.30, 2.0),
+		rule(set(kw), set(shortRun, clusterC), 0.25, 2.1),
+		rule(set(kw), set(shortRun, clusterC, jobTypeB), 0.20, 2.2),
+	}
+	// Condition 3 consequent chain with the keyword on the consequent side:
+	// the concise consequent wins, extra items add nothing to a cause.
+	cond3Chain := []rules.Rule{
+		rule(set(userA), set(kw), 0.30, 3.0),
+		rule(set(userA), set(kw, clusterC), 0.20, 3.2),
+		rule(set(userA), set(kw, clusterC, jobTypeB), 0.10, 3.4),
+	}
+	// Condition 4 antecedent chain with the keyword in every antecedent:
+	// the shortest generalizes with similar lift and both longer rules fall.
+	cond4Chain := []rules.Rule{
+		rule(set(kw), set(shortRun), 0.30, 3.0),
+		rule(set(kw, userA), set(shortRun), 0.20, 3.2),
+		rule(set(kw, userA, jobTypeB), set(shortRun), 0.10, 3.4),
+	}
+
+	cases := []struct {
+		name      string
+		rules     []rules.Rule
+		opts      Options
+		survivors []rules.Rule
+		byCond    [4]int
+	}{
+		{
+			name:      "cond1 antecedent chain prunes both longer",
+			rules:     cond1Chain,
+			survivors: cond1Chain[:1],
+			byCond:    [4]int{2, 0, 0, 0},
+		},
+		{
+			name:      "cond1 chain reversed input order",
+			rules:     reverse(cond1Chain),
+			survivors: cond1Chain[:1],
+			byCond:    [4]int{2, 0, 0, 0},
+		},
+		{
+			// 1.5 * 2.0 == 3.0 exactly: the >= comparison must still favor
+			// the shorter rule at the boundary.
+			name: "cond1 lift slack boundary equality",
+			rules: []rules.Rule{
+				rule(set(userA), set(kw), 0.30, 2.0),
+				rule(set(userA, jobTypeB), set(kw), 0.20, 3.0),
+			},
+			survivors: []rules.Rule{rule(set(userA), set(kw), 0.30, 2.0)},
+			byCond:    [4]int{1, 0, 0, 0},
+		},
+		{
+			// Lift clearly favors the longer rule and 1.5 * 0.25 == 0.375
+			// exactly: support equality at the boundary prunes the shorter.
+			name: "cond1 support slack boundary equality",
+			rules: []rules.Rule{
+				rule(set(userA), set(kw), 0.375, 2.0),
+				rule(set(userA, jobTypeB), set(kw), 0.25, 3.5),
+			},
+			survivors: []rules.Rule{rule(set(userA, jobTypeB), set(kw), 0.25, 3.5)},
+			byCond:    [4]int{1, 0, 0, 0},
+		},
+		{
+			name:      "cond2 consequent chain keeps richest",
+			rules:     cond2Chain,
+			survivors: cond2Chain[2:],
+			byCond:    [4]int{0, 2, 0, 0},
+		},
+		{
+			name:      "cond2 chain reversed input order",
+			rules:     reverse(cond2Chain),
+			survivors: cond2Chain[2:],
+			byCond:    [4]int{0, 2, 0, 0},
+		},
+		{
+			name:      "cond3 consequent chain keeps concise",
+			rules:     cond3Chain,
+			survivors: cond3Chain[:1],
+			byCond:    [4]int{0, 0, 2, 0},
+		},
+		{
+			name:      "cond3 chain reversed input order",
+			rules:     reverse(cond3Chain),
+			survivors: cond3Chain[:1],
+			byCond:    [4]int{0, 0, 2, 0},
+		},
+		{
+			name:      "cond4 antecedent chain keeps shortest",
+			rules:     cond4Chain,
+			survivors: cond4Chain[:1],
+			byCond:    [4]int{0, 0, 0, 2},
+		},
+		{
+			name:      "cond4 chain reversed input order",
+			rules:     reverse(cond4Chain),
+			survivors: cond4Chain[:1],
+			byCond:    [4]int{0, 0, 0, 2},
+		},
+		{
+			// Condition 4 has no converse branch: a longer antecedent with a
+			// lift beyond the slack is specific enough to keep alongside.
+			name: "cond4 keeps both when longer lift clears slack",
+			rules: []rules.Rule{
+				rule(set(kw), set(shortRun), 0.30, 2.0),
+				rule(set(kw, userA), set(shortRun), 0.20, 3.5),
+			},
+			survivors: []rules.Rule{
+				rule(set(kw), set(shortRun), 0.30, 2.0),
+				rule(set(kw, userA), set(shortRun), 0.20, 3.5),
+			},
+			byCond: [4]int{0, 0, 0, 0},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, stats := Prune(tc.rules, kw, tc.opts)
+			want := keys(tc.survivors)
+			got := keys(out)
+			for k := range want {
+				if !got[k] {
+					t.Errorf("rule %s should survive", k)
+				}
+			}
+			for k := range got {
+				if !want[k] {
+					t.Errorf("rule %s should be pruned", k)
+				}
+			}
+			if stats.ByCond != tc.byCond {
+				t.Errorf("ByCond = %v, want %v", stats.ByCond, tc.byCond)
+			}
+			if stats.Input != len(tc.rules) || stats.Kept != len(tc.survivors) {
+				t.Errorf("Input/Kept = %d/%d, want %d/%d",
+					stats.Input, stats.Kept, len(tc.rules), len(tc.survivors))
+			}
+		})
+	}
+}

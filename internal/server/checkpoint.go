@@ -1,0 +1,280 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/discretize"
+	"repro/internal/itemset"
+	"repro/internal/stream"
+)
+
+// The serving daemon's durable state: everything the mining loop fits or
+// accumulates that a restart would otherwise silently re-derive from a
+// different sample — bin edges, tier counts, prevalence shares, the interned
+// catalog and the sliding window itself. A server restored from a checkpoint
+// serves byte-identical /v1/rules to one that never restarted, and skips the
+// bootstrap entirely.
+
+// checkpointVersion gates restores: a file written by an incompatible layout
+// is an error, never a silent partial restore.
+const checkpointVersion = 1
+
+// checkpointFileName is the state file inside Config.StateDir.
+const checkpointFileName = "serve-checkpoint.json"
+
+type checkpointFile struct {
+	Version int       `json:"version"`
+	SavedAt time.Time `json:"saved_at"`
+	// Spec fingerprints the encoder configuration the state was fitted
+	// under. Restoring into a differently-shaped spec would mis-apply every
+	// discretizer, so a mismatch refuses the restore.
+	Spec []string `json:"spec"`
+	// Seq is the latest published snapshot's sequence number (0 if none).
+	// The restored server republishes the re-mined window under this seq so
+	// numbering continues instead of restarting at 1.
+	Seq int64 `json:"seq"`
+	// Catalog is the interned item names in id order; Window holds the ring
+	// transactions oldest-first as catalog ids; Total the all-time observed
+	// count.
+	Catalog []string            `json:"catalog"`
+	Window  [][]itemset.Item    `json:"window"`
+	Total   int                 `json:"total"`
+	Encoder checkpointedEncoder `json:"encoder"`
+}
+
+// checkpointedEncoder is the serialized form of the online encoder: both the
+// fitted artifacts (discretizers, tier maps) and the running accumulators
+// (tier counts, prevalence counts, late/bootstrap sample buffers) that make
+// future encoding decisions deterministic across the restart.
+type checkpointedEncoder struct {
+	Fitted     bool                         `json:"fitted"`
+	Disc       map[string]json.RawMessage   `json:"disc,omitempty"`
+	Pending    []Event                      `json:"pending,omitempty"`
+	Samples    map[string][]float64         `json:"samples,omitempty"`
+	Late       map[string][]float64         `json:"late,omitempty"`
+	TierCounts map[string]map[string]int    `json:"tier_counts,omitempty"`
+	TierMaps   map[string]map[string]string `json:"tier_maps,omitempty"`
+	SinceTier  int                          `json:"since_tier"`
+	ItemCounts map[string]int               `json:"item_counts,omitempty"`
+	Txns       int                          `json:"txns"`
+}
+
+// specFingerprint lists the spec's field-level shape in a stable order.
+func (idx *specIndex) specFingerprint() []string {
+	var out []string
+	for f := range idx.numeric {
+		out = append(out, "numeric:"+f)
+	}
+	for f, t := range idx.tier {
+		out = append(out, "tier:"+f+">"+t.Out)
+	}
+	for f, m := range idx.maps {
+		out = append(out, "map:"+f+">"+m.Out)
+	}
+	for f := range idx.boolCSV {
+		out = append(out, "bool:"+f)
+	}
+	for f := range idx.skip {
+		out = append(out, "skip:"+f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func checkpointPath(dir string) string {
+	return filepath.Join(dir, checkpointFileName)
+}
+
+// exportState captures the encoder for a checkpoint. Owned by the mining
+// loop, like every other encoder method.
+func (e *encoder) exportState() (checkpointedEncoder, error) {
+	st := checkpointedEncoder{
+		Fitted:     e.fitted,
+		Pending:    e.pending,
+		Samples:    e.samples,
+		Late:       e.late,
+		TierCounts: e.tierCounts,
+		TierMaps:   e.tierMaps,
+		SinceTier:  e.sinceTier,
+		ItemCounts: e.itemCounts,
+		Txns:       e.txns,
+	}
+	if len(e.disc) > 0 {
+		st.Disc = make(map[string]json.RawMessage, len(e.disc))
+		for field, d := range e.disc {
+			raw, err := d.Marshal()
+			if err != nil {
+				return checkpointedEncoder{}, fmt.Errorf("marshal discretizer %q: %w", field, err)
+			}
+			st.Disc[field] = raw
+		}
+	}
+	return st, nil
+}
+
+// restoreState rebuilds the encoder from a checkpoint. The encoder must be
+// freshly constructed (newEncoder) when this is called.
+func (e *encoder) restoreState(st checkpointedEncoder) error {
+	e.fitted = st.Fitted
+	e.pending = st.Pending
+	e.sinceTier = st.SinceTier
+	e.txns = st.Txns
+	if st.Samples != nil {
+		e.samples = st.Samples
+	}
+	if e.fitted {
+		e.samples = nil
+	}
+	if st.Late != nil {
+		e.late = st.Late
+	}
+	if st.TierCounts != nil {
+		e.tierCounts = st.TierCounts
+	}
+	if st.TierMaps != nil {
+		e.tierMaps = st.TierMaps
+	}
+	if st.ItemCounts != nil {
+		e.itemCounts = st.ItemCounts
+	}
+	for field, raw := range st.Disc {
+		if _, declared := e.idx.numeric[field]; !declared {
+			return fmt.Errorf("checkpointed discretizer %q is not in the spec", field)
+		}
+		d, err := discretize.Unmarshal(raw)
+		if err != nil {
+			return fmt.Errorf("restore discretizer %q: %w", field, err)
+		}
+		e.disc[field] = d
+	}
+	return nil
+}
+
+// saveCheckpoint writes the full serving state to StateDir atomically:
+// marshal to a temp file in the same directory, fsync, then rename over the
+// previous checkpoint, so a crash mid-write never clobbers a good file.
+// Called only from the mining loop, which owns miner and enc.
+func (s *Server) saveCheckpoint(miner *stream.Miner, enc *encoder) error {
+	window, total := miner.Export()
+	encState, err := enc.exportState()
+	if err != nil {
+		return err
+	}
+	var seq int64
+	if snap := s.snap.Load(); snap != nil {
+		seq = snap.Seq
+	}
+	cp := checkpointFile{
+		Version: checkpointVersion,
+		SavedAt: time.Now().UTC(),
+		Spec:    s.idx.specFingerprint(),
+		Seq:     seq,
+		Catalog: miner.Catalog().Export(),
+		Window:  make([][]itemset.Item, len(window)),
+		Total:   total,
+		Encoder: encState,
+	}
+	for i, txn := range window {
+		cp.Window[i] = txn
+	}
+	data, err := json.Marshal(cp)
+	if err != nil {
+		return fmt.Errorf("marshal checkpoint: %w", err)
+	}
+	if err := os.MkdirAll(s.cfg.StateDir, 0o755); err != nil {
+		return fmt.Errorf("create state dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.cfg.StateDir, ".checkpoint-*")
+	if err != nil {
+		return fmt.Errorf("create temp checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("write checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("sync checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), checkpointPath(s.cfg.StateDir)); err != nil {
+		return fmt.Errorf("publish checkpoint: %w", err)
+	}
+	return nil
+}
+
+// loadCheckpoint reads the state file under dir. A missing file is not an
+// error (nil, nil): the server simply starts cold.
+func loadCheckpoint(dir string) (*checkpointFile, error) {
+	data, err := os.ReadFile(checkpointPath(dir))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("read checkpoint: %w", err)
+	}
+	var cp checkpointFile
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return nil, fmt.Errorf("parse checkpoint: %w", err)
+	}
+	if cp.Version != checkpointVersion {
+		return nil, fmt.Errorf("checkpoint version %d, want %d", cp.Version, checkpointVersion)
+	}
+	return &cp, nil
+}
+
+// restore applies a loaded checkpoint: rebuild the catalog, refill the
+// window, and rehydrate the encoder. Returns the miner to hand to the loop
+// and the seq to republish under.
+func (s *Server) restore(cp *checkpointFile, enc *encoder) (*stream.Miner, int64, error) {
+	want := s.idx.specFingerprint()
+	if !equalStrings(cp.Spec, want) {
+		return nil, 0, fmt.Errorf("checkpoint was written under a different spec (got %v, want %v); move or delete %s to start cold",
+			cp.Spec, want, checkpointFileName)
+	}
+	catalog, err := itemset.RestoreCatalog(cp.Catalog)
+	if err != nil {
+		return nil, 0, err
+	}
+	miner, err := stream.New(catalog, s.streamConfig())
+	if err != nil {
+		return nil, 0, err
+	}
+	window := make([]itemset.Set, len(cp.Window))
+	for i, txn := range cp.Window {
+		for _, it := range txn {
+			if int(it) < 0 || int(it) >= catalog.Len() {
+				return nil, 0, fmt.Errorf("checkpoint window transaction %d references item %d outside the catalog", i, it)
+			}
+		}
+		window[i] = itemset.Set(txn)
+	}
+	if err := miner.RestoreWindow(window, cp.Total); err != nil {
+		return nil, 0, err
+	}
+	if err := enc.restoreState(cp.Encoder); err != nil {
+		return nil, 0, err
+	}
+	return miner, cp.Seq, nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -158,6 +158,12 @@ type encoder struct {
 	disc    map[string]*discretize.Discretizer
 	fitted  bool
 
+	// late buffers samples for numeric fields that were absent from the
+	// bootstrap sample, so a field that starts arriving after the fit still
+	// gets binned (at the flush tick, or as soon as a full bootstrap-sized
+	// sample accumulates) instead of being dropped until a restart.
+	late map[string][]float64
+
 	// Online tier state.
 	tierCounts map[string]map[string]int
 	tierMaps   map[string]map[string]string
@@ -183,6 +189,7 @@ func newEncoder(idx *specIndex, bootstrap int, maxPrev float64, keep []string) *
 		keep:       make(map[string]bool, len(keep)),
 		samples:    make(map[string][]float64),
 		disc:       make(map[string]*discretize.Discretizer),
+		late:       make(map[string][]float64),
 		tierCounts: make(map[string]map[string]int),
 		tierMaps:   make(map[string]map[string]string),
 		itemCounts: make(map[string]int),
@@ -216,29 +223,35 @@ func (e *encoder) add(ev Event) [][]string {
 // buffered reports how many events await the bootstrap fit.
 func (e *encoder) buffered() int { return len(e.pending) }
 
-// flush force-fits the discretizers on whatever bootstrap sample exists —
-// called at the first mine tick and at shutdown so short streams still
-// produce snapshots.
+// flush force-fits the discretizers on whatever sample exists — called at
+// mine ticks and at shutdown. Before the bootstrap completes it fits the
+// whole encoder so short streams still produce snapshots; afterwards it
+// fits any late-arriving numeric fields from their buffered samples.
 func (e *encoder) flush() [][]string {
-	if e.fitted || len(e.pending) == 0 {
-		return nil
+	if !e.fitted {
+		if len(e.pending) == 0 {
+			return nil
+		}
+		return e.fit()
 	}
-	return e.fit()
+	for _, field := range sortedKeys(e.late) {
+		if len(e.late[field]) > 0 {
+			e.fitLateField(field)
+		}
+	}
+	return nil
 }
 
 func (e *encoder) fit() [][]string {
 	for field, spec := range e.idx.numeric {
-		d, err := discretize.Fit(e.samples[field], discretize.Options{
-			Bins:           spec.Bins,
-			ZeroSpecial:    spec.ZeroSpecial,
-			ZeroLabel:      spec.ZeroLabel,
-			ZeroEpsilon:    spec.ZeroEpsilon,
-			SpikeThreshold: spec.SpikeThreshold,
-			SpikeLabel:     spec.SpikeLabel,
-		})
+		if len(e.samples[field]) == 0 {
+			// Field absent from the bootstrap sample: leave it for the
+			// late-fit path, which buffers values as they start arriving
+			// and fits at a later flush tick.
+			continue
+		}
+		d, err := discretize.Fit(e.samples[field], e.fitOptions(spec))
 		if err != nil {
-			// No usable sample (field absent so far): leave the field
-			// un-binned; its values encode to nothing until a restart.
 			continue
 		}
 		e.disc[field] = d
@@ -252,6 +265,50 @@ func (e *encoder) fit() [][]string {
 	}
 	e.pending = nil
 	return out
+}
+
+func (e *encoder) fitOptions(spec NumericSpec) discretize.Options {
+	return discretize.Options{
+		Bins:           spec.Bins,
+		ZeroSpecial:    spec.ZeroSpecial,
+		ZeroLabel:      spec.ZeroLabel,
+		ZeroEpsilon:    spec.ZeroEpsilon,
+		SpikeThreshold: spec.SpikeThreshold,
+		SpikeLabel:     spec.SpikeLabel,
+	}
+}
+
+// observeLate buffers one value of a not-yet-binned numeric field and fits
+// the field once a full bootstrap-sized sample accumulates (flush fits
+// earlier, on whatever has arrived, for trickle fields). Returns the fitted
+// discretizer, or nil while still buffering.
+func (e *encoder) observeLate(field string, v float64) *discretize.Discretizer {
+	e.late[field] = append(e.late[field], v)
+	if len(e.late[field]) < e.bootstrap {
+		return nil
+	}
+	return e.fitLateField(field)
+}
+
+func (e *encoder) fitLateField(field string) *discretize.Discretizer {
+	samples := e.late[field]
+	delete(e.late, field)
+	d, err := discretize.Fit(samples, e.fitOptions(e.idx.numeric[field]))
+	if err != nil {
+		// Nothing usable (e.g. all NaN): drop the buffer and start over.
+		return nil
+	}
+	e.disc[field] = d
+	return d
+}
+
+func sortedKeys(m map[string][]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func (e *encoder) countTiers(ev Event) {
@@ -308,8 +365,17 @@ func (e *encoder) encodeOne(ev Event) []string {
 				items = append(items, field)
 			}
 		case float64:
-			if d := e.disc[field]; d != nil {
-				items = append(items, field+"="+d.Label(val))
+			d := e.disc[field]
+			if _, declared := e.idx.numeric[field]; d == nil && declared {
+				d = e.observeLate(field, val)
+			}
+			if d != nil {
+				// An empty label means the discretizer has no bin for a
+				// regular value (zero/spike consumed its whole sample):
+				// emit nothing rather than a meaningless item.
+				if label := d.Label(val); label != "" {
+					items = append(items, field+"="+label)
+				}
 			}
 		case string:
 			if val == "" {

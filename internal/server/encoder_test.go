@@ -1,6 +1,7 @@
 package server
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/dataset"
@@ -177,5 +178,109 @@ func TestFrameEvents(t *testing.T) {
 	}
 	if _, ok := events[1]["model"]; ok {
 		t.Errorf("null cell leaked into event: %v", events[1])
+	}
+}
+
+// Regression for the degenerate bootstrap: when every bootstrap value of a
+// ZeroSpecial field is (near) zero, there are no regular samples, and later
+// non-zero values used to encode as a meaningless "sm=Bin1" item from an
+// unfitted discretizer. They must now produce no item at all (the zero bin
+// still labels).
+func TestEncoderZeroOnlyBootstrapEmitsNoRegularBin(t *testing.T) {
+	idx := newSpecIndex(Spec{
+		Numeric: []NumericSpec{{Field: "sm", ZeroSpecial: true, ZeroEpsilon: 0.5}},
+	})
+	e := newEncoder(idx, 4, 1, nil)
+	var flushed [][]string
+	for _, v := range []float64{0, 0.2, 0, 0.1} {
+		flushed = e.add(Event{"sm": v, "user": "u"})
+	}
+	if len(flushed) != 4 {
+		t.Fatalf("bootstrap flush returned %d txns", len(flushed))
+	}
+	for _, items := range flushed {
+		if !hasItem(items, "sm=0%") {
+			t.Errorf("zero value lost its zero bin: %v", items)
+		}
+	}
+	got := e.add(Event{"sm": 35.0, "user": "u"})
+	if len(got) != 1 {
+		t.Fatalf("txns = %v", got)
+	}
+	for _, it := range got[0] {
+		if strings.HasPrefix(it, "sm=") {
+			t.Errorf("non-zero value after zero-only bootstrap produced item %q, want none", it)
+		}
+	}
+	// Zero values still label normally.
+	if after := e.add(Event{"sm": 0.3, "user": "u"}); !hasItem(after[0], "sm=0%") {
+		t.Errorf("near-zero after fit = %v", after)
+	}
+}
+
+// Regression for the dead-field bug: a numeric field absent from the whole
+// bootstrap sample used to stay un-binned forever ("until a restart"). Its
+// late samples must be buffered and fitted at a subsequent flush tick — or
+// as soon as a full bootstrap-sized sample accumulates — after which the
+// field encodes normally.
+func TestEncoderLateFieldFitsAfterBootstrap(t *testing.T) {
+	idx := newSpecIndex(Spec{
+		Numeric: []NumericSpec{{Field: "util"}, {Field: "gmem"}},
+	})
+	e := newEncoder(idx, 4, 1, nil)
+	// Bootstrap has only util; gmem is absent.
+	for i := 0; i < 4; i++ {
+		e.add(Event{"util": float64(10 * (i + 1))})
+	}
+	if e.disc["gmem"] != nil {
+		t.Fatal("absent field should not be fitted at bootstrap")
+	}
+	// gmem starts arriving: buffered, not yet encoded.
+	got := e.add(Event{"util": 15.0, "gmem": 3.0})
+	if hasItem(got[0], "gmem=Bin1") {
+		t.Fatalf("late field encoded before its fit: %v", got[0])
+	}
+	// A flush tick fits it from the buffered samples…
+	if txns := e.flush(); txns != nil {
+		t.Fatalf("post-bootstrap flush returned txns: %v", txns)
+	}
+	if e.disc["gmem"] == nil {
+		t.Fatal("flush did not fit the late field")
+	}
+	// …and subsequent events encode it.
+	got = e.add(Event{"util": 15.0, "gmem": 3.0})
+	found := false
+	for _, it := range got[0] {
+		if strings.HasPrefix(it, "gmem=") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("late-fitted field still not encoding: %v", got[0])
+	}
+}
+
+// The inline path: a late field that accumulates a full bootstrap-sized
+// sample fits immediately, without waiting for a flush tick.
+func TestEncoderLateFieldFitsAtFullSample(t *testing.T) {
+	idx := newSpecIndex(Spec{Numeric: []NumericSpec{{Field: "a"}, {Field: "b"}}})
+	e := newEncoder(idx, 3, 1, nil)
+	for i := 0; i < 3; i++ {
+		e.add(Event{"a": float64(i + 1)})
+	}
+	var got [][]string
+	for i := 0; i < 3; i++ {
+		got = e.add(Event{"a": 1.0, "b": float64(10 * (i + 1))})
+	}
+	// The third b-value completes a bootstrap-sized sample: fit fires inline
+	// and the completing event itself is encoded.
+	foundB := false
+	for _, it := range got[0] {
+		if strings.HasPrefix(it, "b=") {
+			foundB = true
+		}
+	}
+	if !foundB {
+		t.Errorf("field did not fit at full sample: %v", got[0])
 	}
 }

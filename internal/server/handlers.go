@@ -309,19 +309,24 @@ func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleHealth is the load-balancer probe. A draining server answers 503 —
+// not a body-level status a balancer never parses — so traffic moves away
+// the moment Stop begins instead of piling 503s onto /v1/jobs.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	draining := s.closed
 	s.mu.RUnlock()
+	status := http.StatusOK
 	body := map[string]any{"status": "ok", "snapshot_seq": int64(0)}
 	if draining {
+		status = http.StatusServiceUnavailable
 		body["status"] = "draining"
 	}
 	if snap := s.snap.Load(); snap != nil {
 		body["snapshot_seq"] = snap.Seq
 		body["snapshot_age_s"] = time.Since(snap.MinedAt).Seconds()
 	}
-	writeJSON(w, http.StatusOK, body)
+	writeJSON(w, status, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

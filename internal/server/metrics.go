@@ -16,25 +16,32 @@ type metrics struct {
 	encodeErrors  atomic.Int64 // events dropped inside the mining loop
 	mineCount     atomic.Int64 // snapshots published
 	lastMineNanos atomic.Int64 // duration of the latest re-mine
+
+	checkpoints      atomic.Int64 // state files written
+	checkpointErrors atomic.Int64 // state file writes that failed
+	restored         atomic.Int64 // 1 when this instance started from a checkpoint
 }
 
 // view renders the counters plus the derived gauges into a JSON-ready map.
 func (s *Server) metricsView() map[string]any {
 	out := map[string]any{
-		"uptime_s":         time.Since(s.started).Seconds(),
-		"ingest_accepted":  s.metrics.accepted.Load(),
-		"ingest_rejected":  s.metrics.rejected.Load(),
-		"ingest_throttled": s.metrics.throttled.Load(),
-		"encode_errors":    s.metrics.encodeErrors.Load(),
-		"queue_depth":      len(s.queue),
-		"queue_capacity":   cap(s.queue),
-		"window_capacity":  s.cfg.WindowSize,
-		"mine_count":       s.metrics.mineCount.Load(),
-		"last_mine_ms":     float64(s.metrics.lastMineNanos.Load()) / 1e6,
-		"snapshot_seq":     int64(0),
-		"window_len":       0,
-		"rules":            0,
-		"snapshot_age_s":   float64(0),
+		"uptime_s":          time.Since(s.started).Seconds(),
+		"ingest_accepted":   s.metrics.accepted.Load(),
+		"ingest_rejected":   s.metrics.rejected.Load(),
+		"ingest_throttled":  s.metrics.throttled.Load(),
+		"encode_errors":     s.metrics.encodeErrors.Load(),
+		"queue_depth":       len(s.queue),
+		"queue_capacity":    cap(s.queue),
+		"window_capacity":   s.cfg.WindowSize,
+		"mine_count":        s.metrics.mineCount.Load(),
+		"last_mine_ms":      float64(s.metrics.lastMineNanos.Load()) / 1e6,
+		"checkpoints":       s.metrics.checkpoints.Load(),
+		"checkpoint_errors": s.metrics.checkpointErrors.Load(),
+		"restored":          s.metrics.restored.Load(),
+		"snapshot_seq":      int64(0),
+		"window_len":        0,
+		"rules":             0,
+		"snapshot_age_s":    float64(0),
 	}
 	if snap := s.snap.Load(); snap != nil {
 		out["snapshot_seq"] = snap.Seq

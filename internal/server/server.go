@@ -62,6 +62,17 @@ type Config struct {
 	// and rule-generation shards). Zero means GOMAXPROCS; 1 forces serial
 	// mining. Snapshots are identical for any worker count.
 	Workers int
+	// StateDir, when set, makes the server durable: the mining loop
+	// checkpoints its full state (fitted discretizers, tier and prevalence
+	// counts, item catalog, window ring, snapshot seq) to an atomically
+	// replaced file there, and New restores from an existing file —
+	// skipping the bootstrap — so a restart serves the same rules an
+	// uninterrupted server would. Empty disables checkpointing.
+	StateDir string
+	// CheckpointEvery is the number of mines between checkpoints when
+	// StateDir is set; zero means 1 (checkpoint after every mine). A final
+	// checkpoint is always written at drain.
+	CheckpointEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +109,9 @@ func (c Config) withDefaults() Config {
 	if c.QueueSize == 0 {
 		c.QueueSize = 8192
 	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 1
+	}
 	return c
 }
 
@@ -133,9 +147,18 @@ type Server struct {
 	metrics metrics
 	started time.Time
 	mux     *http.ServeMux
+
+	// seqBase offsets snapshot numbering after a checkpoint restore: the
+	// first mine of a restored server republishes the checkpointed window
+	// under its old seq instead of restarting at 1. Written once before the
+	// loop starts, read only by the loop.
+	seqBase int64
 }
 
-// New starts the mining loop and returns the server.
+// New starts the mining loop and returns the server. When Config.StateDir
+// holds a checkpoint written by a previous instance, the fitted state and
+// sliding window are restored from it — no re-bootstrap — and an error is
+// returned if the file is unreadable or was written under a different spec.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if cfg.WindowSize < 1 {
@@ -154,18 +177,39 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/drift", s.handleDrift)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	miner, err := stream.New(nil, stream.Config{
-		WindowSize: cfg.WindowSize,
-		MinSupport: cfg.MinSupport,
-		MaxLen:     cfg.MaxLen,
-		MinLift:    cfg.MinLift,
-		Workers:    cfg.Workers,
-	})
-	if err != nil {
-		return nil, err
+	enc := newEncoder(s.idx, cfg.Bootstrap, cfg.MaxPrevalence, cfg.KeepItems)
+	var miner *stream.Miner
+	if cfg.StateDir != "" {
+		cp, err := loadCheckpoint(cfg.StateDir)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		if cp != nil {
+			miner, s.seqBase, err = s.restore(cp, enc)
+			if err != nil {
+				return nil, fmt.Errorf("server: restore checkpoint: %w", err)
+			}
+			s.metrics.restored.Store(1)
+		}
 	}
-	go s.loop(miner)
+	if miner == nil {
+		var err error
+		if miner, err = stream.New(nil, s.streamConfig()); err != nil {
+			return nil, err
+		}
+	}
+	go s.loop(miner, enc)
 	return s, nil
+}
+
+func (s *Server) streamConfig() stream.Config {
+	return stream.Config{
+		WindowSize: s.cfg.WindowSize,
+		MinSupport: s.cfg.MinSupport,
+		MaxLen:     s.cfg.MaxLen,
+		MinLift:    s.cfg.MinLift,
+		Workers:    s.cfg.Workers,
+	}
 }
 
 // Handler returns the HTTP API.
@@ -198,16 +242,41 @@ func (s *Server) Stop(ctx context.Context) error {
 // loop is the single writer: it alone touches the miner, the encoder and
 // the item catalog, which is what makes the un-synchronized stream.Miner
 // race-free under concurrent ingest and query load.
-func (s *Server) loop(miner *stream.Miner) {
+func (s *Server) loop(miner *stream.Miner, enc *encoder) {
 	defer close(s.done)
-	enc := newEncoder(s.idx, s.cfg.Bootstrap, s.cfg.MaxPrevalence, s.cfg.KeepItems)
+	if s.seqBase > 0 {
+		// Restored from a checkpoint that had published snapshots: re-mine
+		// the restored window immediately so queries work from the first
+		// request, under the seq the checkpoint recorded (the window is
+		// identical, so the rules are too).
+		s.mine(miner)
+	}
 	ticker := time.NewTicker(s.cfg.MineInterval)
 	defer ticker.Stop()
 	pending := 0
+	sinceCheckpoint := 0
 	observe := func(txns [][]string) {
 		for _, items := range txns {
 			miner.ObserveNames(items...)
 			pending++
+		}
+	}
+	checkpoint := func() {
+		if s.cfg.StateDir == "" {
+			return
+		}
+		if err := s.saveCheckpoint(miner, enc); err != nil {
+			s.metrics.checkpointErrors.Add(1)
+			return
+		}
+		s.metrics.checkpoints.Add(1)
+	}
+	mine := func() {
+		s.mine(miner)
+		pending = 0
+		if sinceCheckpoint++; sinceCheckpoint >= s.cfg.CheckpointEvery {
+			checkpoint()
+			sinceCheckpoint = 0
 		}
 	}
 	for {
@@ -215,25 +284,27 @@ func (s *Server) loop(miner *stream.Miner) {
 		case ev, ok := <-s.queue:
 			if !ok {
 				// Queue closed and drained: flush any unfitted
-				// bootstrap backlog and publish the final snapshot.
+				// bootstrap backlog, publish the final snapshot, and
+				// always leave a fresh checkpoint behind.
 				observe(enc.flush())
 				if pending > 0 {
 					s.mine(miner)
 				}
+				checkpoint()
 				return
 			}
 			observe(enc.add(ev))
 			if pending >= s.cfg.MineBatch {
-				s.mine(miner)
-				pending = 0
+				mine()
 			}
 		case <-ticker.C:
 			// A short stream may never fill the bootstrap sample; fit
 			// on whatever arrived so trickle workloads still get rules.
+			// After the bootstrap the flush fits late-arriving numeric
+			// fields from their buffered samples.
 			observe(enc.flush())
 			if pending > 0 {
-				s.mine(miner)
-				pending = 0
+				mine()
 			}
 		}
 	}
@@ -245,7 +316,13 @@ func (s *Server) mine(miner *stream.Miner) {
 	view := miner.View()
 	prev := s.snap.Load()
 	var delta stream.Delta
+	// The first mine is seq 1 on a cold start; after a restore it
+	// republishes the checkpointed window under its recorded seq, so
+	// numbering continues exactly where the previous instance stopped.
 	seq := int64(1)
+	if s.seqBase > 0 {
+		seq = s.seqBase
+	}
 	if prev != nil {
 		delta = stream.Diff(prev.View.Rules, view.Rules)
 		seq = prev.Seq + 1

@@ -546,3 +546,40 @@ func TestWorkersSnapshotEquivalence(t *testing.T) {
 		t.Error("/v1/rules?keyword=failed differs between 1-worker and 4-worker runs")
 	}
 }
+
+// Once Stop begins, /healthz must answer 503 — not 200 with a body-level
+// "draining" that every load balancer would read as healthy.
+func TestHealthz503WhileDraining(t *testing.T) {
+	s, err := New(Config{Spec: Spec{}, MineInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var health map[string]any
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz before drain = %d, want 200", code)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining = %d, want 503", code)
+	}
+	if health["status"] != "draining" {
+		t.Errorf("health body = %v, want status=draining", health)
+	}
+	// Ingest is refused too, with the same status.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/x-ndjson", strings.NewReader("{}\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("ingest while draining = %d, want 503", resp.StatusCode)
+	}
+}

@@ -104,6 +104,47 @@ func (m *Miner) Len() int {
 	return m.next
 }
 
+// Export returns the window's transactions oldest-first plus the total
+// observed count — the miner's half of a serving checkpoint. The returned
+// sets alias the ring (Observe replaces slots rather than mutating them), so
+// treat them as read-only and serialize before the next Observe.
+func (m *Miner) Export() ([]itemset.Set, int) {
+	n := m.Len()
+	out := make([]itemset.Set, 0, n)
+	if m.filled {
+		for _, txn := range m.ring[m.next:] {
+			out = append(out, txn)
+		}
+	}
+	for _, txn := range m.ring[:m.next] {
+		out = append(out, txn)
+	}
+	return out, m.total
+}
+
+// RestoreWindow refills an empty miner from an Export: txns oldest-first
+// (item ids must be valid in this miner's catalog) and the historical total.
+// The window after restore is byte-identical input to Snapshot as the window
+// the export was taken from, so a restored server re-mines the same rules.
+func (m *Miner) RestoreWindow(txns []itemset.Set, total int) error {
+	if len(txns) > len(m.ring) {
+		return fmt.Errorf("stream: restoring %d transactions into a window of %d", len(txns), len(m.ring))
+	}
+	if total < len(txns) {
+		return fmt.Errorf("stream: restored total %d below window occupancy %d", total, len(txns))
+	}
+	for i, t := range txns {
+		m.ring[i] = t
+	}
+	for i := len(txns); i < len(m.ring); i++ {
+		m.ring[i] = nil
+	}
+	m.next = len(txns) % len(m.ring)
+	m.filled = len(txns) == len(m.ring)
+	m.total = total
+	return nil
+}
+
 // Total returns the number of transactions ever observed.
 func (m *Miner) Total() int { return m.total }
 

@@ -335,3 +335,63 @@ func TestWorkersSnapshotEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// Export/RestoreWindow round trip: a miner rebuilt from an export mines the
+// same rules, both before and after the ring has wrapped.
+func TestExportRestoreWindowRoundTrip(t *testing.T) {
+	for _, observed := range []int{7, 10, 23} { // partial, exactly full, wrapped
+		m, err := New(nil, Config{WindowSize: 10, MinSupport: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < observed; i++ {
+			if i%2 == 0 {
+				m.ObserveNames("a", "b", "c")
+			} else {
+				m.ObserveNames("a", "d")
+			}
+		}
+		txns, total := m.Export()
+		if total != observed {
+			t.Fatalf("observed=%d: exported total = %d", observed, total)
+		}
+		if len(txns) != m.Len() {
+			t.Fatalf("observed=%d: exported %d txns, window holds %d", observed, len(txns), m.Len())
+		}
+
+		r, err := New(m.Catalog().Clone(), Config{WindowSize: 10, MinSupport: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.RestoreWindow(txns, total); err != nil {
+			t.Fatal(err)
+		}
+		if r.Len() != m.Len() || r.Total() != m.Total() {
+			t.Fatalf("observed=%d: restored len/total = %d/%d, want %d/%d",
+				observed, r.Len(), r.Total(), m.Len(), m.Total())
+		}
+		if !reflect.DeepEqual(m.Snapshot(), r.Snapshot()) {
+			t.Errorf("observed=%d: restored snapshot differs", observed)
+		}
+		// The restored miner keeps evicting correctly.
+		m.ObserveNames("a", "e")
+		r.ObserveNames("a", "e")
+		if !reflect.DeepEqual(m.Snapshot(), r.Snapshot()) {
+			t.Errorf("observed=%d: snapshots diverge after post-restore observe", observed)
+		}
+	}
+}
+
+func TestRestoreWindowRejectsOversize(t *testing.T) {
+	m, err := New(nil, Config{WindowSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txns := []itemset.Set{itemset.NewSet(0), itemset.NewSet(1), itemset.NewSet(2)}
+	if err := m.RestoreWindow(txns, 3); err == nil {
+		t.Error("oversize restore should error")
+	}
+	if err := m.RestoreWindow(txns[:2], 1); err == nil {
+		t.Error("total below occupancy should error")
+	}
+}
