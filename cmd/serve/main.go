@@ -30,6 +30,14 @@
 // online prevalence drop so the keyword under study cannot be deleted by a
 // failure-heavy window.
 //
+// With -wal-dir every accepted event is additionally framed into a
+// write-ahead log before it is acknowledged, and a restart replays the WAL
+// tail on top of the checkpoint — a kill -9 between checkpoints loses
+// nothing (-fsync always) or at most the last sync interval (-fsync
+// interval, the default). -mine-timeout arms a watchdog that abandons a
+// hung re-mine and keeps serving the last good snapshot, marked stale,
+// while /healthz reports the degraded state.
+//
 // With -spec generic the encoder is derived from flags instead of the
 // canonical PAI shape: -numeric columns are quartile-binned (-zero /
 // -spike subsets get their special bins), -tier columns are
@@ -68,6 +76,10 @@ func main() {
 	bootstrap := flag.Int("bootstrap", 500, "jobs sampled before bin edges are fitted")
 	stateDir := flag.String("state-dir", "", "directory for the durable checkpoint; empty disables checkpoint/restore")
 	checkpointEvery := flag.Int("checkpoint-every", 1, "mines between checkpoints when -state-dir is set")
+	walDir := flag.String("wal-dir", "", "directory for the write-ahead log of accepted events; empty disables the WAL")
+	fsync := flag.String("fsync", "interval", "WAL durability: always (sync every append), interval, or never")
+	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "WAL sync cadence under -fsync interval")
+	mineTimeout := flag.Duration("mine-timeout", 0, "abandon a mine running longer than this and serve the last snapshot as stale (0 disables)")
 	keep := flag.String("keep", "", "comma-separated item names exempt from the prevalence drop (e.g. status=failed)")
 	numeric := flag.String("numeric", "", "generic spec: comma-separated numeric fields to quartile-bin")
 	zeros := flag.String("zero", "", "generic spec: numeric fields given a zero bin")
@@ -84,6 +96,7 @@ func main() {
 		mineInterval: *mineInterval, mineBatch: *mineBatch, mineWorkers: *mineWorkers,
 		queue: *queue, bootstrap: *bootstrap,
 		stateDir: *stateDir, checkpointEvery: *checkpointEvery, keep: splitList(*keep),
+		walDir: *walDir, fsync: *fsync, fsyncInterval: *fsyncInterval, mineTimeout: *mineTimeout,
 		numeric: splitList(*numeric), zeros: splitList(*zeros), spikes: splitList(*spikes),
 		tiers: splitList(*tiers), bools: splitList(*bools), skips: splitList(*skips),
 	})
@@ -103,8 +116,9 @@ type options struct {
 	queue, bootstrap, mineWorkers        int
 	checkpointEvery                      int
 	minSupport, minLift, cLift, cSupp    float64
-	mineInterval                         time.Duration
-	stateDir                             string
+	mineInterval, mineTimeout            time.Duration
+	fsyncInterval                        time.Duration
+	stateDir, walDir, fsync              string
 	keep                                 []string
 	numeric, zeros, spikes, tiers, bools []string
 	skips                                []string
@@ -126,6 +140,10 @@ func buildConfig(o options) (server.Config, error) {
 		StateDir:        o.stateDir,
 		CheckpointEvery: o.checkpointEvery,
 		KeepItems:       o.keep,
+		WALDir:          o.walDir,
+		Fsync:           o.fsync,
+		FsyncInterval:   o.fsyncInterval,
+		MineTimeout:     o.mineTimeout,
 	}
 	switch o.spec {
 	case "pai":
@@ -197,6 +215,9 @@ func run(addr string, cfg server.Config) error {
 	if cfg.StateDir != "" {
 		fmt.Printf("serve: durable state in %s (checkpoint every %d mines and at drain)\n",
 			cfg.StateDir, cfg.CheckpointEvery)
+	}
+	if cfg.WALDir != "" {
+		fmt.Printf("serve: write-ahead log in %s (fsync=%s)\n", cfg.WALDir, cfg.Fsync)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

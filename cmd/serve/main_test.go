@@ -4,13 +4,126 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
 	"testing"
 	"time"
 
 	"repro/internal/server"
 )
+
+// TestMain doubles as the child process for the SIGTERM test: when
+// SERVE_CHILD=1 the test binary runs a real serve daemon (the same run()
+// main uses) instead of the test suite, so the parent can exercise actual
+// signal delivery across a process boundary.
+func TestMain(m *testing.M) {
+	if os.Getenv("SERVE_CHILD") == "1" {
+		childMain()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func childMain() {
+	o := baseOptions()
+	o.spec = "generic" // strings pass through as field=value items
+	o.bootstrap = 10
+	o.mineInterval = time.Hour // only the drain mine may publish
+	o.mineBatch = 1 << 20
+	cfg, err := buildConfig(o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "child:", err)
+		os.Exit(1)
+	}
+	if err := run(os.Getenv("SERVE_ADDR"), cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "child:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// TestSIGTERMGracefulDrain sends a real SIGTERM to a real serve process and
+// requires a clean exit that drained the queue: every ingested event must
+// be in the final snapshot the shutdown path prints.
+func TestSIGTERMGracefulDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a child process")
+	}
+	// Reserve a port for the child. Closing the listener races with the
+	// child's bind in principle, but the window is tiny and local.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "SERVE_CHILD=1", "SERVE_ADDR="+addr)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	base := "http://" + addr
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("child never became healthy:\n%s", out.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	var body bytes.Buffer
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&body, `{"node":"n%d","status":"ok"}`+"\n", i%4)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/x-ndjson", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status = %d", resp.StatusCode)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("child exited uncleanly: %v\n%s", err, out.String())
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatalf("child did not exit after SIGTERM\n%s", out.String())
+	}
+	// The drain mined one final snapshot over everything ingested: the
+	// mine interval is an hour, so only the shutdown path can have
+	// published it.
+	if !strings.Contains(out.String(), "observed=40") {
+		t.Errorf("final snapshot missing the drained events:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "draining ingest queue") {
+		t.Errorf("shutdown path did not announce the drain:\n%s", out.String())
+	}
+}
 
 func baseOptions() options {
 	return options{
@@ -168,6 +281,27 @@ func TestBuildConfigDurabilityFlags(t *testing.T) {
 	}
 	if len(cfg.KeepItems) != 2 || cfg.KeepItems[0] != "status=failed" {
 		t.Errorf("KeepItems = %v", cfg.KeepItems)
+	}
+}
+
+func TestBuildConfigWALFlags(t *testing.T) {
+	o := baseOptions()
+	o.walDir = "/var/lib/armine/wal"
+	o.fsync = "always"
+	o.fsyncInterval = 250 * time.Millisecond
+	o.mineTimeout = 30 * time.Second
+	cfg, err := buildConfig(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.WALDir != "/var/lib/armine/wal" || cfg.Fsync != "always" {
+		t.Errorf("WAL flags not applied: dir=%q fsync=%q", cfg.WALDir, cfg.Fsync)
+	}
+	if cfg.FsyncInterval != 250*time.Millisecond {
+		t.Errorf("FsyncInterval = %v", cfg.FsyncInterval)
+	}
+	if cfg.MineTimeout != 30*time.Second {
+		t.Errorf("MineTimeout = %v", cfg.MineTimeout)
 	}
 }
 

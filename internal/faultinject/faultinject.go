@@ -1,0 +1,363 @@
+// Package faultinject is the seam between the durability layer and the
+// operating system. The write-ahead log and the serving checkpoint never
+// call the os package directly; they go through the FS interface here, so
+// the chaos tests can wrap the real filesystem in an Injector that fails,
+// short-writes, or "crashes the process" at the Nth operation — turning
+// "does the daemon survive kill -9 mid-checkpoint?" from a flaky
+// integration ritual into a deterministic unit test. The Clock interface
+// plays the same role for time: the mining-loop watchdog reads it instead
+// of the time package, so a hung mine can be simulated without sleeping.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sync"
+	"time"
+)
+
+// Op names one filesystem operation class, for failure targeting and
+// per-class accounting.
+type Op string
+
+const (
+	OpCreate  Op = "create"
+	OpWrite   Op = "write"
+	OpSync    Op = "sync"
+	OpClose   Op = "close"
+	OpRename  Op = "rename"
+	OpRemove  Op = "remove"
+	OpMkdir   Op = "mkdir"
+	OpRead    Op = "read"
+	OpReadDir Op = "readdir"
+	OpTrunc   Op = "truncate"
+	OpSyncDir Op = "syncdir"
+)
+
+// ErrInjected is the error returned by a single injected failure.
+var ErrInjected = errors.New("faultinject: injected failure")
+
+// ErrCrashed is returned by every operation after a simulated crash: the
+// "process" is dead, nothing it does from here on reaches the disk.
+var ErrCrashed = errors.New("faultinject: process crashed")
+
+// File is the subset of *os.File the durability layer writes through.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// FS abstracts the file operations used by internal/wal and the server
+// checkpoint. Implementations: OS (the real filesystem) and Injector
+// (which wraps another FS and fails on schedule).
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	// OpenFile mirrors os.OpenFile; the flag decides create/append/trunc.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	ReadFile(name string) ([]byte, error)
+	ReadDir(name string) ([]fs.DirEntry, error)
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs a directory, making renames and creates inside it
+	// durable.
+	SyncDir(path string) error
+}
+
+// osFS is the passthrough implementation.
+type osFS struct{}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	// Directory fsync is advisory on some filesystems; a failed sync of an
+	// otherwise-healthy directory should not fail the write that preceded
+	// it, so only real open errors propagate.
+	_ = d.Sync()
+	return d.Close()
+}
+
+// Mode selects what happens at the scheduled operation.
+type Mode int
+
+const (
+	// FailOp makes the Nth operation return ErrInjected; later operations
+	// succeed again — a transient fault.
+	FailOp Mode = iota
+	// ShortWrite makes the Nth operation (if a write) persist only half its
+	// bytes before returning ErrInjected — a torn write. Non-write
+	// operations behave like FailOp.
+	ShortWrite
+	// Crash makes the Nth and every later operation return ErrCrashed; a
+	// write at the crash point persists half its bytes first. The files on
+	// disk are frozen exactly as a kill -9 at that instant would leave
+	// them, and the test "restarts" by reopening them with a fresh FS.
+	Crash
+)
+
+// Injector wraps an FS and injects one scheduled fault. The zero schedule
+// (FailAt never called) injects nothing and merely counts operations —
+// which is how chaos tests size their kill-point range: run once counting,
+// then re-run with FailAt(rand.Intn(total)+1, Crash).
+type Injector struct {
+	fs FS
+
+	mu      sync.Mutex
+	ops     int64
+	failAt  int64
+	mode    Mode
+	crashed bool
+	counts  map[Op]int64
+}
+
+// NewInjector wraps fs (nil means the real filesystem).
+func NewInjector(fs FS) *Injector {
+	if fs == nil {
+		fs = OS()
+	}
+	return &Injector{fs: fs, counts: make(map[Op]int64)}
+}
+
+// FailAt schedules the fault: the n-th operation (1-based) misbehaves per
+// mode. n <= 0 clears the schedule.
+func (in *Injector) FailAt(n int64, mode Mode) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.failAt = n
+	in.mode = mode
+}
+
+// Ops returns the number of operations observed so far.
+func (in *Injector) Ops() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.ops
+}
+
+// Crashed reports whether the simulated crash point has been reached.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// Count returns how many operations of one class were observed.
+func (in *Injector) Count(op Op) int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts[op]
+}
+
+// step accounts one operation and decides its fate: nil (proceed), or the
+// injected error. The bool reports whether a write should be torn (persist
+// half) before failing.
+func (in *Injector) step(op Op) (error, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return ErrCrashed, false
+	}
+	in.ops++
+	in.counts[op]++
+	if in.failAt <= 0 || in.ops != in.failAt {
+		return nil, false
+	}
+	switch in.mode {
+	case Crash:
+		in.crashed = true
+		return ErrCrashed, op == OpWrite
+	case ShortWrite:
+		return ErrInjected, op == OpWrite
+	default:
+		return ErrInjected, false
+	}
+}
+
+func (in *Injector) MkdirAll(path string, perm os.FileMode) error {
+	if err, _ := in.step(OpMkdir); err != nil {
+		return err
+	}
+	return in.fs.MkdirAll(path, perm)
+}
+
+func (in *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err, _ := in.step(OpCreate); err != nil {
+		return nil, err
+	}
+	f, err := in.fs.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injectedFile{in: in, f: f}, nil
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if err, _ := in.step(OpRename); err != nil {
+		return err
+	}
+	return in.fs.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(name string) error {
+	if err, _ := in.step(OpRemove); err != nil {
+		return err
+	}
+	return in.fs.Remove(name)
+}
+
+func (in *Injector) ReadFile(name string) ([]byte, error) {
+	if err, _ := in.step(OpRead); err != nil {
+		return nil, err
+	}
+	return in.fs.ReadFile(name)
+}
+
+func (in *Injector) ReadDir(name string) ([]fs.DirEntry, error) {
+	if err, _ := in.step(OpReadDir); err != nil {
+		return nil, err
+	}
+	return in.fs.ReadDir(name)
+}
+
+func (in *Injector) Truncate(name string, size int64) error {
+	if err, _ := in.step(OpTrunc); err != nil {
+		return err
+	}
+	return in.fs.Truncate(name, size)
+}
+
+func (in *Injector) SyncDir(path string) error {
+	if err, _ := in.step(OpSyncDir); err != nil {
+		return err
+	}
+	return in.fs.SyncDir(path)
+}
+
+// injectedFile routes per-file operations back through the injector.
+type injectedFile struct {
+	in *Injector
+	f  File
+}
+
+func (jf *injectedFile) Name() string { return jf.f.Name() }
+
+func (jf *injectedFile) Write(p []byte) (int, error) {
+	err, torn := jf.in.step(OpWrite)
+	if err != nil {
+		if torn && len(p) > 1 {
+			// A torn write persists a prefix: the frame on disk is
+			// incomplete, exactly what a crash mid-write leaves behind.
+			n, werr := jf.f.Write(p[:len(p)/2])
+			if werr != nil {
+				return n, fmt.Errorf("%w (torn write also failed: %v)", err, werr)
+			}
+			return n, err
+		}
+		return 0, err
+	}
+	return jf.f.Write(p)
+}
+
+func (jf *injectedFile) Sync() error {
+	if err, _ := jf.in.step(OpSync); err != nil {
+		return err
+	}
+	return jf.f.Sync()
+}
+
+func (jf *injectedFile) Close() error {
+	if err, _ := jf.in.step(OpClose); err != nil {
+		// Close the real handle anyway: leaking descriptors across 25
+		// chaos iterations would exhaust the test process.
+		_ = jf.f.Close()
+		return err
+	}
+	return jf.f.Close()
+}
+
+// Clock abstracts time for the watchdog and fsync-interval paths.
+type Clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+}
+
+type realClock struct{}
+
+// RealClock returns the wall clock.
+func RealClock() Clock { return realClock{} }
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// ManualClock is a test clock advanced explicitly.
+type ManualClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []waiter
+}
+
+type waiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewManualClock starts at start.
+func NewManualClock(start time.Time) *ManualClock {
+	return &ManualClock{now: start}
+}
+
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *ManualClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	at := c.now.Add(d)
+	if d <= 0 {
+		ch <- c.now
+		return ch
+	}
+	c.waiters = append(c.waiters, waiter{at: at, ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward, firing every waiter whose deadline
+// passed.
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	kept := c.waiters[:0]
+	for _, w := range c.waiters {
+		if !w.at.After(c.now) {
+			w.ch <- c.now
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	c.waiters = kept
+}

@@ -1,0 +1,143 @@
+package faultinject
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestInjectorCountsWithoutSchedule(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	f, err := in.OpenFile(filepath.Join(dir, "a"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Ops(); got != 4 {
+		t.Errorf("ops = %d, want 4 (create, write, sync, close)", got)
+	}
+	if in.Count(OpWrite) != 1 || in.Count(OpSync) != 1 {
+		t.Errorf("per-op counts: write=%d sync=%d", in.Count(OpWrite), in.Count(OpSync))
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "a"))
+	if err != nil || string(data) != "hello" {
+		t.Errorf("file content = %q, %v", data, err)
+	}
+}
+
+func TestInjectorFailOpIsTransient(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	in.FailAt(2, FailOp) // the first write
+	f, err := in.OpenFile(filepath.Join(dir, "a"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("scheduled write error = %v, want ErrInjected", err)
+	}
+	// The fault was transient: the next write succeeds.
+	if _, err := f.Write([]byte("y")); err != nil {
+		t.Fatalf("post-fault write = %v", err)
+	}
+	f.Close()
+	data, _ := os.ReadFile(filepath.Join(dir, "a"))
+	if string(data) != "y" {
+		t.Errorf("content = %q, want only the post-fault write", data)
+	}
+}
+
+func TestInjectorShortWriteTearsFrame(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	in.FailAt(2, ShortWrite)
+	f, err := in.OpenFile(filepath.Join(dir, "a"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write error = %v", err)
+	}
+	if n != 5 {
+		t.Errorf("short write persisted %d bytes, want 5", n)
+	}
+	f.Close()
+	data, _ := os.ReadFile(filepath.Join(dir, "a"))
+	if string(data) != "01234" {
+		t.Errorf("torn content = %q", data)
+	}
+}
+
+func TestInjectorCrashIsPermanent(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	in.FailAt(3, Crash) // create, write, then crash on sync
+	f, err := in.OpenFile(filepath.Join(dir, "a"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash-point sync = %v", err)
+	}
+	if !in.Crashed() {
+		t.Error("injector not marked crashed")
+	}
+	// Everything after the crash fails, across all operation classes.
+	if _, err := f.Write([]byte("more")); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash write = %v", err)
+	}
+	if _, err := in.OpenFile(filepath.Join(dir, "b"), os.O_CREATE|os.O_WRONLY, 0o644); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash open = %v", err)
+	}
+	if err := in.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "c")); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash rename = %v", err)
+	}
+	// The pre-crash write survives on disk, as after a real kill -9.
+	data, _ := os.ReadFile(filepath.Join(dir, "a"))
+	if string(data) != "ok" {
+		t.Errorf("frozen content = %q", data)
+	}
+}
+
+func TestManualClock(t *testing.T) {
+	c := NewManualClock(time.Unix(1000, 0))
+	ch := c.After(5 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before Advance")
+	default:
+	}
+	c.Advance(3 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired early")
+	default:
+	}
+	c.Advance(2 * time.Second)
+	select {
+	case at := <-ch:
+		if !at.Equal(time.Unix(1005, 0)) {
+			t.Errorf("fired at %v", at)
+		}
+	default:
+		t.Fatal("timer did not fire at its deadline")
+	}
+	if !c.Now().Equal(time.Unix(1005, 0)) {
+		t.Errorf("Now = %v", c.Now())
+	}
+}

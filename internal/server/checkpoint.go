@@ -4,12 +4,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
 	"time"
 
 	"repro/internal/discretize"
+	"repro/internal/faultinject"
 	"repro/internal/itemset"
 	"repro/internal/stream"
 )
@@ -20,16 +22,41 @@ import (
 // catalog and the sliding window itself. A server restored from a checkpoint
 // serves byte-identical /v1/rules to one that never restarted, and skips the
 // bootstrap entirely.
+//
+// Checkpoints are generational: each save rotates the previous newest file
+// to a .prev generation before publishing the new one, and each file wraps
+// its payload in a CRC-32C envelope. Startup tries the newest generation
+// first and falls back to the previous one when the newest fails its CRC or
+// parse gate — a half-written or bit-rotted file costs one checkpoint
+// interval of state, not a refused start. Only when no generation is
+// restorable does New error out.
 
 // checkpointVersion gates restores: a file written by an incompatible layout
-// is an error, never a silent partial restore.
-const checkpointVersion = 1
+// is an error, never a silent partial restore. Version 2 added the CRC
+// envelope and the WALApplied watermark.
+const checkpointVersion = 2
 
-// checkpointFileName is the state file inside Config.StateDir.
-const checkpointFileName = "serve-checkpoint.json"
+// checkpointFileName is the newest state file inside Config.StateDir;
+// checkpointPrevFileName keeps the generation before it as the fallback.
+const (
+	checkpointFileName     = "serve-checkpoint.json"
+	checkpointPrevFileName = "serve-checkpoint.prev.json"
+	checkpointTempFileName = ".serve-checkpoint.tmp"
+)
+
+// checkpointCRC is the same Castagnoli polynomial the WAL frames use.
+var checkpointCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// checkpointEnvelope is the on-disk wrapper: the CRC is computed over the
+// payload's exact bytes, so any torn write or flipped bit fails the gate
+// before a single field is trusted.
+type checkpointEnvelope struct {
+	Version int             `json:"version"`
+	CRC32C  uint32          `json:"crc32c"`
+	Payload json.RawMessage `json:"payload"`
+}
 
 type checkpointFile struct {
-	Version int       `json:"version"`
 	SavedAt time.Time `json:"saved_at"`
 	// Spec fingerprints the encoder configuration the state was fitted
 	// under. Restoring into a differently-shaped spec would mis-apply every
@@ -39,6 +66,10 @@ type checkpointFile struct {
 	// The restored server republishes the re-mined window under this seq so
 	// numbering continues instead of restarting at 1.
 	Seq int64 `json:"seq"`
+	// WALApplied is the WAL sequence number of the newest record whose
+	// effect is inside this checkpoint. Recovery replays the WAL strictly
+	// after it, so every record is applied exactly once across the restart.
+	WALApplied uint64 `json:"wal_applied"`
 	// Catalog is the interned item names in id order; Window holds the ring
 	// transactions oldest-first as catalog ids; Total the all-time observed
 	// count.
@@ -89,6 +120,10 @@ func (idx *specIndex) specFingerprint() []string {
 
 func checkpointPath(dir string) string {
 	return filepath.Join(dir, checkpointFileName)
+}
+
+func checkpointPrevPath(dir string) string {
+	return filepath.Join(dir, checkpointPrevFileName)
 }
 
 // exportState captures the encoder for a checkpoint. Owned by the mining
@@ -156,10 +191,13 @@ func (e *encoder) restoreState(st checkpointedEncoder) error {
 	return nil
 }
 
-// saveCheckpoint writes the full serving state to StateDir atomically:
-// marshal to a temp file in the same directory, fsync, then rename over the
-// previous checkpoint, so a crash mid-write never clobbers a good file.
-// Called only from the mining loop, which owns miner and enc.
+// saveCheckpoint writes the full serving state to StateDir atomically and
+// generationally: marshal into a CRC envelope, write+fsync a temp file in
+// the same directory, rotate the current newest file to the .prev
+// generation, then rename the temp file into place. A crash at any point
+// leaves at least one complete, CRC-valid generation on disk. Called only
+// from the mining loop, which owns miner and enc. All file operations go
+// through the faultinject seam so chaos tests can crash mid-sequence.
 func (s *Server) saveCheckpoint(miner *stream.Miner, enc *encoder) error {
 	window, total := miner.Export()
 	encState, err := enc.exportState()
@@ -171,30 +209,38 @@ func (s *Server) saveCheckpoint(miner *stream.Miner, enc *encoder) error {
 		seq = snap.Seq
 	}
 	cp := checkpointFile{
-		Version: checkpointVersion,
-		SavedAt: time.Now().UTC(),
-		Spec:    s.idx.specFingerprint(),
-		Seq:     seq,
-		Catalog: miner.Catalog().Export(),
-		Window:  make([][]itemset.Item, len(window)),
-		Total:   total,
-		Encoder: encState,
+		SavedAt:    time.Now().UTC(),
+		Spec:       s.idx.specFingerprint(),
+		Seq:        seq,
+		WALApplied: s.lastApplied.Load(),
+		Catalog:    miner.Catalog().Export(),
+		Window:     make([][]itemset.Item, len(window)),
+		Total:      total,
+		Encoder:    encState,
 	}
 	for i, txn := range window {
 		cp.Window[i] = txn
 	}
-	data, err := json.Marshal(cp)
+	payload, err := json.Marshal(cp)
 	if err != nil {
 		return fmt.Errorf("marshal checkpoint: %w", err)
 	}
-	if err := os.MkdirAll(s.cfg.StateDir, 0o755); err != nil {
+	data, err := json.Marshal(checkpointEnvelope{
+		Version: checkpointVersion,
+		CRC32C:  crc32.Checksum(payload, checkpointCRC),
+		Payload: payload,
+	})
+	if err != nil {
+		return fmt.Errorf("marshal checkpoint envelope: %w", err)
+	}
+	if err := s.fs.MkdirAll(s.cfg.StateDir, 0o755); err != nil {
 		return fmt.Errorf("create state dir: %w", err)
 	}
-	tmp, err := os.CreateTemp(s.cfg.StateDir, ".checkpoint-*")
+	tmpPath := filepath.Join(s.cfg.StateDir, checkpointTempFileName)
+	tmp, err := s.fs.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("create temp checkpoint: %w", err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return fmt.Errorf("write checkpoint: %w", err)
@@ -206,28 +252,69 @@ func (s *Server) saveCheckpoint(miner *stream.Miner, enc *encoder) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("close checkpoint: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), checkpointPath(s.cfg.StateDir)); err != nil {
+	// Rotate generations: the current newest becomes the fallback, then the
+	// temp file becomes the newest. If we crash between the two renames the
+	// .prev file still holds a complete checkpoint and startup falls back to
+	// it.
+	newest := checkpointPath(s.cfg.StateDir)
+	if err := s.fs.Rename(newest, checkpointPrevPath(s.cfg.StateDir)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("rotate checkpoint generation: %w", err)
+	}
+	if err := s.fs.Rename(tmpPath, newest); err != nil {
 		return fmt.Errorf("publish checkpoint: %w", err)
+	}
+	if err := s.fs.SyncDir(s.cfg.StateDir); err != nil {
+		return fmt.Errorf("sync state dir: %w", err)
 	}
 	return nil
 }
 
-// loadCheckpoint reads the state file under dir. A missing file is not an
-// error (nil, nil): the server simply starts cold.
-func loadCheckpoint(dir string) (*checkpointFile, error) {
-	data, err := os.ReadFile(checkpointPath(dir))
+// loadCheckpoints reads the checkpoint generations under dir, newest first,
+// returning every one that passes the envelope gate (version, CRC, parse)
+// plus the errors from the ones that did not. Missing files are not errors;
+// a dir with no generation at all returns (nil, nil) and the server starts
+// cold.
+func loadCheckpoints(fsys faultinject.FS, dir string) ([]*checkpointFile, []error) {
+	var (
+		out  []*checkpointFile
+		errs []error
+	)
+	for _, path := range []string{checkpointPath(dir), checkpointPrevPath(dir)} {
+		cp, err := loadCheckpointFile(fsys, path)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", filepath.Base(path), err))
+			continue
+		}
+		if cp != nil {
+			out = append(out, cp)
+		}
+	}
+	return out, errs
+}
+
+// loadCheckpointFile reads and gates one generation. A missing file returns
+// (nil, nil).
+func loadCheckpointFile(fsys faultinject.FS, path string) (*checkpointFile, error) {
+	data, err := fsys.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, nil
 	}
 	if err != nil {
 		return nil, fmt.Errorf("read checkpoint: %w", err)
 	}
-	var cp checkpointFile
-	if err := json.Unmarshal(data, &cp); err != nil {
+	var env checkpointEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
 		return nil, fmt.Errorf("parse checkpoint: %w", err)
 	}
-	if cp.Version != checkpointVersion {
-		return nil, fmt.Errorf("checkpoint version %d, want %d", cp.Version, checkpointVersion)
+	if env.Version != checkpointVersion {
+		return nil, fmt.Errorf("checkpoint version %d, want %d", env.Version, checkpointVersion)
+	}
+	if got := crc32.Checksum(env.Payload, checkpointCRC); got != env.CRC32C {
+		return nil, fmt.Errorf("checkpoint CRC mismatch: file says %08x, payload hashes to %08x", env.CRC32C, got)
+	}
+	var cp checkpointFile
+	if err := json.Unmarshal(env.Payload, &cp); err != nil {
+		return nil, fmt.Errorf("parse checkpoint payload: %w", err)
 	}
 	return &cp, nil
 }

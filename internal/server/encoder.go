@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/dataset"
@@ -123,11 +124,17 @@ func (idx *specIndex) validate(ev Event) error {
 		if idx.skip[field] {
 			continue
 		}
-		switch v.(type) {
+		switch val := v.(type) {
 		case nil, string, bool:
 		case float64:
 			if _, ok := idx.numeric[field]; !ok {
 				return fmt.Errorf("numeric field %q has no binning spec (declare it under Numeric or Skip)", field)
+			}
+			// JSON cannot express NaN/Inf but CSV's ParseFloat can: a NaN
+			// would poison bin fitting and has no WAL frame encoding, so it
+			// is a per-line error, not an accepted record.
+			if math.IsNaN(val) || math.IsInf(val, 0) {
+				return fmt.Errorf("numeric field %q is not finite", field)
 			}
 		default:
 			return fmt.Errorf("field %q has unsupported type %T", field, v)

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -45,9 +46,21 @@ type ingestResult struct {
 	Accepted int         `json:"accepted"`
 	Rejected int         `json:"rejected"`
 	Errors   []lineError `json:"errors,omitempty"`
-	// Dropped flags a 429: the queue filled at this 1-based line and the
-	// rest of the body was not read. Re-send from here after backoff.
+	// Dropped flags a 429 or a WAL failure: ingest stopped at this 1-based
+	// line and the rest of the body was not read. Re-send from here after
+	// backoff.
 	DroppedAtLine int `json:"dropped_at_line,omitempty"`
+}
+
+// retryAfterSeconds derives the 429 Retry-After hint from the mining
+// cadence: by the next mine tick the loop will have drained at least one
+// batch, so that is the earliest a retry is worth making.
+func (s *Server) retryAfterSeconds() int {
+	secs := int(math.Ceil(s.cfg.MineInterval.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // handleIngest accepts NDJSON (default) or CSV (Content-Type text/csv) job
@@ -69,22 +82,57 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			res.Errors = append(res.Errors, lineError{Line: line, Error: err.Error()})
 		}
 	}
-	// enqueue returns false when the queue is full.
+	// enqueue returns false when ingest must stop (queue full or WAL
+	// failure); walFailed distinguishes the two for the status code.
+	walFailed := false
 	enqueue := func(line int, ev Event) bool {
 		if err := s.idx.validate(ev); err != nil {
 			reject(line, err)
 			return true
 		}
-		select {
-		case s.queue <- ev:
-			res.Accepted++
-			s.metrics.accepted.Add(1)
-			return true
-		default:
+		if s.wal == nil {
+			select {
+			case s.queue <- queued{ev: ev}:
+				res.Accepted++
+				s.metrics.accepted.Add(1)
+				return true
+			default:
+				s.metrics.throttled.Add(1)
+				res.DroppedAtLine = line
+				return false
+			}
+		}
+		// With a WAL, append-then-enqueue must be one atomic step so WAL
+		// order equals queue order (replay must reproduce exactly the
+		// stream the loop consumed). walMu serializes every sender; the
+		// capacity check runs before the append so a record that would be
+		// dropped is never logged, and guarantees the send below cannot
+		// block (only the loop drains the queue).
+		s.walMu.Lock()
+		if len(s.queue) >= cap(s.queue) {
+			s.walMu.Unlock()
 			s.metrics.throttled.Add(1)
 			res.DroppedAtLine = line
 			return false
 		}
+		payload, err := json.Marshal(ev)
+		var seq uint64
+		if err == nil {
+			seq, err = s.wal.Append(payload)
+		}
+		if err != nil {
+			s.walMu.Unlock()
+			s.metrics.walErrors.Add(1)
+			res.DroppedAtLine = line
+			walFailed = true
+			return false
+		}
+		s.queue <- queued{ev: ev, seq: seq}
+		s.walMu.Unlock()
+		s.metrics.walAppends.Add(1)
+		res.Accepted++
+		s.metrics.accepted.Add(1)
+		return true
 	}
 
 	full := false
@@ -97,8 +145,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case readErr != nil:
 		httpError(w, http.StatusBadRequest, "reading body: %v", readErr)
+	case walFailed:
+		// The record was rolled back out of the WAL, so it is not
+		// durable: tell the client to re-send from DroppedAtLine once the
+		// disk recovers.
+		writeJSON(w, http.StatusServiceUnavailable, res)
 	case full:
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeJSON(w, http.StatusTooManyRequests, res)
 	default:
 		writeJSON(w, http.StatusOK, res)
@@ -179,8 +232,11 @@ func (s *Server) ingestCSV(body io.Reader, enqueue func(int, Event) bool, reject
 // rulesResponse is the GET /v1/rules body. Without a keyword only Rules is
 // set; with one, the pruned cause/characteristic split is.
 type rulesResponse struct {
-	Seq            int64            `json:"seq"`
-	MinedAt        time.Time        `json:"mined_at"`
+	Seq     int64     `json:"seq"`
+	MinedAt time.Time `json:"mined_at"`
+	// Stale marks a snapshot republished after a mine panic or timeout:
+	// the rules are the last good set, older than the current window.
+	Stale          bool             `json:"stale,omitempty"`
 	WindowLen      int              `json:"window_len"`
 	Total          int              `json:"observed_total"`
 	RuleCount      int              `json:"rule_count"`
@@ -224,6 +280,7 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 	resp := rulesResponse{
 		Seq:       snap.Seq,
 		MinedAt:   snap.MinedAt,
+		Stale:     snap.Stale,
 		WindowLen: view.WindowLen,
 		Total:     view.Total,
 		RuleCount: len(view.Rules),
@@ -311,13 +368,20 @@ func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
 
 // handleHealth is the load-balancer probe. A draining server answers 503 —
 // not a body-level status a balancer never parses — so traffic moves away
-// the moment Stop begins instead of piling 503s onto /v1/jobs.
+// the moment Stop begins instead of piling 503s onto /v1/jobs. A degraded
+// server (last mine panicked or timed out) stays 200 — it is still serving
+// its last good snapshot — but says so in the body for operators and
+// alerting.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	draining := s.closed
 	s.mu.RUnlock()
 	status := http.StatusOK
 	body := map[string]any{"status": "ok", "snapshot_seq": int64(0)}
+	if code := s.metrics.degraded.Load(); code != degradedNone {
+		body["status"] = "degraded"
+		body["degraded_reason"] = degradeReasonString(code)
+	}
 	if draining {
 		status = http.StatusServiceUnavailable
 		body["status"] = "draining"
@@ -325,6 +389,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	if snap := s.snap.Load(); snap != nil {
 		body["snapshot_seq"] = snap.Seq
 		body["snapshot_age_s"] = time.Since(snap.MinedAt).Seconds()
+		if snap.Stale {
+			body["snapshot_stale"] = true
+		}
 	}
 	writeJSON(w, status, body)
 }

@@ -11,10 +11,20 @@
 // blocks on queries. Operators query pruned keyword rule tables
 // (/v1/rules), rule drift between consecutive snapshots (/v1/drift), and
 // plain-JSON counters (/metrics).
+//
+// Durability is layered: a checkpoint (internal/server/checkpoint.go)
+// makes restarts cheap, and a write-ahead log (internal/wal) makes them
+// lossless — every accepted event is framed into the WAL before it is
+// enqueued, and recovery replays the WAL tail on top of the restored
+// checkpoint. The mining loop is self-healing: a panicking mine is
+// recovered and counted, a hung mine is abandoned by a watchdog, and in
+// both cases the last good snapshot stays served (flagged stale) while
+// /healthz reports the degraded state until the next mine succeeds.
 package server
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"sync"
@@ -22,7 +32,9 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/stream"
+	"repro/internal/wal"
 )
 
 // Config sizes the service. The zero value of every threshold selects the
@@ -55,6 +67,11 @@ type Config struct {
 	// MineBatch re-mines eagerly after this many new jobs regardless of
 	// the interval; zero means 1000.
 	MineBatch int
+	// MineTimeout is the watchdog bound on one re-mine: a mine still
+	// running after this long is abandoned, the server enters degraded
+	// mode (stale snapshot, /healthz reports it), and the loop moves on.
+	// Zero disables the watchdog.
+	MineTimeout time.Duration
 	// QueueSize bounds the ingest queue; a full queue turns POSTs into
 	// 429 responses. Zero means 8192.
 	QueueSize int
@@ -67,12 +84,36 @@ type Config struct {
 	// counts, item catalog, window ring, snapshot seq) to an atomically
 	// replaced file there, and New restores from an existing file —
 	// skipping the bootstrap — so a restart serves the same rules an
-	// uninterrupted server would. Empty disables checkpointing.
+	// uninterrupted server would. The last two checkpoint generations are
+	// kept; a newest generation that fails its CRC or parse gate falls
+	// back to the previous one instead of refusing to start. Empty
+	// disables checkpointing.
 	StateDir string
 	// CheckpointEvery is the number of mines between checkpoints when
 	// StateDir is set; zero means 1 (checkpoint after every mine). A final
 	// checkpoint is always written at drain.
 	CheckpointEvery int
+	// WALDir, when set, adds a write-ahead log under it: accepted events
+	// are framed and (per Fsync) synced before they are enqueued, and on
+	// restart the WAL tail is replayed on top of the checkpoint, so a
+	// kill -9 loses nothing acknowledged. Empty disables the WAL.
+	WALDir string
+	// Fsync is the WAL durability policy: "always" (sync inside every
+	// append — zero acknowledged-record loss), "interval" (background
+	// cadence, the default), or "never".
+	Fsync string
+	// FsyncInterval is the cadence under "interval"; zero means 100ms.
+	FsyncInterval time.Duration
+	// WALSegmentBytes sizes WAL segments; zero means 8 MiB.
+	WALSegmentBytes int64
+	// WALStrict makes a mid-log CRC mismatch fail startup instead of
+	// skipping the damaged frame.
+	WALStrict bool
+	// FS is the filesystem seam for the WAL and checkpoints; nil means
+	// the real filesystem. Chaos tests inject failures through it.
+	FS faultinject.FS
+	// Clock drives the mine watchdog; nil means the wall clock.
+	Clock faultinject.Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +153,12 @@ func (c Config) withDefaults() Config {
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = 1
 	}
+	if c.FS == nil {
+		c.FS = faultinject.OS()
+	}
+	if c.Clock == nil {
+		c.Clock = faultinject.RealClock()
+	}
 	return c
 }
 
@@ -127,21 +174,73 @@ type Snapshot struct {
 	View *stream.View
 	// Delta is the structural diff against the previous snapshot.
 	Delta stream.Delta
+	// Stale marks a republished snapshot: the mine that should have
+	// replaced it panicked or timed out, so this data is older than the
+	// window it claims to describe.
+	Stale bool
 }
+
+// queued is one accepted event in flight to the mining loop, tagged with
+// its WAL sequence number (0 when the WAL is disabled). The WAL append and
+// the channel send happen under one lock, so queue order is WAL order and
+// replay reproduces exactly the stream the loop would have consumed.
+type queued struct {
+	ev  Event
+	seq uint64
+}
+
+// degradeReason codes for the degraded gauge; 0 is healthy.
+const (
+	degradedNone int32 = iota
+	degradedMinePanic
+	degradedMineTimeout
+)
+
+func degradeReasonString(code int32) string {
+	switch code {
+	case degradedMinePanic:
+		return "mine_panic"
+	case degradedMineTimeout:
+		return "mine_timeout"
+	default:
+		return ""
+	}
+}
+
+// mineHook, when set, runs inside the mining goroutine before the real
+// mine — the injection seam the self-healing tests use to simulate a
+// panicking or hung miner. Always nil in production.
+var mineHook atomic.Pointer[func()]
 
 // Server is the rule-mining daemon. Create with New, mount Handler on an
 // http.Server, and Stop to drain and flush the final snapshot.
 type Server struct {
-	cfg Config
-	idx *specIndex
+	cfg   Config
+	idx   *specIndex
+	fs    faultinject.FS
+	clock faultinject.Clock
 
-	queue chan Event
+	queue chan queued
 	// mu guards closed against the queue close: ingest handlers send
 	// under RLock after checking closed, Stop flips closed under Lock
 	// before closing the channel, so a send can never race the close.
 	mu     sync.RWMutex
 	closed bool
 	done   chan struct{}
+	// abort short-circuits the loop without the drain mine or final
+	// checkpoint — the in-process stand-in for kill -9 the chaos tests
+	// pull.
+	abort     chan struct{}
+	abortOnce sync.Once
+
+	// wal is non-nil when Config.WALDir is set. walMu serializes the
+	// append+enqueue pair so WAL order always equals queue order.
+	wal   *wal.WAL
+	walMu sync.Mutex
+	// lastApplied is the WAL seq of the newest record whose effect is in
+	// the loop's state — written by the loop (and by replay before the
+	// loop starts), read by checkpointing and /metrics.
+	lastApplied atomic.Uint64
 
 	snap    atomic.Pointer[Snapshot]
 	metrics metrics
@@ -153,22 +252,34 @@ type Server struct {
 	// under its old seq instead of restarting at 1. Written once before the
 	// loop starts, read only by the loop.
 	seqBase int64
+	// replayed counts WAL records applied during recovery; when non-zero
+	// the loop mines immediately so queries reflect them from the first
+	// request.
+	replayed int
 }
 
 // New starts the mining loop and returns the server. When Config.StateDir
 // holds a checkpoint written by a previous instance, the fitted state and
 // sliding window are restored from it — no re-bootstrap — and an error is
-// returned if the file is unreadable or was written under a different spec.
+// returned if no generation is readable or the file was written under a
+// different spec. When Config.WALDir holds a log, its tail (records newer
+// than the checkpoint) is replayed before the first mine.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if cfg.WindowSize < 1 {
 		return nil, fmt.Errorf("server: window size %d", cfg.WindowSize)
 	}
+	if _, err := wal.ParseSyncPolicy(cfg.Fsync); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
 	s := &Server{
 		cfg:     cfg,
 		idx:     newSpecIndex(cfg.Spec),
-		queue:   make(chan Event, cfg.QueueSize),
+		fs:      cfg.FS,
+		clock:   cfg.Clock,
+		queue:   make(chan queued, cfg.QueueSize),
 		done:    make(chan struct{}),
+		abort:   make(chan struct{}),
 		started: time.Now(),
 	}
 	s.mux = http.NewServeMux()
@@ -178,28 +289,103 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	enc := newEncoder(s.idx, cfg.Bootstrap, cfg.MaxPrevalence, cfg.KeepItems)
-	var miner *stream.Miner
-	if cfg.StateDir != "" {
-		cp, err := loadCheckpoint(cfg.StateDir)
-		if err != nil {
-			return nil, fmt.Errorf("server: %w", err)
-		}
-		if cp != nil {
-			miner, s.seqBase, err = s.restore(cp, enc)
-			if err != nil {
-				return nil, fmt.Errorf("server: restore checkpoint: %w", err)
-			}
-			s.metrics.restored.Store(1)
-		}
+	miner, err := s.restoreDurableState(&enc)
+	if err != nil {
+		return nil, err
 	}
 	if miner == nil {
-		var err error
 		if miner, err = stream.New(nil, s.streamConfig()); err != nil {
 			return nil, err
 		}
 	}
+	if err := s.openWALAndReplay(miner, enc); err != nil {
+		return nil, err
+	}
 	go s.loop(miner, enc)
 	return s, nil
+}
+
+// restoreDurableState loads the newest restorable checkpoint generation.
+// It returns a nil miner (cold start) when StateDir is unset or holds no
+// checkpoint. The encoder is recreated per attempt because a failed
+// restore can leave it partially hydrated.
+func (s *Server) restoreDurableState(enc **encoder) (*stream.Miner, error) {
+	if s.cfg.StateDir == "" {
+		return nil, nil
+	}
+	cands, loadErrs := loadCheckpoints(s.fs, s.cfg.StateDir)
+	var restoreErrs []error
+	for i, cp := range cands {
+		attempt := newEncoder(s.idx, s.cfg.Bootstrap, s.cfg.MaxPrevalence, s.cfg.KeepItems)
+		miner, seq, err := s.restore(cp, attempt)
+		if err != nil {
+			restoreErrs = append(restoreErrs, err)
+			continue
+		}
+		if i > 0 || len(loadErrs) > 0 {
+			// The newest generation was unreadable or unrestorable and an
+			// older one carried the day: visible, but not fatal.
+			s.metrics.checkpointFallbacks.Add(1)
+		}
+		*enc = attempt
+		s.seqBase = seq
+		s.lastApplied.Store(cp.WALApplied)
+		s.metrics.restored.Store(1)
+		return miner, nil
+	}
+	allErrs := append(loadErrs, restoreErrs...)
+	if len(allErrs) > 0 {
+		return nil, fmt.Errorf("server: no checkpoint generation restorable: %w", allErrs[0])
+	}
+	return nil, nil // no checkpoint at all: cold start
+}
+
+// openWALAndReplay opens the write-ahead log and replays every record the
+// checkpoint does not cover, bringing encoder and miner to the exact state
+// an uninterrupted process would hold.
+func (s *Server) openWALAndReplay(miner *stream.Miner, enc *encoder) error {
+	if s.cfg.WALDir == "" {
+		return nil
+	}
+	policy, _ := wal.ParseSyncPolicy(s.cfg.Fsync)
+	w, err := wal.Open(wal.Options{
+		Dir:          s.cfg.WALDir,
+		Sync:         policy,
+		SyncInterval: s.cfg.FsyncInterval,
+		SegmentBytes: s.cfg.WALSegmentBytes,
+		Strict:       s.cfg.WALStrict,
+		FS:           s.fs,
+		Clock:        s.clock,
+	})
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	s.wal = w
+	s.metrics.walCorruptFrames.Store(w.CorruptFrames())
+	from := s.lastApplied.Load() + 1
+	err = w.Replay(from, func(seq uint64, payload []byte) error {
+		var ev Event
+		if jsonErr := json.Unmarshal(payload, &ev); jsonErr != nil {
+			// The frame passed its CRC but does not decode: count it like
+			// a corrupt frame and keep going — one bad record must not
+			// undo the rest of the recovery.
+			s.metrics.walCorruptFrames.Add(1)
+			s.lastApplied.Store(seq)
+			return nil
+		}
+		for _, items := range s.encodeGuarded(enc, ev) {
+			miner.ObserveNames(items...)
+		}
+		s.lastApplied.Store(seq)
+		s.replayed++
+		return nil
+	})
+	if err != nil {
+		w.Close()
+		return fmt.Errorf("server: replay WAL: %w", err)
+	}
+	s.metrics.walReplayed.Store(int64(s.replayed))
+	return nil
 }
 
 func (s *Server) streamConfig() stream.Config {
@@ -218,6 +404,12 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Snapshot returns the latest published snapshot, or nil before the first
 // mine completes.
 func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// LastAppliedSeq returns the WAL sequence number of the newest record
+// incorporated into the mining state — the position a client should resume
+// sending from after a crash (everything at or below it is durable and
+// will not be lost; everything above it was never acknowledged).
+func (s *Server) LastAppliedSeq() uint64 { return s.lastApplied.Load() }
 
 // Stop drains the ingest queue, mines one final snapshot from whatever
 // arrived, and shuts the loop down. Ingest requests after Stop receive
@@ -239,16 +431,57 @@ func (s *Server) Stop(ctx context.Context) error {
 	}
 }
 
+// kill stops the loop without the drain mine or the final checkpoint — the
+// closest an in-process test can get to kill -9. The WAL and checkpoint
+// files are left exactly as the crash found them.
+func (s *Server) kill() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.abortOnce.Do(func() { close(s.abort) })
+	<-s.done
+}
+
+// encodeGuarded runs one event through the encoder with a recover fence:
+// a poison event that panics the encode is dropped and counted instead of
+// taking the whole daemon down.
+func (s *Server) encodeGuarded(enc *encoder, ev Event) (txns [][]string) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.encodePanics.Add(1)
+			s.metrics.encodeErrors.Add(1)
+			txns = nil
+		}
+	}()
+	return enc.add(ev)
+}
+
+// flushGuarded is encodeGuarded for the flush path.
+func (s *Server) flushGuarded(enc *encoder) (txns [][]string) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.encodePanics.Add(1)
+			txns = nil
+		}
+	}()
+	return enc.flush()
+}
+
 // loop is the single writer: it alone touches the miner, the encoder and
 // the item catalog, which is what makes the un-synchronized stream.Miner
 // race-free under concurrent ingest and query load.
 func (s *Server) loop(miner *stream.Miner, enc *encoder) {
 	defer close(s.done)
-	if s.seqBase > 0 {
-		// Restored from a checkpoint that had published snapshots: re-mine
-		// the restored window immediately so queries work from the first
-		// request, under the seq the checkpoint recorded (the window is
-		// identical, so the rules are too).
+	defer func() {
+		if s.wal != nil {
+			_ = s.wal.Close()
+		}
+	}()
+	if s.seqBase > 0 || s.replayed > 0 {
+		// Restored from a checkpoint and/or replayed a WAL tail: mine the
+		// recovered window immediately so queries work from the first
+		// request. With no replayed records the window is identical to the
+		// checkpointed one, so the republished rules are too.
 		s.mine(miner)
 	}
 	ticker := time.NewTicker(s.cfg.MineInterval)
@@ -270,6 +503,14 @@ func (s *Server) loop(miner *stream.Miner, enc *encoder) {
 			return
 		}
 		s.metrics.checkpoints.Add(1)
+		if s.wal != nil {
+			// Records at or below lastApplied are folded into the
+			// checkpoint now; whole segments below that line are dead
+			// weight.
+			if n, err := s.wal.TruncateBefore(s.lastApplied.Load() + 1); err == nil {
+				s.metrics.walSegmentsRemoved.Add(int64(n))
+			}
+		}
 	}
 	mine := func() {
 		s.mine(miner)
@@ -281,19 +522,24 @@ func (s *Server) loop(miner *stream.Miner, enc *encoder) {
 	}
 	for {
 		select {
-		case ev, ok := <-s.queue:
+		case <-s.abort:
+			return
+		case q, ok := <-s.queue:
 			if !ok {
 				// Queue closed and drained: flush any unfitted
 				// bootstrap backlog, publish the final snapshot, and
 				// always leave a fresh checkpoint behind.
-				observe(enc.flush())
+				observe(s.flushGuarded(enc))
 				if pending > 0 {
 					s.mine(miner)
 				}
 				checkpoint()
 				return
 			}
-			observe(enc.add(ev))
+			observe(s.encodeGuarded(enc, q.ev))
+			if q.seq > 0 {
+				s.lastApplied.Store(q.seq)
+			}
 			if pending >= s.cfg.MineBatch {
 				mine()
 			}
@@ -302,7 +548,7 @@ func (s *Server) loop(miner *stream.Miner, enc *encoder) {
 			// on whatever arrived so trickle workloads still get rules.
 			// After the bootstrap the flush fits late-arriving numeric
 			// fields from their buffered samples.
-			observe(enc.flush())
+			observe(s.flushGuarded(enc))
 			if pending > 0 {
 				mine()
 			}
@@ -310,10 +556,71 @@ func (s *Server) loop(miner *stream.Miner, enc *encoder) {
 	}
 }
 
-// mine re-mines the window and publishes the result.
+// mineOutcome carries a mine goroutine's result back across the watchdog.
+type mineOutcome struct {
+	view     *stream.View
+	panicked any
+}
+
+// mine re-mines the window and publishes the result. The heavy work runs
+// on a detached goroutine over an immutable PendingView, fenced two ways:
+// a recover() turns a panicking mine into a degraded tick instead of a
+// dead daemon, and (when MineTimeout is set) a watchdog abandons a mine
+// that hangs. In either failure the last good snapshot is republished with
+// its Stale flag up, so operators keep getting answers — clearly marked —
+// until the next batch mines cleanly.
 func (s *Server) mine(miner *stream.Miner) {
 	start := time.Now()
-	view := miner.View()
+	pv := miner.BeginView()
+	outcome := make(chan mineOutcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				outcome <- mineOutcome{panicked: r}
+			}
+		}()
+		if hook := mineHook.Load(); hook != nil {
+			(*hook)()
+		}
+		outcome <- mineOutcome{view: pv.Mine()}
+	}()
+	var timeout <-chan time.Time
+	if s.cfg.MineTimeout > 0 {
+		timeout = s.clock.After(s.cfg.MineTimeout)
+	}
+	select {
+	case out := <-outcome:
+		if out.panicked != nil {
+			s.metrics.minePanics.Add(1)
+			s.degrade(degradedMinePanic)
+			return
+		}
+		s.publish(out.view, time.Since(start))
+		s.metrics.degraded.Store(degradedNone)
+	case <-timeout:
+		// The goroutine is beyond recall; it holds only its PendingView
+		// (a private catalog clone plus immutable window sets), so the
+		// loop can keep observing and mine a fresh view next batch while
+		// this one finishes into the void.
+		s.metrics.mineTimeouts.Add(1)
+		s.degrade(degradedMineTimeout)
+	}
+}
+
+// degrade records the failure mode and republishes the last good snapshot
+// flagged stale, so readers can tell "current rules" from "best rules we
+// still have".
+func (s *Server) degrade(code int32) {
+	s.metrics.degraded.Store(code)
+	if prev := s.snap.Load(); prev != nil && !prev.Stale {
+		stale := *prev
+		stale.Stale = true
+		s.snap.Store(&stale)
+	}
+}
+
+// publish swaps in a freshly mined snapshot.
+func (s *Server) publish(view *stream.View, took time.Duration) {
 	prev := s.snap.Load()
 	var delta stream.Delta
 	// The first mine is seq 1 on a cold start; after a restore it
@@ -332,13 +639,13 @@ func (s *Server) mine(miner *stream.Miner) {
 	snap := &Snapshot{
 		Seq:          seq,
 		MinedAt:      time.Now(),
-		MineDuration: time.Since(start),
+		MineDuration: took,
 		View:         view,
 		Delta:        delta,
 	}
 	s.snap.Store(snap)
 	s.metrics.mineCount.Add(1)
-	s.metrics.lastMineNanos.Store(int64(snap.MineDuration))
+	s.metrics.lastMineNanos.Store(int64(took))
 }
 
 // PAISpec is the live-serving counterpart of core.PAIPipeline: the same

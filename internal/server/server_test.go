@@ -344,13 +344,35 @@ func TestIngestCSV(t *testing.T) {
 	}
 }
 
+// TestIngestRejectsNonFiniteNumbers: CSV smuggles NaN/±Inf through
+// ParseFloat where JSON cannot; such values would poison bin fitting and
+// cannot be framed into the WAL, so they must be per-line rejections.
+func TestIngestRejectsNonFiniteNumbers(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Spec:         Spec{Numeric: []NumericSpec{{Field: "util"}}},
+		MineInterval: time.Hour,
+	})
+	resp, err := http.Post(ts.URL+"/v1/jobs", "text/csv", strings.NewReader("util\nNaN\n+Inf\n-Inf\n5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res ingestResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if res.Accepted != 1 || res.Rejected != 3 {
+		t.Errorf("non-finite ingest = %+v", res)
+	}
+}
+
 // TestBackpressure drives handleIngest against a server whose loop is not
 // running, so the queue deterministically fills and the handler must 429.
 func TestBackpressure(t *testing.T) {
 	s := &Server{
 		cfg:   Config{}.withDefaults(),
 		idx:   newSpecIndex(Spec{}),
-		queue: make(chan Event, 2),
+		queue: make(chan queued, 2),
 		done:  make(chan struct{}),
 	}
 	body := "{\"a\":\"1\"}\n{\"a\":\"2\"}\n{\"a\":\"3\"}\n{\"a\":\"4\"}\n"
@@ -372,6 +394,38 @@ func TestBackpressure(t *testing.T) {
 	}
 	if s.metrics.throttled.Load() != 1 {
 		t.Errorf("throttled counter = %d", s.metrics.throttled.Load())
+	}
+}
+
+// TestBackpressureCSV: the CSV ingest path must carry the same 429
+// contract as NDJSON — Retry-After derived from the mine cadence, and
+// dropped_at_line pointing at the first unread row so a client can resume.
+func TestBackpressureCSV(t *testing.T) {
+	s := &Server{
+		cfg:   Config{MineInterval: 3 * time.Second}.withDefaults(),
+		idx:   newSpecIndex(Spec{}),
+		queue: make(chan queued, 2),
+		done:  make(chan struct{}),
+	}
+	body := "node\nn1\nn2\nn3\nn4\n"
+	req := httptest.NewRequest(http.MethodPost, "/v1/jobs", strings.NewReader(body))
+	req.Header.Set("Content-Type", "text/csv")
+	rec := httptest.NewRecorder()
+	s.handleIngest(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "3" {
+		t.Errorf("Retry-After = %q, want %q (ceil of the 3s mine interval)", got, "3")
+	}
+	var res ingestResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	// Header is line 1; rows n1,n2 (lines 2,3) fill the queue; n3 at line
+	// 4 is the first dropped row.
+	if res.Accepted != 2 || res.DroppedAtLine != 4 {
+		t.Errorf("CSV backpressure result = %+v", res)
 	}
 }
 

@@ -151,26 +151,33 @@ func (m *Miner) Total() int { return m.total }
 // Snapshot mines the current window and returns the rules above the lift
 // threshold, strongest first.
 func (m *Miner) Snapshot() []rules.Rule {
-	n := m.Len()
+	// Ring slots are canonical sets that Observe replaces rather than
+	// mutates, so the window database can alias them.
+	return mineWindow(m.cfg, m.catalog, m.ring[:m.Len()])
+}
+
+// mineWindow runs the FP-Growth → rule-generation pipeline over one
+// captured window. Shared by the in-place Snapshot and the detachable
+// PendingView so both mine byte-identically.
+func mineWindow(cfg Config, catalog *itemset.Catalog, window [][]itemset.Item) []rules.Rule {
+	n := len(window)
 	if n == 0 {
 		return nil
 	}
-	db := transaction.NewDB(m.catalog)
-	for i := 0; i < n; i++ {
-		// Ring slots are canonical sets that Observe replaces rather than
-		// mutates, so the window database can alias them.
-		db.AddCanonical(m.ring[i])
+	db := transaction.NewDB(catalog)
+	for _, txn := range window {
+		db.AddCanonical(txn)
 	}
-	minCount := int(math.Ceil(m.cfg.MinSupport * float64(n)))
+	minCount := int(math.Ceil(cfg.MinSupport * float64(n)))
 	if minCount < 1 {
 		minCount = 1
 	}
 	frequent := fpgrowth.Mine(db, fpgrowth.Options{
 		MinCount: minCount,
-		MaxLen:   m.cfg.MaxLen,
-		Workers:  m.cfg.Workers,
+		MaxLen:   cfg.MaxLen,
+		Workers:  cfg.Workers,
 	})
-	return rules.Generate(frequent, n, rules.Options{MinLift: m.cfg.MinLift, Workers: m.cfg.Workers})
+	return rules.Generate(frequent, n, rules.Options{MinLift: cfg.MinLift, Workers: cfg.Workers})
 }
 
 // View is an immutable snapshot of the miner, safe to hand to concurrent
@@ -191,11 +198,47 @@ type View struct {
 // catalog clone. This is the hand-off point between the single-writer
 // mining loop and lock-free readers.
 func (m *Miner) View() *View {
+	return m.BeginView().Mine()
+}
+
+// PendingView is a window captured for mining away from the miner's owner
+// goroutine. BeginView is cheap (slice-header copies plus a catalog
+// clone); Mine does the heavy work and touches nothing the miner mutates
+// afterwards — the ring slots it holds are canonical sets that Observe
+// replaces rather than edits, and the catalog is a private clone. This is
+// what lets the serving loop put a watchdog around mining: a hung or
+// panicking Mine strands only its PendingView, never the miner, so the
+// loop keeps observing and simply begins a fresh view for the next batch.
+type PendingView struct {
+	cfg     Config
+	catalog *itemset.Catalog
+	window  [][]itemset.Item
+	total   int
+}
+
+// BeginView captures the current window. Must be called from the miner's
+// owner goroutine, like every other Miner method.
+func (m *Miner) BeginView() *PendingView {
+	n := m.Len()
+	window := make([][]itemset.Item, n)
+	copy(window, m.ring[:n])
+	return &PendingView{
+		cfg:     m.cfg,
+		catalog: m.catalog.Clone(),
+		window:  window,
+		total:   m.total,
+	}
+}
+
+// Mine runs the capture to completion. Safe to call on any goroutine; the
+// result is identical to what Miner.View would have returned at capture
+// time.
+func (pv *PendingView) Mine() *View {
 	return &View{
-		Rules:     m.Snapshot(),
-		Catalog:   m.catalog.Clone(),
-		WindowLen: m.Len(),
-		Total:     m.total,
+		Rules:     mineWindow(pv.cfg, pv.catalog, pv.window),
+		Catalog:   pv.catalog,
+		WindowLen: len(pv.window),
+		Total:     pv.total,
 	}
 }
 
