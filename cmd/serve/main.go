@@ -43,6 +43,18 @@
 // -spike subsets get their special bins), -tier columns are
 // activity-tiered, -bool columns parse as booleans in CSV bodies, and
 // -skip columns are ignored.
+//
+// With -shards N (N > 1) the daemon becomes an in-process sharded
+// multi-tenant deployment: events route to one of N independent shard
+// miners by FNV-hashing the -tenant-field value (records without the field
+// go to the reserved "default" tenant), each shard keeps its own window,
+// encoder state and shard-<i> checkpoint/WAL subdirectories, and
+// -tenant-quota caps accepted events per tenant per -quota-window. GET
+// /v1/rules then serves the SON-merged global view — provably equal to
+// mining the union window — and GET /v1/tenants/{id}/rules serves one
+// tenant's shard view. /healthz and /metrics aggregate across shards;
+// /metrics?format=prometheus emits per-tenant and per-shard counters in
+// scrape format.
 package main
 
 import (
@@ -58,6 +70,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -87,6 +100,10 @@ func main() {
 	tiers := flag.String("tier", "", "generic spec: fields to activity-tier")
 	bools := flag.String("bool", "", "generic spec: fields parsed as booleans in CSV bodies")
 	skips := flag.String("skip", "job_id,submit_s", "fields excluded from encoding")
+	shards := flag.Int("shards", 1, "shard miner count; >1 serves a sharded multi-tenant deployment")
+	tenantField := flag.String("tenant-field", "tenant", "event field carrying the tenant key in sharded mode")
+	tenantQuota := flag.Int("tenant-quota", 0, "max accepted events per tenant per -quota-window; 0 disables quotas")
+	quotaWindow := flag.Duration("quota-window", time.Minute, "tenant quota accounting window")
 	flag.Parse()
 
 	cfg, err := buildConfig(options{
@@ -104,7 +121,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
-	if err := run(*addr, cfg); err != nil {
+	// Any multi-tenant knob selects cluster mode: quotas need the tenant
+	// router even with a single shard behind it.
+	if *shards > 1 || *tenantQuota > 0 {
+		err = runCluster(*addr, shard.Config{
+			Shards:      *shards,
+			TenantField: *tenantField,
+			QuotaLimit:  *tenantQuota,
+			QuotaWindow: *quotaWindow,
+			Shard:       cfg,
+		})
+	} else {
+		err = run(*addr, cfg)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
@@ -196,6 +226,54 @@ func splitList(s string) []string {
 		}
 	}
 	return out
+}
+
+// runCluster is run for sharded mode: same listen/drain lifecycle, with the
+// cluster fanning the shutdown out to every shard miner.
+func runCluster(addr string, ccfg shard.Config) error {
+	c, err := shard.New(ccfg)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: c.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+	fmt.Printf("serve: listening on %s (%d shards, tenant field %q)\n", addr, c.Shards(), ccfg.TenantField)
+	if ccfg.QuotaLimit > 0 {
+		fmt.Printf("serve: tenant quota %d events per %s\n", ccfg.QuotaLimit, ccfg.QuotaWindow)
+	}
+	if ccfg.Shard.StateDir != "" {
+		fmt.Printf("serve: durable per-shard state under %s\n", ccfg.Shard.StateDir)
+	}
+	if ccfg.Shard.WALDir != "" {
+		fmt.Printf("serve: per-shard write-ahead logs under %s (fsync=%s)\n", ccfg.Shard.WALDir, ccfg.Shard.Fsync)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("serve: shutting down, draining every shard")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := c.Stop(shutdownCtx); err != nil {
+		return err
+	}
+	if snap, _ := c.Merged(); snap != nil {
+		fmt.Printf("serve: final merged snapshot seq=%d rules=%d window=%d observed=%d\n",
+			snap.Seq, len(snap.View.Rules), snap.View.WindowLen, snap.View.Total)
+	}
+	return nil
 }
 
 func run(addr string, cfg server.Config) error {

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/shard"
 )
 
 // TestMain doubles as the child process for the SIGTERM test: when
@@ -410,5 +412,93 @@ func TestKeepItemSurvivesPrevalenceDrop(t *testing.T) {
 		if mentionsFailed(r) && r["support"].(float64) >= 0.3 {
 			t.Errorf("without -keep, high-support rule still mentions status=failed: %v", r)
 		}
+	}
+}
+
+// TestClusterWiring drives the sharded mode end to end through the same
+// config path main uses: tenant-keyed ingest over HTTP, merged and
+// per-tenant rule views, and the prometheus scrape surface.
+func TestClusterWiring(t *testing.T) {
+	o := baseOptions()
+	o.spec = "generic"
+	o.bootstrap = 1
+	o.mineInterval = time.Hour // only the drain mine publishes
+	o.mineBatch = 1 << 20
+	cfg, err := buildConfig(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MaxPrevalence = 1
+	c, err := shard.New(shard.Config{Shards: 3, Shard: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	var body bytes.Buffer
+	for i := 0; i < 60; i++ {
+		line, _ := json.Marshal(map[string]any{
+			"tenant": fmt.Sprintf("t%d", i%5),
+			"status": "ok",
+			"color":  []string{"red", "blue"}[i%2],
+		})
+		body.Write(line)
+		body.WriteByte('\n')
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/x-ndjson", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status = %d", resp.StatusCode)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merged struct {
+		Shards    int `json:"shards"`
+		WindowLen int `json:"window_len"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&merged); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || merged.Shards != 3 || merged.WindowLen != 60 {
+		t.Fatalf("merged rules: status %d body %+v", resp.StatusCode, merged)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/tenants/t0/rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tenant struct {
+		Tenant string `json:"tenant"`
+		Shard  *int   `json:"shard"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tenant); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if tenant.Tenant != "t0" || tenant.Shard == nil {
+		t.Fatalf("tenant view: %+v", tenant)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrape, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(scrape), "armine_cluster_shards 3") {
+		t.Fatalf("scrape output missing shard gauge:\n%s", scrape)
 	}
 }

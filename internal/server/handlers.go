@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -68,12 +69,6 @@ func (s *Server) retryAfterSeconds() int {
 // mining loop. A full queue stops the read and returns 429 so the client
 // carries the backpressure, not an unbounded buffer.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
-		httpError(w, http.StatusServiceUnavailable, "server is draining")
-		return
-	}
 	var res ingestResult
 	reject := func(line int, err error) {
 		res.Rejected++
@@ -82,75 +77,35 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			res.Errors = append(res.Errors, lineError{Line: line, Error: err.Error()})
 		}
 	}
-	// enqueue returns false when ingest must stop (queue full or WAL
-	// failure); walFailed distinguishes the two for the status code.
-	walFailed := false
-	enqueue := func(line int, ev Event) bool {
+	// emit returns false when ingest must stop (queue full, drain begun,
+	// or WAL failure); the sentinel distinguishes them for the status code.
+	var stopErr error
+	emit := func(line int, ev Event) bool {
 		if err := s.idx.validate(ev); err != nil {
 			reject(line, err)
 			return true
 		}
-		if s.wal == nil {
-			select {
-			case s.queue <- queued{ev: ev}:
-				res.Accepted++
-				s.metrics.accepted.Add(1)
-				return true
-			default:
-				s.metrics.throttled.Add(1)
-				res.DroppedAtLine = line
-				return false
-			}
-		}
-		// With a WAL, append-then-enqueue must be one atomic step so WAL
-		// order equals queue order (replay must reproduce exactly the
-		// stream the loop consumed). walMu serializes every sender; the
-		// capacity check runs before the append so a record that would be
-		// dropped is never logged, and guarantees the send below cannot
-		// block (only the loop drains the queue).
-		s.walMu.Lock()
-		if len(s.queue) >= cap(s.queue) {
-			s.walMu.Unlock()
-			s.metrics.throttled.Add(1)
+		if err := s.Enqueue(ev); err != nil {
 			res.DroppedAtLine = line
+			stopErr = err
 			return false
 		}
-		payload, err := json.Marshal(ev)
-		var seq uint64
-		if err == nil {
-			seq, err = s.wal.Append(payload)
-		}
-		if err != nil {
-			s.walMu.Unlock()
-			s.metrics.walErrors.Add(1)
-			res.DroppedAtLine = line
-			walFailed = true
-			return false
-		}
-		s.queue <- queued{ev: ev, seq: seq}
-		s.walMu.Unlock()
-		s.metrics.walAppends.Add(1)
 		res.Accepted++
-		s.metrics.accepted.Add(1)
 		return true
 	}
 
-	full := false
-	var readErr error
-	if strings.HasPrefix(r.Header.Get("Content-Type"), "text/csv") {
-		full, readErr = s.ingestCSV(r.Body, enqueue, reject)
-	} else {
-		full, readErr = s.ingestNDJSON(r.Body, enqueue, reject)
-	}
+	_, readErr := decodeBody(s.idx, r.Header.Get("Content-Type"), r.Body, emit, reject)
 	switch {
 	case readErr != nil:
 		httpError(w, http.StatusBadRequest, "reading body: %v", readErr)
-	case walFailed:
+	case errors.Is(stopErr, ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+	case errors.Is(stopErr, ErrWAL):
 		// The record was rolled back out of the WAL, so it is not
 		// durable: tell the client to re-send from DroppedAtLine once the
 		// disk recovers.
 		writeJSON(w, http.StatusServiceUnavailable, res)
-	case full:
+	case errors.Is(stopErr, ErrQueueFull):
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeJSON(w, http.StatusTooManyRequests, res)
 	default:
@@ -158,7 +113,36 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) ingestNDJSON(body io.Reader, enqueue func(int, Event) bool, reject func(int, error)) (full bool, err error) {
+// Decoder parses ingest bodies (NDJSON or CSV) into Events under a Spec,
+// applying the same per-field typing the serving handlers use: declared
+// numeric columns parse as floats, declared bool columns as booleans,
+// everything else as strings. It lets a front tier (the shard router)
+// decode and validate once before fanning events out to shard servers.
+type Decoder struct{ idx *specIndex }
+
+// NewDecoder builds a Decoder for spec.
+func NewDecoder(spec Spec) *Decoder { return &Decoder{idx: newSpecIndex(spec)} }
+
+// Validate rejects events the encoder could not handle (undeclared or
+// non-finite numerics, unsupported types).
+func (d *Decoder) Validate(ev Event) error { return d.idx.validate(ev) }
+
+// Decode scans one request body. For every parsed event it calls
+// emit(line, ev); emit returning false stops the scan (stopped=true). Lines
+// that fail to parse go to reject and the scan continues. The returned
+// error reports an unreadable body, not line-level damage.
+func (d *Decoder) Decode(contentType string, body io.Reader, emit func(line int, ev Event) bool, reject func(line int, err error)) (stopped bool, err error) {
+	return decodeBody(d.idx, contentType, body, emit, reject)
+}
+
+func decodeBody(idx *specIndex, contentType string, body io.Reader, emit func(int, Event) bool, reject func(int, error)) (stopped bool, err error) {
+	if strings.HasPrefix(contentType, "text/csv") {
+		return decodeCSV(idx, body, emit, reject)
+	}
+	return decodeNDJSON(body, emit, reject)
+}
+
+func decodeNDJSON(body io.Reader, emit func(int, Event) bool, reject func(int, error)) (stopped bool, err error) {
 	sc := bufio.NewScanner(body)
 	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
 	line := 0
@@ -173,14 +157,14 @@ func (s *Server) ingestNDJSON(body io.Reader, enqueue func(int, Event) bool, rej
 			reject(line, fmt.Errorf("invalid JSON: %v", err))
 			continue
 		}
-		if !enqueue(line, ev) {
+		if !emit(line, ev) {
 			return true, nil
 		}
 	}
 	return false, sc.Err()
 }
 
-func (s *Server) ingestCSV(body io.Reader, enqueue func(int, Event) bool, reject func(int, error)) (full bool, err error) {
+func decodeCSV(idx *specIndex, body io.Reader, emit func(int, Event) bool, reject func(int, error)) (stopped bool, err error) {
 	cr := csv.NewReader(body)
 	cr.ReuseRecord = true
 	header, err := cr.Read()
@@ -206,7 +190,7 @@ func (s *Server) ingestCSV(body io.Reader, enqueue func(int, Event) bool, reject
 				continue
 			}
 			raw := rec[i]
-			if _, isNum := s.idx.numeric[field]; isNum {
+			if _, isNum := idx.numeric[field]; isNum {
 				v, perr := strconv.ParseFloat(raw, 64)
 				if perr != nil {
 					reject(line, fmt.Errorf("field %q: %v", field, perr))
@@ -214,7 +198,7 @@ func (s *Server) ingestCSV(body io.Reader, enqueue func(int, Event) bool, reject
 					break
 				}
 				ev[field] = v
-			} else if s.idx.boolCSV[field] {
+			} else if idx.boolCSV[field] {
 				ev[field] = raw == "true"
 			} else {
 				ev[field] = raw
@@ -223,7 +207,7 @@ func (s *Server) ingestCSV(body io.Reader, enqueue func(int, Event) bool, reject
 		if bad {
 			continue
 		}
-		if !enqueue(line, ev) {
+		if !emit(line, ev) {
 			return true, nil
 		}
 	}
@@ -236,10 +220,16 @@ type rulesResponse struct {
 	MinedAt time.Time `json:"mined_at"`
 	// Stale marks a snapshot republished after a mine panic or timeout:
 	// the rules are the last good set, older than the current window.
-	Stale          bool             `json:"stale,omitempty"`
-	WindowLen      int              `json:"window_len"`
-	Total          int              `json:"observed_total"`
-	RuleCount      int              `json:"rule_count"`
+	Stale     bool `json:"stale,omitempty"`
+	WindowLen int  `json:"window_len"`
+	Total     int  `json:"observed_total"`
+	RuleCount int  `json:"rule_count"`
+	// Tenant, Shard and Shards annotate sharded deployments: a per-tenant
+	// view names its tenant and the shard serving it; a merged view
+	// reports how many shards contributed.
+	Tenant         string           `json:"tenant,omitempty"`
+	Shard          *int             `json:"shard,omitempty"`
+	Shards         int              `json:"shards,omitempty"`
 	Keyword        string           `json:"keyword,omitempty"`
 	Rules          []rules.RuleJSON `json:"rules,omitempty"`
 	Cause          []rules.RuleJSON `json:"cause,omitempty"`
@@ -258,9 +248,86 @@ type pruneStatsJSON struct {
 // characteristic tables — computed on the immutable snapshot, never on the
 // live miner.
 func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
-	snap := s.snap.Load()
+	WriteRules(w, r, s.snap.Load(), RulesParams{
+		CLift: s.cfg.CLift,
+		CSupp: s.cfg.CSupp,
+		Shard: -1,
+	})
+}
+
+// RulesParams configures WriteRules for the three serving shapes: a plain
+// single-miner view (zero value plus Shard -1), a per-tenant shard view
+// (Tenant + Shard set), and a merged multi-shard view (Shards set, ETag
+// carrying the shard-set hash).
+type RulesParams struct {
+	// CLift and CSupp are the pruning slack parameters for ?keyword=
+	// analyses; zero means the paper's 1.5.
+	CLift, CSupp float64
+	// ETag overrides the validator sent on the response. Empty derives the
+	// default `"<seq>"` (`"<seq>-stale"` for stale snapshots) from the
+	// snapshot, so cached responses revalidate across the mine cadence.
+	ETag string
+	// Tenant annotates a per-tenant view.
+	Tenant string
+	// Shard is the serving shard's index; -1 omits it.
+	Shard int
+	// Shards is the contributing shard count of a merged view; 0 omits it.
+	Shards int
+}
+
+// SnapshotETag is the default cache validator for a snapshot: keyed on the
+// publish seq, with a -stale marker so a degraded republish (same seq, stale
+// flag up) never revalidates against the healthy response.
+func SnapshotETag(snap *Snapshot) string {
+	if snap.Stale {
+		return fmt.Sprintf("\"%d-stale\"", snap.Seq)
+	}
+	return fmt.Sprintf("\"%d\"", snap.Seq)
+}
+
+// etagMatches implements weak If-None-Match comparison over a comma-
+// separated validator list, per RFC 9110 §13.1.2.
+func etagMatches(header, etag string) bool {
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	strip := func(v string) string {
+		v = strings.TrimSpace(v)
+		return strings.TrimPrefix(v, "W/")
+	}
+	want := strip(etag)
+	for _, cand := range strings.Split(header, ",") {
+		if strip(cand) == want {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteRules renders snap as a /v1/rules response — the shared read path of
+// the single-miner server, the per-tenant shard views, and the merged
+// multi-shard view. A nil snap answers 503 (nothing mined yet). The
+// response carries an ETag keyed on the snapshot seq; a request whose
+// If-None-Match matches is answered 304 with no body, so clients and LBs
+// cache rule tables across the mine cadence and revalidate for free.
+func WriteRules(w http.ResponseWriter, r *http.Request, snap *Snapshot, p RulesParams) {
 	if snap == nil {
 		httpError(w, http.StatusServiceUnavailable, "no snapshot mined yet; ingest jobs and retry")
+		return
+	}
+	if p.CLift == 0 {
+		p.CLift = 1.5
+	}
+	if p.CSupp == 0 {
+		p.CSupp = 1.5
+	}
+	etag := p.ETag
+	if etag == "" {
+		etag = SnapshotETag(snap)
+	}
+	w.Header().Set("ETag", etag)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+		w.WriteHeader(http.StatusNotModified)
 		return
 	}
 	q := r.URL.Query()
@@ -284,6 +351,12 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 		WindowLen: view.WindowLen,
 		Total:     view.Total,
 		RuleCount: len(view.Rules),
+		Tenant:    p.Tenant,
+		Shards:    p.Shards,
+	}
+	if p.Shard >= 0 {
+		shard := p.Shard
+		resp.Shard = &shard
 	}
 	keyword := q.Get("keyword")
 	if keyword == "" {
@@ -310,7 +383,7 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 	kept := relevant
 	if prune {
 		var stats pruning.Stats
-		kept, stats = pruning.Prune(relevant, item, pruning.Options{CLift: s.cfg.CLift, CSupp: s.cfg.CSupp})
+		kept, stats = pruning.Prune(relevant, item, pruning.Options{CLift: p.CLift, CSupp: p.CSupp})
 		resp.PruneStats = &pruneStatsJSON{Input: stats.Input, Kept: stats.Kept, ByCondition: stats.ByCond}
 	}
 	split := rules.Split(kept, item)
@@ -335,7 +408,13 @@ type driftResponse struct {
 }
 
 func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
-	snap := s.snap.Load()
+	WriteDrift(w, r, s.snap.Load())
+}
+
+// WriteDrift renders snap's delta as a /v1/drift response — shared by the
+// single-miner server and the merged multi-shard view, whose delta compares
+// consecutive merged snapshots. A nil snap answers 503.
+func WriteDrift(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
 	if snap == nil {
 		httpError(w, http.StatusServiceUnavailable, "no snapshot mined yet; ingest jobs and retry")
 		return
@@ -366,6 +445,39 @@ func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// Health is the programmatic form of /healthz — the per-shard unit a
+// coordinator aggregates into cluster health.
+type Health struct {
+	// Status is ok, degraded (last mine panicked or timed out; the last
+	// good snapshot is still served) or draining (Stop has begun).
+	Status         string  `json:"status"`
+	DegradedReason string  `json:"degraded_reason,omitempty"`
+	SnapshotSeq    int64   `json:"snapshot_seq"`
+	SnapshotAgeS   float64 `json:"snapshot_age_s,omitempty"`
+	SnapshotStale  bool    `json:"snapshot_stale,omitempty"`
+}
+
+// Health reports the server's current serving condition.
+func (s *Server) Health() Health {
+	s.mu.RLock()
+	draining := s.closed
+	s.mu.RUnlock()
+	h := Health{Status: "ok"}
+	if code := s.metrics.degraded.Load(); code != degradedNone {
+		h.Status = "degraded"
+		h.DegradedReason = degradeReasonString(code)
+	}
+	if draining {
+		h.Status = "draining"
+	}
+	if snap := s.snap.Load(); snap != nil {
+		h.SnapshotSeq = snap.Seq
+		h.SnapshotAgeS = time.Since(snap.MinedAt).Seconds()
+		h.SnapshotStale = snap.Stale
+	}
+	return h
+}
+
 // handleHealth is the load-balancer probe. A draining server answers 503 —
 // not a body-level status a balancer never parses — so traffic moves away
 // the moment Stop begins instead of piling 503s onto /v1/jobs. A degraded
@@ -373,28 +485,17 @@ func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
 // its last good snapshot — but says so in the body for operators and
 // alerting.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	draining := s.closed
-	s.mu.RUnlock()
+	h := s.Health()
 	status := http.StatusOK
-	body := map[string]any{"status": "ok", "snapshot_seq": int64(0)}
-	if code := s.metrics.degraded.Load(); code != degradedNone {
-		body["status"] = "degraded"
-		body["degraded_reason"] = degradeReasonString(code)
-	}
-	if draining {
+	if h.Status == "draining" {
 		status = http.StatusServiceUnavailable
-		body["status"] = "draining"
 	}
-	if snap := s.snap.Load(); snap != nil {
-		body["snapshot_seq"] = snap.Seq
-		body["snapshot_age_s"] = time.Since(snap.MinedAt).Seconds()
-		if snap.Stale {
-			body["snapshot_stale"] = true
-		}
-	}
-	writeJSON(w, status, body)
+	writeJSON(w, status, h)
 }
+
+// Metrics returns the /metrics counters and gauges as a flat JSON-ready
+// map — the per-shard block a coordinator embeds in its aggregate.
+func (s *Server) Metrics() map[string]any { return s.metricsView() }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.metricsView())

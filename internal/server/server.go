@@ -25,6 +25,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -400,6 +401,79 @@ func (s *Server) streamConfig() stream.Config {
 
 // Handler returns the HTTP API.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Sentinel errors Enqueue reports; callers map them to HTTP statuses (503
+// draining, 429 backpressure, 503 re-send after a WAL failure).
+var (
+	// ErrDraining means Stop has begun and the server accepts no new events.
+	ErrDraining = errors.New("server draining")
+	// ErrQueueFull means the ingest queue is at capacity; the event was not
+	// accepted and the caller should back off for roughly one mine interval.
+	ErrQueueFull = errors.New("ingest queue full")
+	// ErrWAL wraps a write-ahead-log append failure: the event is not
+	// durable and was not enqueued.
+	ErrWAL = errors.New("wal append failed")
+)
+
+// Enqueue hands one already-validated event to the mining loop — the
+// programmatic ingest path the HTTP handler and the shard router share. It
+// performs the same durability dance as HTTP ingest: with a WAL configured
+// the append and the channel send are one atomic step under walMu (so WAL
+// order equals queue order and replay reproduces exactly the stream the
+// loop consumed), and an event that cannot be made durable is never
+// enqueued. Callers must Validate events first (Decoder.Validate or the
+// handler's spec check); Enqueue itself only refuses for capacity,
+// draining, or WAL failure, reported via the sentinel errors above.
+func (s *Server) Enqueue(ev Event) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrDraining
+	}
+	if s.wal == nil {
+		select {
+		case s.queue <- queued{ev: ev}:
+			s.metrics.accepted.Add(1)
+			return nil
+		default:
+			s.metrics.throttled.Add(1)
+			return ErrQueueFull
+		}
+	}
+	// The capacity check runs before the append so a record that would be
+	// dropped is never logged, and guarantees the send below cannot block
+	// (only the loop drains the queue).
+	s.walMu.Lock()
+	if len(s.queue) >= cap(s.queue) {
+		s.walMu.Unlock()
+		s.metrics.throttled.Add(1)
+		return ErrQueueFull
+	}
+	payload, err := json.Marshal(ev)
+	var seq uint64
+	if err == nil {
+		seq, err = s.wal.Append(payload)
+	}
+	if err != nil {
+		s.walMu.Unlock()
+		s.metrics.walErrors.Add(1)
+		return fmt.Errorf("%w: %v", ErrWAL, err)
+	}
+	s.queue <- queued{ev: ev, seq: seq}
+	s.walMu.Unlock()
+	s.metrics.walAppends.Add(1)
+	s.metrics.accepted.Add(1)
+	return nil
+}
+
+// RejectedLine counts one event refused by front-tier validation, so a
+// router that validates before routing keeps this shard's rejection
+// counter truthful.
+func (s *Server) RejectedLine() { s.metrics.rejected.Add(1) }
+
+// RetryAfterSeconds is the backoff hint for ErrQueueFull, derived from the
+// mine cadence.
+func (s *Server) RetryAfterSeconds() int { return s.retryAfterSeconds() }
 
 // Snapshot returns the latest published snapshot, or nil before the first
 // mine completes.

@@ -1,0 +1,177 @@
+// The SON merge stage: reconciling N per-shard sliding windows into one
+// globally exact rule snapshot.
+//
+// Each shard publishes immutable snapshots whose View carries the captured
+// window (stream.View.Window). The merge translates every shard window into
+// one shared catalog (shards intern item names in different orders, so ids
+// must be reconciled by name) and runs son.MineShards over the per-shard
+// databases: pass 1 re-mines each shard's window at the proportionally
+// scaled global threshold to propose candidates, pass 2 counts every
+// candidate exactly against every shard. Re-mining from the raw windows —
+// rather than unioning the shards' published frequent itemsets — is what
+// makes the merge sound: a shard's own mining threshold ceil(s·n_i) can
+// exceed the SON bound floor(C·n_i/n), so published lists may be missing
+// candidates that are globally frequent.
+//
+// Merges are cached on the shard seq/stale vector: while no shard publishes
+// a new snapshot, every /v1/rules hit serves the cached merge (and its ETag
+// revalidates 304s for free); when the vector moves, one request pays for
+// the remerge under a single-flight lock.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"time"
+
+	"repro/internal/rules"
+	"repro/internal/server"
+	"repro/internal/son"
+	"repro/internal/stream"
+	"repro/internal/transaction"
+)
+
+// mergedSnap is one cached merge: the synthesized snapshot, the shard
+// seq/stale vector key it was computed from, and the derived ETag.
+type mergedSnap struct {
+	snap *server.Snapshot
+	key  string
+	etag string
+}
+
+// collect reads every shard's current snapshot and fingerprints the set.
+// The key encodes each shard's seq and stale flag ("-" for a shard that has
+// not mined yet), so any publish — including a degraded republish — moves it.
+func (c *Cluster) collect() (snaps []*server.Snapshot, key string, any bool) {
+	snaps = make([]*server.Snapshot, len(c.shards))
+	buf := make([]byte, 0, 16*len(c.shards))
+	for i, s := range c.shards {
+		snap := s.Snapshot()
+		snaps[i] = snap
+		if i > 0 {
+			buf = append(buf, '|')
+		}
+		if snap == nil {
+			buf = append(buf, '-')
+			continue
+		}
+		any = true
+		buf = append(buf, fmt.Sprintf("%d", snap.Seq)...)
+		if snap.Stale {
+			buf = append(buf, 's')
+		}
+	}
+	return snaps, string(buf), any
+}
+
+// Merged returns the current merged snapshot plus its ETag, remerging only
+// when some shard has published since the cached merge. Nil means no shard
+// has mined anything yet.
+func (c *Cluster) Merged() (*server.Snapshot, string) {
+	snaps, key, any := c.collect()
+	if !any {
+		return nil, ""
+	}
+	if cur := c.merged.Load(); cur != nil && cur.key == key {
+		return cur.snap, cur.etag
+	}
+	c.mergeMu.Lock()
+	defer c.mergeMu.Unlock()
+	// Re-read under the lock: a racing request may have merged this vector
+	// already, and shards may have published again while we waited.
+	snaps, key, any = c.collect()
+	if !any {
+		return nil, ""
+	}
+	if cur := c.merged.Load(); cur != nil && cur.key == key {
+		return cur.snap, cur.etag
+	}
+	m := c.remerge(snaps, key)
+	c.merged.Store(m)
+	return m.snap, m.etag
+}
+
+// remerge mines the union of the shard windows. Caller holds mergeMu —
+// c.mergeCatalog and the previous merged snapshot are only touched here.
+func (c *Cluster) remerge(snaps []*server.Snapshot, key string) *mergedSnap {
+	start := time.Now()
+	dbs := make([]*transaction.DB, 0, len(snaps))
+	totalLen, totalObserved := 0, 0
+	stale := false
+	for _, snap := range snaps {
+		if snap == nil {
+			continue
+		}
+		view := snap.View
+		stale = stale || snap.Stale
+		totalObserved += view.Total
+		db := transaction.NewDB(c.mergeCatalog)
+		for _, txn := range view.Window {
+			// Reconcile by name: the same item carries different ids in
+			// different shard catalogs, and AddNames re-interns against the
+			// cluster-stable merge catalog.
+			db.AddNames(view.Catalog.Names(txn)...)
+		}
+		totalLen += db.Len()
+		dbs = append(dbs, db)
+	}
+
+	minSupport, maxLen, minLift := c.cfg.Shard.MinSupport, c.cfg.Shard.MaxLen, c.cfg.Shard.MinLift
+	if minSupport == 0 {
+		minSupport = 0.05
+	}
+	if maxLen == 0 {
+		maxLen = 5
+	}
+	if minLift == 0 {
+		minLift = 1.5
+	}
+	minCount := int(math.Ceil(minSupport * float64(totalLen)))
+	if minCount < 1 {
+		minCount = 1
+	}
+	frequent := son.MineShards(dbs, son.Options{
+		MinCount: minCount,
+		MaxLen:   maxLen,
+		Workers:  c.cfg.Shard.Workers,
+	})
+	rs := rules.Generate(frequent, totalLen, rules.Options{MinLift: minLift, Workers: c.cfg.Shard.Workers})
+
+	// The published View renders against a frozen clone; ids are stable
+	// across clones, so consecutive merges diff structurally just like
+	// consecutive single-miner snapshots. Window stays nil: a merged view is
+	// synthesized, not a mining input.
+	view := &stream.View{
+		Rules:     rs,
+		Catalog:   c.mergeCatalog.Clone(),
+		WindowLen: totalLen,
+		Total:     totalObserved,
+	}
+	seq := int64(1)
+	var delta stream.Delta
+	if prev := c.merged.Load(); prev != nil {
+		seq = prev.snap.Seq + 1
+		delta = stream.Diff(prev.snap.View.Rules, rs)
+	} else {
+		delta = stream.Diff(nil, rs)
+	}
+	snap := &server.Snapshot{
+		Seq:          seq,
+		MinedAt:      time.Now(),
+		MineDuration: time.Since(start),
+		View:         view,
+		Delta:        delta,
+		Stale:        stale,
+	}
+	return &mergedSnap{snap: snap, key: key, etag: mergedETag(seq, key)}
+}
+
+// mergedETag derives the merged view's cache validator: the merge seq plus
+// an FNV-1a hash of the shard seq/stale vector, so a response revalidates
+// exactly until any shard publishes again.
+func mergedETag(seq int64, key string) string {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return fmt.Sprintf("\"m%d-%08x\"", seq, h.Sum32())
+}

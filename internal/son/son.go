@@ -5,9 +5,13 @@
 // machine. Phase one mines each database partition independently (any
 // itemset globally frequent must be locally frequent in at least one
 // partition at the scaled threshold); phase two counts the union of local
-// candidates exactly in one global pass. Both phases run on a worker pool,
-// making this the miner to reach for when the trace no longer fits one
-// FP-tree comfortably.
+// candidates exactly in one global pass. Both phases run on a worker pool.
+//
+// Two entry points share the protocol: Mine splits one database into equal
+// spans (the single-machine form), and MineShards accepts the partitions
+// pre-formed — one per serving shard — which is how the sharded serving
+// path (internal/shard) reconciles per-shard sliding windows into one
+// globally exact rule snapshot.
 package son
 
 import (
@@ -19,13 +23,14 @@ import (
 	"repro/internal/transaction"
 )
 
-// Options configures Mine.
+// Options configures Mine and MineShards.
 type Options struct {
 	// MinCount is the global absolute minimum support count (>= 1).
 	MinCount int
 	// MaxLen caps itemset length; zero means unlimited.
 	MaxLen int
-	// Partitions splits the database; zero picks one per worker.
+	// Partitions splits the database in Mine; zero picks one per worker.
+	// Ignored by MineShards, where the caller's shards are the partitions.
 	Partitions int
 	// Workers bounds parallelism; zero means GOMAXPROCS.
 	Workers int
@@ -35,9 +40,6 @@ type Options struct {
 // not approximate — the partition phase only proposes candidates, the count
 // phase verifies them against the full database.
 func Mine(db *transaction.DB, opts Options) []itemset.Frequent {
-	if opts.MinCount < 1 {
-		opts.MinCount = 1
-	}
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -53,10 +55,8 @@ func Mine(db *transaction.DB, opts Options) []itemset.Frequent {
 	if parts > n {
 		parts = n
 	}
-
-	// Phase 1: mine each partition at the proportionally scaled threshold.
-	type span struct{ lo, hi int }
-	spans := make([]span, 0, parts)
+	// Split into equal spans and run the shared two-pass protocol over them.
+	shards := make([]*transaction.DB, 0, parts)
 	per, rem := n/parts, n%parts
 	lo := 0
 	for i := 0; i < parts; i++ {
@@ -64,34 +64,65 @@ func Mine(db *transaction.DB, opts Options) []itemset.Frequent {
 		if i < rem {
 			size++
 		}
-		spans = append(spans, span{lo, lo + size})
+		local := transaction.NewDB(db.Catalog())
+		for t := lo; t < lo+size; t++ {
+			local.Add(db.Txn(t)...)
+		}
+		shards = append(shards, local)
 		lo += size
 	}
-	candidateSets := make([][]itemset.Frequent, len(spans))
+	return MineShards(shards, opts)
+}
+
+// MineShards runs the SON two-pass protocol over pre-formed partitions: the
+// union of each shard's locally frequent itemsets (at the proportionally
+// scaled threshold) is the candidate set, then every candidate's support is
+// counted exactly against every shard. All shards must share one item
+// catalog (the same id means the same item everywhere); empty shards are
+// permitted and contribute nothing. The result is exactly what FP-Growth
+// would mine over the concatenation of the shards — SON is exact — which is
+// the property the sharded serving path's merged rule view relies on.
+func MineShards(shards []*transaction.DB, opts Options) []itemset.Frequent {
+	if opts.MinCount < 1 {
+		opts.MinCount = 1
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := 0
+	for _, sh := range shards {
+		n += sh.Len()
+	}
+	if n == 0 {
+		return nil
+	}
+
+	// Phase 1: mine each shard at the proportionally scaled threshold.
+	candidateSets := make([][]itemset.Frequent, len(shards))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
-	for i, sp := range spans {
+	for i, sh := range shards {
+		if sh.Len() == 0 {
+			continue
+		}
 		wg.Add(1)
-		go func(i int, sp span) {
+		go func(i int, sh *transaction.DB) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			local := transaction.NewDB(db.Catalog())
-			for t := sp.lo; t < sp.hi; t++ {
-				local.Add(db.Txn(t)...)
-			}
-			// Scale the threshold to the partition size, rounding down
-			// so no globally frequent itemset can be missed.
-			localMin := opts.MinCount * (sp.hi - sp.lo) / n
+			// Scale the threshold to the shard size, rounding down so no
+			// globally frequent itemset can be missed.
+			localMin := opts.MinCount * sh.Len() / n
 			if localMin < 1 {
 				localMin = 1
 			}
-			candidateSets[i] = fpgrowth.Mine(local, fpgrowth.Options{
+			candidateSets[i] = fpgrowth.Mine(sh, fpgrowth.Options{
 				MinCount: localMin,
 				MaxLen:   opts.MaxLen,
 				Workers:  1, // outer loop already saturates the pool
 			})
-		}(i, sp)
+		}(i, sh)
 	}
 	wg.Wait()
 
@@ -106,10 +137,10 @@ func Mine(db *transaction.DB, opts Options) []itemset.Frequent {
 		return nil
 	}
 
-	// Phase 2: one exact counting pass over the full database, sharded
-	// across the worker pool with per-worker partial counts. Candidates
-	// are indexed by their smallest item so each transaction only tests
-	// candidates that can possibly be contained.
+	// Phase 2: one exact counting pass over every shard, on the worker
+	// pool with per-task partial counts. Candidates are indexed by their
+	// smallest item so each transaction only tests candidates that can
+	// possibly be contained.
 	ordered := make([]itemset.Set, 0, len(candidates))
 	for _, s := range candidates {
 		ordered = append(ordered, s)
@@ -118,24 +149,38 @@ func Mine(db *transaction.DB, opts Options) []itemset.Frequent {
 	for i, s := range ordered {
 		byFirst[s[0]] = append(byFirst[s[0]], i)
 	}
-	partials := make([][]int, workers)
-	var wg2 sync.WaitGroup
+	// One counting task per (shard, chunk): shards are independent, and
+	// large shards are further split so a single big window cannot
+	// serialize the pass.
+	type task struct {
+		sh     *transaction.DB
+		lo, hi int
+	}
+	var tasks []task
 	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
+	if chunk < 1 {
+		chunk = 1
+	}
+	for _, sh := range shards {
+		for lo := 0; lo < sh.Len(); lo += chunk {
+			hi := lo + chunk
+			if hi > sh.Len() {
+				hi = sh.Len()
+			}
+			tasks = append(tasks, task{sh, lo, hi})
 		}
-		if lo >= hi {
-			partials[w] = make([]int, len(ordered))
-			continue
-		}
+	}
+	partials := make([][]int, len(tasks))
+	var wg2 sync.WaitGroup
+	for ti, tk := range tasks {
 		wg2.Add(1)
-		go func(w, lo, hi int) {
+		go func(ti int, tk task) {
 			defer wg2.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
 			counts := make([]int, len(ordered))
-			for t := lo; t < hi; t++ {
-				txn := itemset.Set(db.Txn(t))
+			for t := tk.lo; t < tk.hi; t++ {
+				txn := itemset.Set(tk.sh.Txn(t))
 				for _, first := range txn {
 					for _, i := range byFirst[first] {
 						if txn.ContainsAll(ordered[i]) {
@@ -144,8 +189,8 @@ func Mine(db *transaction.DB, opts Options) []itemset.Frequent {
 					}
 				}
 			}
-			partials[w] = counts
-		}(w, lo, hi)
+			partials[ti] = counts
+		}(ti, tk)
 	}
 	wg2.Wait()
 

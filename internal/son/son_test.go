@@ -104,6 +104,64 @@ func TestSONMinCountDefault(t *testing.T) {
 	}
 }
 
+// MineShards must be exact regardless of how unevenly the database is cut —
+// including cuts that put too few transactions in a shard for its local
+// threshold to matter, the case where per-shard mining at each shard's own
+// threshold would miss candidates.
+func TestMineShardsUnevenCuts(t *testing.T) {
+	g := stats.NewRNG(23)
+	for trial := 0; trial < 8; trial++ {
+		db := buildDB(g, 150+g.Intn(300), 6+g.Intn(15), 8)
+		minCount := 2 + g.Intn(15)
+		want := fpgrowth.Mine(db, fpgrowth.Options{MinCount: minCount})
+		cuts := [][]float64{
+			{1},                    // one shard holding everything
+			{0.9, 0.1},             // lopsided pair
+			{0.5, 0.3, 0.15, 0.05}, // long tail
+			{0.01, 0.01, 0.98},     // two near-empty shards
+		}
+		for ci, fractions := range cuts {
+			shards := make([]*transaction.DB, len(fractions))
+			lo := 0
+			for i, f := range fractions {
+				hi := lo + int(f*float64(db.Len()))
+				if i == len(fractions)-1 {
+					hi = db.Len()
+				}
+				sh := transaction.NewDB(db.Catalog())
+				for t := lo; t < hi; t++ {
+					sh.Add(db.Txn(t)...)
+				}
+				shards[i] = sh
+				lo = hi
+			}
+			got := MineShards(shards, Options{MinCount: minCount})
+			if !sameResults(want, got) {
+				t.Fatalf("trial %d cut %d: MineShards diverges from FP-Growth (%d vs %d itemsets)",
+					trial, ci, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestMineShardsEmptyShards(t *testing.T) {
+	catalog := itemset.NewCatalog()
+	empty := transaction.NewDB(catalog)
+	full := transaction.NewDB(catalog)
+	full.AddNames("a", "b")
+	full.AddNames("a")
+	got := MineShards([]*transaction.DB{empty, full, transaction.NewDB(catalog)}, Options{MinCount: 1})
+	if len(got) != 3 { // {a}, {b}, {a,b}
+		t.Errorf("got %d itemsets, want 3", len(got))
+	}
+	if got := MineShards([]*transaction.DB{empty}, Options{MinCount: 1}); got != nil {
+		t.Errorf("all-empty shards should yield nil, got %v", got)
+	}
+	if got := MineShards(nil, Options{MinCount: 1}); got != nil {
+		t.Errorf("no shards should yield nil, got %v", got)
+	}
+}
+
 func TestSONCountsExact(t *testing.T) {
 	g := stats.NewRNG(9)
 	db := buildDB(g, 500, 15, 8)

@@ -192,6 +192,12 @@ type View struct {
 	Catalog *itemset.Catalog
 	// WindowLen and Total mirror Len and Total at mining time.
 	WindowLen, Total int
+	// Window is the captured window the rules were mined from, oldest
+	// first: canonical immutable sets resolved against Catalog. It is what
+	// lets a merge stage (internal/shard) re-count itemsets against the
+	// exact transactions behind each published snapshot. Synthesized views
+	// (e.g. a merged multi-shard view) may leave it nil.
+	Window []itemset.Set
 }
 
 // View mines the current window and packages the result with a frozen
@@ -220,8 +226,13 @@ type PendingView struct {
 // owner goroutine, like every other Miner method.
 func (m *Miner) BeginView() *PendingView {
 	n := m.Len()
-	window := make([][]itemset.Item, n)
-	copy(window, m.ring[:n])
+	// Capture oldest-first (mining is order-blind, but View.Window promises
+	// the same order Export uses, so checkpoints and merge stages agree).
+	window := make([][]itemset.Item, 0, n)
+	if m.filled {
+		window = append(window, m.ring[m.next:]...)
+	}
+	window = append(window, m.ring[:m.next]...)
 	return &PendingView{
 		cfg:     m.cfg,
 		catalog: m.catalog.Clone(),
@@ -234,11 +245,16 @@ func (m *Miner) BeginView() *PendingView {
 // result is identical to what Miner.View would have returned at capture
 // time.
 func (pv *PendingView) Mine() *View {
+	window := make([]itemset.Set, len(pv.window))
+	for i, txn := range pv.window {
+		window[i] = itemset.Set(txn)
+	}
 	return &View{
 		Rules:     mineWindow(pv.cfg, pv.catalog, pv.window),
 		Catalog:   pv.catalog,
 		WindowLen: len(pv.window),
 		Total:     pv.total,
+		Window:    window,
 	}
 }
 

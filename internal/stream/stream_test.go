@@ -395,3 +395,29 @@ func TestRestoreWindowRejectsOversize(t *testing.T) {
 		t.Error("total below occupancy should error")
 	}
 }
+
+func TestViewCarriesWindow(t *testing.T) {
+	m, err := New(nil, Config{WindowSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ObserveNames("a", "b")
+	m.ObserveNames("c")
+	m.ObserveNames("d")
+	m.ObserveNames("e") // evicts {a,b}
+	v := m.View()
+	want, _ := m.Export()
+	if len(v.Window) != len(want) {
+		t.Fatalf("view window has %d txns, export has %d", len(v.Window), len(want))
+	}
+	for i := range want {
+		if !v.Window[i].Equal(want[i]) {
+			t.Fatalf("view window txn %d = %v, export says %v", i, v.Window[i], want[i])
+		}
+	}
+	// The captured window must render against the view's own catalog, so a
+	// merge stage can reconcile item ids by name across shards.
+	if got := v.Catalog.Names(v.Window[0]); len(got) != 1 || got[0] != "c" {
+		t.Fatalf("oldest txn renders as %v, want [c]", got)
+	}
+}
