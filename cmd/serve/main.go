@@ -38,6 +38,15 @@
 // hung re-mine and keeps serving the last good snapshot, marked stale,
 // while /healthz reports the degraded state.
 //
+// With -incremental the mining loop maintains its FP-tree across mines —
+// weighted inserts for arriving jobs, weighted decrements along evicted
+// paths — so steady-state re-mine cost is proportional to the jobs that
+// arrived since the last mine rather than the window size; rules are
+// identical, and /metrics' mine_incremental_total / mine_full_rebuild_total
+// show how often the rank-drift/fragmentation fallback rebuilds from
+// scratch. -pprof-addr exposes net/http/pprof on a separate listener for
+// profiling the mine loop in production.
+//
 // With -spec generic the encoder is derived from flags instead of the
 // canonical PAI shape: -numeric columns are quartile-binned (-zero /
 // -spike subsets get their special bins), -tier columns are
@@ -63,6 +72,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints, exposed only via -pprof-addr
 	"os"
 	"os/signal"
 	"strings"
@@ -85,6 +95,8 @@ func main() {
 	mineInterval := flag.Duration("mine-interval", 2*time.Second, "re-mine cadence")
 	mineBatch := flag.Int("mine-batch", 1000, "re-mine after this many new jobs")
 	mineWorkers := flag.Int("mine-workers", 0, "mining parallelism (0 = all cores, 1 = serial)")
+	incremental := flag.Bool("incremental", false, "maintain the FP-tree across mines so steady-state mine cost tracks the ingest delta, not the window size (rules are identical; a rank-drift or fragmentation fallback rebuilds when needed)")
+	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof profiles (e.g. localhost:6060); empty disables")
 	queue := flag.Int("queue", 8192, "ingest queue capacity (full queue => 429)")
 	bootstrap := flag.Int("bootstrap", 500, "jobs sampled before bin edges are fitted")
 	stateDir := flag.String("state-dir", "", "directory for the durable checkpoint; empty disables checkpoint/restore")
@@ -111,7 +123,8 @@ func main() {
 		minSupport: *minSupport, minLift: *minLift, maxLen: *maxLen,
 		cLift: *cLift, cSupp: *cSupp,
 		mineInterval: *mineInterval, mineBatch: *mineBatch, mineWorkers: *mineWorkers,
-		queue: *queue, bootstrap: *bootstrap,
+		incremental: *incremental,
+		queue:       *queue, bootstrap: *bootstrap,
 		stateDir: *stateDir, checkpointEvery: *checkpointEvery, keep: splitList(*keep),
 		walDir: *walDir, fsync: *fsync, fsyncInterval: *fsyncInterval, mineTimeout: *mineTimeout,
 		numeric: splitList(*numeric), zeros: splitList(*zeros), spikes: splitList(*spikes),
@@ -120,6 +133,17 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
+	}
+	if *pprofAddr != "" {
+		// The profiling endpoints live on their own listener, never the
+		// service address: importing net/http/pprof registers only on
+		// http.DefaultServeMux, which the API handlers don't use.
+		go func() {
+			fmt.Printf("serve: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "serve: pprof listener:", err)
+			}
+		}()
 	}
 	// Any multi-tenant knob selects cluster mode: quotas need the tenant
 	// router even with a single shard behind it.
@@ -145,6 +169,7 @@ type options struct {
 	window, maxLen, mineBatch            int
 	queue, bootstrap, mineWorkers        int
 	checkpointEvery                      int
+	incremental                          bool
 	minSupport, minLift, cLift, cSupp    float64
 	mineInterval, mineTimeout            time.Duration
 	fsyncInterval                        time.Duration
@@ -167,6 +192,7 @@ func buildConfig(o options) (server.Config, error) {
 		MineBatch:       o.mineBatch,
 		QueueSize:       o.queue,
 		Workers:         o.mineWorkers,
+		Incremental:     o.incremental,
 		StateDir:        o.stateDir,
 		CheckpointEvery: o.checkpointEvery,
 		KeepItems:       o.keep,

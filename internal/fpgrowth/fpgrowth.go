@@ -311,6 +311,13 @@ func (m *miner) conditional(src *tree, r int32) *tree {
 	dst.baseOff = append(dst.baseOff[:0], 0)
 	for ni := src.heads[r]; ni != nilIdx; ni = src.nodes[ni].next {
 		cnt := src.nodes[ni].count
+		if cnt == 0 {
+			// Dead node in an incrementally maintained tree: every
+			// transaction through it has been evicted, so it contributes
+			// nothing to any conditional base. (Trees built by weighted
+			// inserts alone never hold zero counts.)
+			continue
+		}
 		start := len(dst.baseBuf)
 		for p := src.nodes[ni].parent; p > 0; p = src.nodes[p].parent {
 			pr := src.nodes[p].rank
@@ -414,23 +421,20 @@ func (m *miner) emitPathSubsets(t *tree, prefix itemset.Set, path []int32, maxLe
 	rec(0, base, 0)
 }
 
-// jobOrder returns the top-level ranks sorted by descending conditional-base
-// size (header-chain node count), ties by rank. Dispatching the heaviest
-// subtrees first keeps one straggler from serializing the tail of the
-// worker pool.
-func (t *tree) jobOrder() []int32 {
+// jobOrder returns the given top-level ranks sorted by descending
+// conditional-base size (header-chain node count), ties by rank.
+// Dispatching the heaviest subtrees first keeps one straggler from
+// serializing the tail of the worker pool.
+func (t *tree) jobOrder(ranks []int32) []int32 {
 	sizes := make([]int32, len(t.counts))
-	for r := range t.heads {
+	for _, r := range ranks {
 		n := int32(0)
 		for ni := t.heads[r]; ni != nilIdx; ni = t.nodes[ni].next {
 			n++
 		}
 		sizes[r] = n
 	}
-	order := make([]int32, len(t.counts))
-	for i := range order {
-		order[i] = int32(i)
-	}
+	order := append([]int32(nil), ranks...)
 	sort.Slice(order, func(a, b int) bool {
 		if sizes[order[a]] != sizes[order[b]] {
 			return sizes[order[a]] > sizes[order[b]]
@@ -447,18 +451,33 @@ func Mine(db *transaction.DB, opts Options) []itemset.Frequent {
 		opts.MinCount = 1
 	}
 	t := buildInitial(db, opts.MinCount)
+	top := make([]int32, len(t.counts))
+	for i := range top {
+		top[i] = int32(i)
+	}
+	return mineTop(t, top, opts)
+}
+
+// mineTop mines the given top-level header ranks of t — every rank in top
+// must be frequent (count >= t.minCnt) and t.minCnt must match
+// opts.MinCount. Mine passes every rank of a freshly built tree;
+// FrozenTree.Mine passes only the currently frequent ranks of a maintained
+// tree. The tree is only ever read, so workers share it without locks.
+func mineTop(t *tree, top []int32, opts Options) []itemset.Frequent {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(t.counts) {
-		workers = len(t.counts)
+	if workers > len(top) {
+		workers = len(top)
 	}
 
 	var results []itemset.Frequent
 	if workers <= 1 {
 		m := &miner{emit: func(f itemset.Frequent) { results = append(results, f) }}
-		m.mine(t, nil, opts.MaxLen)
+		for i := len(top) - 1; i >= 0; i-- {
+			mineRank(m, t, top[i], opts.MaxLen)
+		}
 		itemset.SortFrequent(results)
 		return results
 	}
@@ -477,20 +496,12 @@ func Mine(db *transaction.DB, opts Options) []itemset.Frequent {
 			var buf []itemset.Frequent
 			m := &miner{emit: func(f itemset.Frequent) { buf = append(buf, f) }}
 			for r := range jobs {
-				ext := itemset.NewSet(t.items[r])
-				m.emit(itemset.Frequent{Items: ext, Count: int(t.counts[r])})
-				if opts.MaxLen == 1 {
-					continue
-				}
-				if cond := m.conditional(t, r); cond != nil {
-					m.mine(cond, ext, opts.MaxLen)
-					m.put(cond)
-				}
+				mineRank(m, t, r, opts.MaxLen)
 			}
 			buffers[w] = buf
 		}(w)
 	}
-	for _, r := range t.jobOrder() {
+	for _, r := range t.jobOrder(top) {
 		jobs <- r
 	}
 	close(jobs)
@@ -500,4 +511,19 @@ func Mine(db *transaction.DB, opts Options) []itemset.Frequent {
 	}
 	itemset.SortFrequent(results)
 	return results
+}
+
+// mineRank emits rank r's singleton and recurses into its conditional tree
+// — one top-level unit of mining work, identical on the serial and parallel
+// paths.
+func mineRank(m *miner, t *tree, r int32, maxLen int) {
+	ext := itemset.NewSet(t.items[r])
+	m.emit(itemset.Frequent{Items: ext, Count: int(t.counts[r])})
+	if maxLen == 1 {
+		return
+	}
+	if cond := m.conditional(t, r); cond != nil {
+		m.mine(cond, ext, maxLen)
+		m.put(cond)
+	}
 }

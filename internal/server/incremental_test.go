@@ -1,0 +1,113 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestIncrementalRestartEqualsFreshServer covers two equivalences at once:
+// an incremental-mode server must serve the same rules as a full-rebuild
+// server fed the identical stream, and that must stay true across a
+// checkpoint/restore boundary — the restored miner rebuilds its persistent
+// tree from the imported window and keeps mining incrementally, so a
+// killed-and-restarted incremental server matches an uninterrupted
+// non-incremental one byte-for-byte (modulo the mined-at timestamp).
+func TestIncrementalRestartEqualsFreshServer(t *testing.T) {
+	const jobs = 2000
+	lines := paiNDJSON(t, jobs, 17)
+	cfg := func(dir string, incremental bool) Config {
+		return Config{
+			Spec:         PAISpec(),
+			WindowSize:   5000,
+			Bootstrap:    300,
+			MineBatch:    1000,
+			MineInterval: time.Hour, // batch-driven: mining points are deterministic
+			QueueSize:    4096,
+			StateDir:     dir,
+			Incremental:  incremental,
+		}
+	}
+	ruleQueries := []string{
+		"/v1/rules?limit=100000",
+		"/v1/rules?keyword=failed&kind=all&limit=100000",
+	}
+
+	// Reference: a full-rebuild server sees the whole stream uninterrupted.
+	uninterrupted := make([][]byte, len(ruleQueries))
+	{
+		s, err := New(cfg(t.TempDir(), false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		postChunks(t, ts.URL, lines, 500)
+		waitForSeq(t, s, 2, jobs)
+		var m map[string]any
+		if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK {
+			t.Fatalf("metrics status %d", code)
+		}
+		if got := m["mine_incremental_total"].(float64); got != 0 {
+			t.Errorf("full-rebuild server reports %v incremental mines", got)
+		}
+		if got := m["mine_full_rebuild_total"].(float64); got < 1 {
+			t.Errorf("full-rebuild server reports %v rebuild mines, want ≥ 1", got)
+		}
+		for i, q := range ruleQueries {
+			uninterrupted[i] = fetchNormalized(t, ts.URL+q)
+		}
+		ts.Close()
+		stopServer(t, s)
+	}
+
+	// Incremental server: ingest half, drain (which checkpoints), kill.
+	dir := t.TempDir()
+	{
+		s, err := New(cfg(dir, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		postChunks(t, ts.URL, lines[:jobs/2], 500)
+		waitForSeq(t, s, 1, jobs/2)
+		ts.Close()
+		stopServer(t, s)
+	}
+
+	// Restart from the checkpoint and feed the second half.
+	s, err := New(cfg(dir, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer stopServer(t, s)
+	waitForSeq(t, s, 1, jobs/2)
+	postChunks(t, ts.URL, lines[jobs/2:], 500)
+	waitForSeq(t, s, 2, jobs)
+
+	for i, q := range ruleQueries {
+		restarted := fetchNormalized(t, ts.URL+q)
+		if !bytes.Equal(uninterrupted[i], restarted) {
+			t.Errorf("%s differs between the uninterrupted full-rebuild run and the restarted incremental run:\n  full rebuild: %.200s\n  incremental:  %.200s",
+				q, uninterrupted[i], restarted)
+		}
+	}
+	var m map[string]any
+	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK {
+		t.Fatalf("metrics status %d", code)
+	}
+	incr, ok := m["mine_incremental_total"].(float64)
+	if !ok {
+		t.Fatal("mine_incremental_total missing from /metrics")
+	}
+	rebuilds, ok := m["mine_full_rebuild_total"].(float64)
+	if !ok {
+		t.Fatal("mine_full_rebuild_total missing from /metrics")
+	}
+	if incr+rebuilds < 1 {
+		t.Errorf("incremental server mined %v times by either mode, want ≥ 1", incr+rebuilds)
+	}
+}

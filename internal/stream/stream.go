@@ -33,6 +33,16 @@ type Config struct {
 	// rules.Generate. Zero means GOMAXPROCS; 1 forces serial mining. The
 	// mined rules are identical for any worker count.
 	Workers int
+	// Incremental maintains a persistent FP-tree across mines: Observe
+	// applies a weighted insert for the arriving transaction and a weighted
+	// decrement along the evicted one's path, so steady-state mine cost is
+	// proportional to the delta since the last mine rather than the window.
+	// Mined rules are identical either way; this is purely a latency mode.
+	Incremental bool
+	// IncOptions tunes the incremental tree's rebuild fallbacks (rank-drift
+	// threshold, dead-node fraction). Zero values pick the fpgrowth
+	// defaults. Ignored unless Incremental is set.
+	IncOptions fpgrowth.IncOptions
 }
 
 // Miner is a sliding-window association rule miner. It is not safe for
@@ -46,6 +56,9 @@ type Miner struct {
 	next    int
 	filled  bool
 	total   int
+	// inc is the persistent FP-tree mirror of the ring, maintained
+	// per-Observe when cfg.Incremental is set; nil otherwise.
+	inc *fpgrowth.Incremental
 }
 
 // New returns a Miner over catalog (nil allocates a fresh one).
@@ -65,25 +78,61 @@ func New(catalog *itemset.Catalog, cfg Config) (*Miner, error) {
 	if catalog == nil {
 		catalog = itemset.NewCatalog()
 	}
-	return &Miner{
+	m := &Miner{
 		cfg:     cfg,
 		catalog: catalog,
 		ring:    make([][]itemset.Item, cfg.WindowSize),
-	}, nil
+	}
+	if cfg.Incremental {
+		m.inc = fpgrowth.NewIncremental(cfg.IncOptions)
+	}
+	return m, nil
 }
 
 // Catalog returns the item catalog backing the miner.
 func (m *Miner) Catalog() *itemset.Catalog { return m.catalog }
 
 // Observe appends one transaction, evicting the oldest when the window is
-// full.
+// full. In incremental mode the persistent tree absorbs the same delta:
+// one weighted decrement for the eviction, one weighted insert for the
+// arrival.
 func (m *Miner) Observe(items ...itemset.Item) {
-	m.ring[m.next] = itemset.NewSet(items...)
+	txn := itemset.NewSet(items...)
+	var evictErr error
+	if m.inc != nil {
+		if m.filled {
+			evictErr = m.inc.Remove(m.ring[m.next])
+		}
+		if evictErr == nil {
+			m.inc.Add(txn)
+		}
+	}
+	m.ring[m.next] = txn
 	m.next++
 	m.total++
 	if m.next == len(m.ring) {
 		m.next = 0
 		m.filled = true
+	}
+	if evictErr != nil {
+		// The tree disagreed with the ring about the evicted path. That is
+		// an invariant break that must never poison mining, so resync the
+		// tree from the ring — the incremental worst case is by design the
+		// non-incremental steady state.
+		m.resetInc()
+	}
+}
+
+// resetInc rebuilds the persistent tree from the ring contents.
+func (m *Miner) resetInc() {
+	m.inc = fpgrowth.NewIncremental(m.cfg.IncOptions)
+	if m.filled {
+		for _, txn := range m.ring[m.next:] {
+			m.inc.Add(txn)
+		}
+	}
+	for _, txn := range m.ring[:m.next] {
+		m.inc.Add(txn)
 	}
 }
 
@@ -142,6 +191,12 @@ func (m *Miner) RestoreWindow(txns []itemset.Set, total int) error {
 	m.next = len(txns) % len(m.ring)
 	m.filled = len(txns) == len(m.ring)
 	m.total = total
+	if m.inc != nil {
+		// Checkpoints persist only the window; the tree is derived state,
+		// rebuilt here so restored miners mine incrementally from the first
+		// post-restore tick.
+		m.resetInc()
+	}
 	return nil
 }
 
@@ -151,6 +206,10 @@ func (m *Miner) Total() int { return m.total }
 // Snapshot mines the current window and returns the rules above the lift
 // threshold, strongest first.
 func (m *Miner) Snapshot() []rules.Rule {
+	if m.inc != nil {
+		m.inc.Maintain()
+		return mineFrozen(m.cfg, m.inc.Freeze(), m.Len())
+	}
 	// Ring slots are canonical sets that Observe replaces rather than
 	// mutates, so the window database can alias them.
 	return mineWindow(m.cfg, m.catalog, m.ring[:m.Len()])
@@ -173,6 +232,25 @@ func mineWindow(cfg Config, catalog *itemset.Catalog, window [][]itemset.Item) [
 		minCount = 1
 	}
 	frequent := fpgrowth.Mine(db, fpgrowth.Options{
+		MinCount: minCount,
+		MaxLen:   cfg.MaxLen,
+		Workers:  cfg.Workers,
+	})
+	return rules.Generate(frequent, n, rules.Options{MinLift: cfg.MinLift, Workers: cfg.Workers})
+}
+
+// mineFrozen is mineWindow against a maintained tree snapshot instead of a
+// freshly built one: same thresholds, same rule generation, no per-mine
+// O(window) tree construction.
+func mineFrozen(cfg Config, ft *fpgrowth.FrozenTree, n int) []rules.Rule {
+	if n == 0 {
+		return nil
+	}
+	minCount := int(math.Ceil(cfg.MinSupport * float64(n)))
+	if minCount < 1 {
+		minCount = 1
+	}
+	frequent := ft.Mine(fpgrowth.Options{
 		MinCount: minCount,
 		MaxLen:   cfg.MaxLen,
 		Workers:  cfg.Workers,
@@ -220,6 +298,15 @@ type PendingView struct {
 	catalog *itemset.Catalog
 	window  [][]itemset.Item
 	total   int
+	// frozen is a deep copy of the maintained tree taken at capture time
+	// (incremental mode only): the detached mine reads it instead of
+	// rebuilding from the window, and an abandoned mine strands only the
+	// copy, never the miner's live tree.
+	frozen *fpgrowth.FrozenTree
+	// rebuilt records whether Maintain fell back to a full rebuild at this
+	// capture (rank drift or fragmentation) — surfaced so the serving loop
+	// can count fallback frequency.
+	rebuilt bool
 }
 
 // BeginView captures the current window. Must be called from the miner's
@@ -233,13 +320,30 @@ func (m *Miner) BeginView() *PendingView {
 		window = append(window, m.ring[m.next:]...)
 	}
 	window = append(window, m.ring[:m.next]...)
-	return &PendingView{
+	pv := &PendingView{
 		cfg:     m.cfg,
 		catalog: m.catalog.Clone(),
 		window:  window,
 		total:   m.total,
 	}
+	if m.inc != nil {
+		// Maintenance (drift check, possible rebuild) runs here in the
+		// owner goroutine; the detached mine only ever reads its frozen
+		// copy.
+		pv.rebuilt = m.inc.Maintain()
+		pv.frozen = m.inc.Freeze()
+	}
+	return pv
 }
+
+// Incremental reports whether this capture mines a maintained tree rather
+// than rebuilding one from the window.
+func (pv *PendingView) Incremental() bool { return pv.frozen != nil }
+
+// Rebuilt reports whether capturing this view forced a full tree rebuild
+// (rank-drift or fragmentation fallback). Always false outside incremental
+// mode.
+func (pv *PendingView) Rebuilt() bool { return pv.rebuilt }
 
 // Mine runs the capture to completion. Safe to call on any goroutine; the
 // result is identical to what Miner.View would have returned at capture
@@ -249,8 +353,14 @@ func (pv *PendingView) Mine() *View {
 	for i, txn := range pv.window {
 		window[i] = itemset.Set(txn)
 	}
+	var rs []rules.Rule
+	if pv.frozen != nil {
+		rs = mineFrozen(pv.cfg, pv.frozen, len(pv.window))
+	} else {
+		rs = mineWindow(pv.cfg, pv.catalog, pv.window)
+	}
 	return &View{
-		Rules:     mineWindow(pv.cfg, pv.catalog, pv.window),
+		Rules:     rs,
 		Catalog:   pv.catalog,
 		WindowLen: len(pv.window),
 		Total:     pv.total,

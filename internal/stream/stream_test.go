@@ -421,3 +421,89 @@ func TestViewCarriesWindow(t *testing.T) {
 		t.Fatalf("oldest txn renders as %v, want [c]", got)
 	}
 }
+
+// TestIncrementalSnapshotEquivalence interleaves observe/evict/mine over an
+// incremental miner and a plain one fed the identical stream: every
+// snapshot, and every published View, must be rule-for-rule identical. The
+// schedule wraps the ring several times so eviction decrements, drift
+// maintenance and (possibly) rebuild fallbacks all run mid-stream.
+func TestIncrementalSnapshotEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		cfg := Config{WindowSize: 150, MinSupport: 0.04, MinLift: 1.1, Workers: 1}
+		plain, err := New(nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Incremental = true
+		incr, err := New(nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := stats.NewRNG(700 + seed)
+		names := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+		for i := 0; i < 600; i++ {
+			var txn []string
+			for _, n := range names {
+				if g.Bernoulli(0.3) {
+					txn = append(txn, n)
+				}
+			}
+			if len(txn) > 0 && txn[0] == "a" && g.Bernoulli(0.8) {
+				txn = append(txn, "b")
+			}
+			plain.ObserveNames(txn...)
+			incr.ObserveNames(txn...)
+			if g.Intn(40) != 0 && i != 599 {
+				continue
+			}
+			want, got := plain.Snapshot(), incr.Snapshot()
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("seed %d step %d: incremental snapshot %d rules, plain %d",
+					seed, i, len(got), len(want))
+			}
+			wantView, gotView := plain.View(), incr.View()
+			if !reflect.DeepEqual(wantView.Rules, gotView.Rules) {
+				t.Fatalf("seed %d step %d: incremental view diverged", seed, i)
+			}
+			if gotView.WindowLen != wantView.WindowLen || gotView.Total != wantView.Total {
+				t.Fatalf("seed %d step %d: view occupancy diverged", seed, i)
+			}
+		}
+	}
+}
+
+// TestIncrementalRestoreWindow: a restored incremental miner rebuilds its
+// tree from the imported window and keeps mining incrementally — snapshots
+// match a plain miner fed the same history, before and after post-restore
+// observations.
+func TestIncrementalRestoreWindow(t *testing.T) {
+	cfg := Config{WindowSize: 20, MinSupport: 0.2, Incremental: true}
+	src, err := New(nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 33; i++ { // wrapped ring
+		src.ObserveNames("x", "y")
+		src.ObserveNames("x")
+	}
+	txns, total := src.Export()
+	dst, err := New(src.Catalog().Clone(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.RestoreWindow(txns, total); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(src.Snapshot(), dst.Snapshot()) {
+		t.Fatal("restored incremental miner mines different rules")
+	}
+	// Keep streaming on both: the restored tree must absorb evictions of
+	// restored transactions it never saw via Observe.
+	for i := 0; i < 30; i++ {
+		src.ObserveNames("y", "z")
+		dst.ObserveNames("y", "z")
+		if !reflect.DeepEqual(src.Snapshot(), dst.Snapshot()) {
+			t.Fatalf("step %d: post-restore snapshots diverged", i)
+		}
+	}
+}

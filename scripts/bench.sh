@@ -41,6 +41,9 @@ run() { # run <pkg> <bench regexp>
 # FP-Growth engine: initial tree construction and mining across densities,
 # thresholds and worker counts (20k-transaction class databases).
 run ./internal/fpgrowth 'BenchmarkBuildInitial|BenchmarkMineByDensity|BenchmarkMineByThreshold|BenchmarkMineParallelism'
+# Windowed-delta serving pattern: 20k window advancing 200 txns per tick,
+# full tree rebuild per mine vs the maintained incremental tree.
+run ./internal/fpgrowth 'BenchmarkIncrementalMine'
 # Rule generation over the mined lattice.
 run ./internal/rules 'BenchmarkGenerate'
 # End-to-end: 20k-job PAI trace through the miner, and the HTTP server
