@@ -5,11 +5,15 @@
 //
 // Endpoints:
 //
-//	POST /v1/jobs    ingest NDJSON (default) or CSV (Content-Type: text/csv)
-//	GET  /v1/rules   current rules; ?keyword=failed&kind=cause for analyses
-//	GET  /v1/drift   rules appeared/vanished between the last two snapshots
-//	GET  /healthz    liveness plus snapshot age; 503 once draining begins
-//	GET  /metrics    ingest/mining counters as flat JSON
+//	POST /v1/jobs        ingest NDJSON (default) or CSV (Content-Type: text/csv)
+//	GET  /v1/rules       current rules; ?keyword=failed&kind=cause for analyses,
+//	                     ?sort=lift|support|confidence, ?min_lift= / ?min_support=
+//	                     floors, ?offset=/?limit= pagination; ETag + Cache-Control
+//	GET  /v1/drift       rules appeared/vanished between the last two snapshots
+//	GET  /v1/drift/watch SSE push of drift events on every publish (?mode=poll
+//	                     for long-poll; resume via Last-Event-ID = snapshot seq)
+//	GET  /healthz        liveness plus snapshot age; 503 once draining begins
+//	GET  /metrics        ingest/mining counters as flat JSON
 //
 // Example against a generated trace:
 //
@@ -98,6 +102,7 @@ func main() {
 	incremental := flag.Bool("incremental", false, "maintain the FP-tree across mines so steady-state mine cost tracks the ingest delta, not the window size (rules are identical; a rank-drift or fragmentation fallback rebuilds when needed)")
 	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof profiles (e.g. localhost:6060); empty disables")
 	queue := flag.Int("queue", 8192, "ingest queue capacity (full queue => 429)")
+	watchHistory := flag.Int("watch-history", 64, "drift events retained for /v1/drift/watch Last-Event-ID resume")
 	bootstrap := flag.Int("bootstrap", 500, "jobs sampled before bin edges are fitted")
 	stateDir := flag.String("state-dir", "", "directory for the durable checkpoint; empty disables checkpoint/restore")
 	checkpointEvery := flag.Int("checkpoint-every", 1, "mines between checkpoints when -state-dir is set")
@@ -124,7 +129,7 @@ func main() {
 		cLift: *cLift, cSupp: *cSupp,
 		mineInterval: *mineInterval, mineBatch: *mineBatch, mineWorkers: *mineWorkers,
 		incremental: *incremental,
-		queue:       *queue, bootstrap: *bootstrap,
+		queue:       *queue, bootstrap: *bootstrap, watchHistory: *watchHistory,
 		stateDir: *stateDir, checkpointEvery: *checkpointEvery, keep: splitList(*keep),
 		walDir: *walDir, fsync: *fsync, fsyncInterval: *fsyncInterval, mineTimeout: *mineTimeout,
 		numeric: splitList(*numeric), zeros: splitList(*zeros), spikes: splitList(*spikes),
@@ -168,7 +173,7 @@ type options struct {
 	spec                                 string
 	window, maxLen, mineBatch            int
 	queue, bootstrap, mineWorkers        int
-	checkpointEvery                      int
+	checkpointEvery, watchHistory        int
 	incremental                          bool
 	minSupport, minLift, cLift, cSupp    float64
 	mineInterval, mineTimeout            time.Duration
@@ -191,6 +196,7 @@ func buildConfig(o options) (server.Config, error) {
 		MineInterval:    o.mineInterval,
 		MineBatch:       o.mineBatch,
 		QueueSize:       o.queue,
+		WatchHistory:    o.watchHistory,
 		Workers:         o.mineWorkers,
 		Incremental:     o.incremental,
 		StateDir:        o.stateDir,
@@ -289,10 +295,13 @@ func runCluster(addr string, ccfg shard.Config) error {
 	fmt.Println("serve: shutting down, draining every shard")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
-	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+	// Drain before Shutdown: stopping the cluster closes the watch hubs,
+	// which ends the open /v1/drift/watch streams — otherwise Shutdown
+	// would wait its whole timeout on them.
+	if err := c.Stop(shutdownCtx); err != nil {
 		return err
 	}
-	if err := c.Stop(shutdownCtx); err != nil {
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		return err
 	}
 	if snap, _ := c.Merged(); snap != nil {
@@ -334,10 +343,13 @@ func run(addr string, cfg server.Config) error {
 	fmt.Println("serve: shutting down, draining ingest queue")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
-	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+	// Drain before Shutdown: Stop closes the watch hub, ending the open
+	// /v1/drift/watch streams — otherwise Shutdown would wait its whole
+	// timeout on them.
+	if err := s.Stop(shutdownCtx); err != nil {
 		return err
 	}
-	if err := s.Stop(shutdownCtx); err != nil {
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		return err
 	}
 	if snap := s.Snapshot(); snap != nil {

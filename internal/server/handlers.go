@@ -9,12 +9,12 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/itemset"
-	"repro/internal/pruning"
 	"repro/internal/rules"
 	"repro/internal/stream"
 )
@@ -47,10 +47,13 @@ type ingestResult struct {
 	Accepted int         `json:"accepted"`
 	Rejected int         `json:"rejected"`
 	Errors   []lineError `json:"errors,omitempty"`
-	// Dropped flags a 429 or a WAL failure: ingest stopped at this 1-based
-	// line and the rest of the body was not read. Re-send from here after
-	// backoff.
+	// Dropped flags a 429, a WAL failure, or an unreadable body: ingest
+	// stopped at this 1-based line and the rest of the body was not read.
+	// Re-send from here after backoff.
 	DroppedAtLine int `json:"dropped_at_line,omitempty"`
+	// Error describes why ingest stopped mid-body (for a 400 whose earlier
+	// lines were already committed — those counts stand).
+	Error string `json:"error,omitempty"`
 }
 
 // retryAfterSeconds derives the 429 Retry-After hint from the mining
@@ -97,7 +100,17 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	_, readErr := decodeBody(s.idx, r.Header.Get("Content-Type"), r.Body, emit, reject)
 	switch {
 	case readErr != nil:
-		httpError(w, http.StatusBadRequest, "reading body: %v", readErr)
+		// The body became unreadable mid-stream (over-long line, transport
+		// error), but everything before that point was validated and
+		// enqueued — those events are committed. Answer 400 with the
+		// partial result so the client resumes from DroppedAtLine instead
+		// of re-sending (and double-counting) the accepted prefix.
+		var re *ReadError
+		if errors.As(readErr, &re) {
+			res.DroppedAtLine = re.Line
+		}
+		res.Error = fmt.Sprintf("reading body: %v", readErr)
+		writeJSON(w, http.StatusBadRequest, res)
 	case errors.Is(stopErr, ErrDraining):
 		httpError(w, http.StatusServiceUnavailable, "server is draining")
 	case errors.Is(stopErr, ErrWAL):
@@ -135,6 +148,18 @@ func (d *Decoder) Decode(contentType string, body io.Reader, emit func(line int,
 	return decodeBody(d.idx, contentType, body, emit, reject)
 }
 
+// ReadError reports a body that became unreadable at a specific 1-based
+// line — an over-long NDJSON line, a broken transport, a damaged CSV
+// stream. Lines before it were parsed and handled; the client resumes from
+// Line.
+type ReadError struct {
+	Line int
+	Err  error
+}
+
+func (e *ReadError) Error() string { return fmt.Sprintf("line %d: %v", e.Line, e.Err) }
+func (e *ReadError) Unwrap() error { return e.Err }
+
 func decodeBody(idx *specIndex, contentType string, body io.Reader, emit func(int, Event) bool, reject func(int, error)) (stopped bool, err error) {
 	if strings.HasPrefix(contentType, "text/csv") {
 		return decodeCSV(idx, body, emit, reject)
@@ -161,7 +186,13 @@ func decodeNDJSON(body io.Reader, emit func(int, Event) bool, reject func(int, e
 			return true, nil
 		}
 	}
-	return false, sc.Err()
+	if err := sc.Err(); err != nil {
+		// The failed read is the line after the last one the scanner
+		// delivered (bufio.ErrTooLong and transport errors both surface
+		// here); everything before it is committed.
+		return false, &ReadError{Line: line + 1, Err: err}
+	}
+	return false, nil
 }
 
 func decodeCSV(idx *specIndex, body io.Reader, emit func(int, Event) bool, reject func(int, error)) (stopped bool, err error) {
@@ -169,7 +200,7 @@ func decodeCSV(idx *specIndex, body io.Reader, emit func(int, Event) bool, rejec
 	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
-		return false, fmt.Errorf("missing CSV header: %w", err)
+		return false, &ReadError{Line: 1, Err: fmt.Errorf("missing CSV header: %v", err)}
 	}
 	fields := append([]string(nil), header...)
 	line := 1
@@ -180,6 +211,14 @@ func decodeCSV(idx *specIndex, body io.Reader, emit func(int, Event) bool, rejec
 		}
 		line++
 		if err != nil {
+			// A *csv.ParseError is one malformed record: reject it and move
+			// on. Anything else is the underlying reader failing — it would
+			// fail identically on every retry, so abort instead of spinning
+			// on a permanently broken stream.
+			var perr *csv.ParseError
+			if !errors.As(err, &perr) {
+				return false, &ReadError{Line: line, Err: err}
+			}
 			reject(line, err)
 			continue
 		}
@@ -199,7 +238,13 @@ func decodeCSV(idx *specIndex, body io.Reader, emit func(int, Event) bool, rejec
 				}
 				ev[field] = v
 			} else if idx.boolCSV[field] {
-				ev[field] = raw == "true"
+				v, perr := strconv.ParseBool(raw)
+				if perr != nil {
+					reject(line, fmt.Errorf("field %q: %v", field, perr))
+					bad = true
+					break
+				}
+				ev[field] = v
 			} else {
 				ev[field] = raw
 			}
@@ -249,10 +294,17 @@ type pruneStatsJSON struct {
 // live miner.
 func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 	WriteRules(w, r, s.snap.Load(), RulesParams{
-		CLift: s.cfg.CLift,
-		CSupp: s.cfg.CSupp,
-		Shard: -1,
+		CLift:         s.cfg.CLift,
+		CSupp:         s.cfg.CSupp,
+		Shard:         -1,
+		MaxAgeSeconds: s.retryAfterSeconds(),
 	})
+}
+
+// handleWatch streams drift events over SSE (or long-poll) as snapshots
+// publish.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	ServeWatch(w, r, s.watch)
 }
 
 // RulesParams configures WriteRules for the three serving shapes: a plain
@@ -273,6 +325,10 @@ type RulesParams struct {
 	Shard int
 	// Shards is the contributing shard count of a merged view; 0 omits it.
 	Shards int
+	// MaxAgeSeconds, when positive, emits Cache-Control: max-age so caches
+	// reuse the response for one mine cadence before revalidating against
+	// the ETag; 0 omits the header.
+	MaxAgeSeconds int
 }
 
 // SnapshotETag is the default cache validator for a snapshot: keyed on the
@@ -304,12 +360,121 @@ func etagMatches(header, etag string) bool {
 	return false
 }
 
+// ruleQuery is the validated shape of a /v1/rules request: result order,
+// metric floors, and the pagination window. The zero value (after
+// parseRuleQuery defaults) reproduces the original API byte for byte.
+type ruleQuery struct {
+	limit, offset int
+	sortKey       string // "lift" (natural order), "support", "confidence"
+	minLift       float64
+	minSupport    float64
+	hasMinLift    bool
+	hasMinSupport bool
+	kind          string
+	prune         bool
+	keyword       string
+}
+
+func (q ruleQuery) matches(r *rules.Rule) bool {
+	if q.hasMinLift && r.Lift < q.minLift {
+		return false
+	}
+	if q.hasMinSupport && r.Support < q.minSupport {
+		return false
+	}
+	return true
+}
+
+// parseRuleQuery validates every /v1/rules query parameter up front —
+// before any conditional-request handling — so a malformed request is a
+// 400 even when the client's cached ETag still matches (satellite: the old
+// code answered 304 first and masked the error).
+func parseRuleQuery(q url.Values) (ruleQuery, error) {
+	out := ruleQuery{sortKey: "lift", prune: true}
+	var err error
+	if out.limit, err = intParam(q.Get("limit"), 50); err != nil {
+		return out, fmt.Errorf("limit: %v", err)
+	}
+	if out.offset, err = nonNegIntParam(q.Get("offset"), 0); err != nil {
+		return out, fmt.Errorf("offset: %v", err)
+	}
+	switch s := q.Get("sort"); s {
+	case "", "lift":
+		out.sortKey = "lift"
+	case "support", "confidence":
+		out.sortKey = s
+	default:
+		return out, fmt.Errorf("sort must be lift, support or confidence, got %q", s)
+	}
+	if out.minLift, out.hasMinLift, err = floatParam(q.Get("min_lift")); err != nil {
+		return out, fmt.Errorf("min_lift: %v", err)
+	}
+	if out.minSupport, out.hasMinSupport, err = floatParam(q.Get("min_support")); err != nil {
+		return out, fmt.Errorf("min_support: %v", err)
+	}
+	out.kind = q.Get("kind")
+	if out.kind != "" && out.kind != "all" && out.kind != "cause" && out.kind != "characteristic" {
+		return out, fmt.Errorf("kind must be cause, characteristic or all")
+	}
+	out.prune = q.Get("prune") != "false" && q.Get("prune") != "0"
+	out.keyword = q.Get("keyword")
+	return out, nil
+}
+
+// applyQuery renders one rule list through the query: re-sorted when a
+// non-natural order was asked for, then filtered and paginated. Used for
+// the keyword analysis lists, which are small post-prune; the no-keyword
+// path walks the index's precomputed orders instead.
+func applyQuery(rs []rules.Rule, q ruleQuery) []rules.Rule {
+	var order []int32
+	switch q.sortKey {
+	case "support":
+		order = sortedOrder(rs, func(r *rules.Rule) float64 { return r.Support })
+	case "confidence":
+		order = sortedOrder(rs, func(r *rules.Rule) float64 { return r.Confidence })
+	}
+	out := make([]rules.Rule, 0, q.limit)
+	skip := q.offset
+	for i := range rs {
+		r := &rs[i]
+		if order != nil {
+			r = &rs[order[i]]
+		}
+		if !q.matches(r) {
+			continue
+		}
+		if skip > 0 {
+			skip--
+			continue
+		}
+		out = append(out, *r)
+		if len(out) == q.limit {
+			break
+		}
+	}
+	return out
+}
+
+// snapIndex returns the snapshot's publish-time index, or builds a
+// throwaway one for hand-assembled snapshots that never went through
+// publish (tests, external callers).
+func snapIndex(snap *Snapshot) *RuleIndex {
+	if snap.Index != nil {
+		return snap.Index
+	}
+	return NewRuleIndex(snap.View)
+}
+
 // WriteRules renders snap as a /v1/rules response — the shared read path of
 // the single-miner server, the per-tenant shard views, and the merged
 // multi-shard view. A nil snap answers 503 (nothing mined yet). The
-// response carries an ETag keyed on the snapshot seq; a request whose
+// response carries an ETag keyed on the snapshot seq (plus Cache-Control
+// when the caller knows the mine cadence); a valid request whose
 // If-None-Match matches is answered 304 with no body, so clients and LBs
-// cache rule tables across the mine cadence and revalidate for free.
+// cache rule tables across the mine cadence and revalidate for free. All
+// reads go through the snapshot's RuleIndex: posting lists for ?keyword=,
+// precomputed orders for ?sort=, and a per-snapshot cache of pruned
+// analyses, so repeated queries cost O(result), not O(rules).
 func WriteRules(w http.ResponseWriter, r *http.Request, snap *Snapshot, p RulesParams) {
 	if snap == nil {
 		httpError(w, http.StatusServiceUnavailable, "no snapshot mined yet; ingest jobs and retry")
@@ -321,29 +486,26 @@ func WriteRules(w http.ResponseWriter, r *http.Request, snap *Snapshot, p RulesP
 	if p.CSupp == 0 {
 		p.CSupp = 1.5
 	}
+	q, err := parseRuleQuery(r.URL.Query())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	etag := p.ETag
 	if etag == "" {
 		etag = SnapshotETag(snap)
 	}
 	w.Header().Set("ETag", etag)
+	if p.MaxAgeSeconds > 0 {
+		w.Header().Set("Cache-Control", fmt.Sprintf("max-age=%d", p.MaxAgeSeconds))
+	}
 	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
-	q := r.URL.Query()
-	limit, err := intParam(q.Get("limit"), 50)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "limit: %v", err)
-		return
-	}
-	kind := q.Get("kind")
-	if kind != "" && kind != "all" && kind != "cause" && kind != "characteristic" {
-		httpError(w, http.StatusBadRequest, "kind must be cause, characteristic or all")
-		return
-	}
-	prune := q.Get("prune") != "false" && q.Get("prune") != "0"
 
 	view := snap.View
+	ix := snapIndex(snap)
 	resp := rulesResponse{
 		Seq:       snap.Seq,
 		MinedAt:   snap.MinedAt,
@@ -358,13 +520,12 @@ func WriteRules(w http.ResponseWriter, r *http.Request, snap *Snapshot, p RulesP
 		shard := p.Shard
 		resp.Shard = &shard
 	}
-	keyword := q.Get("keyword")
-	if keyword == "" {
-		resp.Rules = rules.ManyToJSON(truncate(view.Rules, limit), view.Catalog)
+	if q.keyword == "" {
+		resp.Rules = rules.ManyToJSON(ix.collect(q), view.Catalog)
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	item, name, err := resolveKeyword(view.Catalog, keyword)
+	item, name, err := ix.Resolve(q.keyword)
 	if err != nil {
 		status := http.StatusNotFound
 		if strings.Contains(err.Error(), "ambiguous") {
@@ -374,33 +535,28 @@ func WriteRules(w http.ResponseWriter, r *http.Request, snap *Snapshot, p RulesP
 		return
 	}
 	resp.Keyword = name
-	var relevant []rules.Rule
-	for _, rule := range view.Rules {
-		if rule.Antecedent.Contains(item) || rule.Consequent.Contains(item) {
-			relevant = append(relevant, rule)
-		}
-	}
-	kept := relevant
-	if prune {
-		var stats pruning.Stats
-		kept, stats = pruning.Prune(relevant, item, pruning.Options{CLift: p.CLift, CSupp: p.CSupp})
+	analysis := ix.Analysis(item, p.CLift, p.CSupp)
+	split := analysis.relevantSplit
+	if q.prune {
+		split = analysis.prunedSplit
+		stats := analysis.stats
 		resp.PruneStats = &pruneStatsJSON{Input: stats.Input, Kept: stats.Kept, ByCondition: stats.ByCond}
 	}
-	split := rules.Split(kept, item)
-	if kind == "" || kind == "all" || kind == "cause" {
-		resp.Cause = rules.ManyToJSON(truncate(split.Cause, limit), view.Catalog)
+	if q.kind == "" || q.kind == "all" || q.kind == "cause" {
+		resp.Cause = rules.ManyToJSON(applyQuery(split.Cause, q), view.Catalog)
 	}
-	if kind == "" || kind == "all" || kind == "characteristic" {
-		resp.Characteristic = rules.ManyToJSON(truncate(split.Characteristic, limit), view.Catalog)
+	if q.kind == "" || q.kind == "all" || q.kind == "characteristic" {
+		resp.Characteristic = rules.ManyToJSON(applyQuery(split.Characteristic, q), view.Catalog)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // driftResponse is the GET /v1/drift body: the structural rule diff
-// between the two most recent snapshots.
+// between the two most recent snapshots. PrevSeq is omitted on the first
+// snapshot, which has no predecessor to diff against.
 type driftResponse struct {
 	Seq      int64            `json:"seq"`
-	PrevSeq  int64            `json:"prev_seq"`
+	PrevSeq  int64            `json:"prev_seq,omitempty"`
 	Jaccard  float64          `json:"jaccard"`
 	Keyword  string           `json:"keyword,omitempty"`
 	Appeared []rules.RuleJSON `json:"appeared"`
@@ -408,13 +564,26 @@ type driftResponse struct {
 }
 
 func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
-	WriteDrift(w, r, s.snap.Load())
+	WriteDrift(w, r, s.snap.Load(), DriftParams{MaxAgeSeconds: s.retryAfterSeconds()})
+}
+
+// DriftParams configures WriteDrift the way RulesParams configures
+// WriteRules: an ETag override for merged views and an optional
+// Cache-Control lifetime.
+type DriftParams struct {
+	// ETag overrides the validator; empty derives SnapshotETag(snap).
+	ETag string
+	// MaxAgeSeconds, when positive, emits Cache-Control: max-age.
+	MaxAgeSeconds int
 }
 
 // WriteDrift renders snap's delta as a /v1/drift response — shared by the
 // single-miner server and the merged multi-shard view, whose delta compares
-// consecutive merged snapshots. A nil snap answers 503.
-func WriteDrift(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
+// consecutive merged snapshots. A nil snap answers 503. Like /v1/rules the
+// response revalidates for free across the mine cadence: it carries the
+// snapshot ETag and answers If-None-Match hits 304 (after param
+// validation, so malformed requests still fail loudly).
+func WriteDrift(w http.ResponseWriter, r *http.Request, snap *Snapshot, p DriftParams) {
 	if snap == nil {
 		httpError(w, http.StatusServiceUnavailable, "no snapshot mined yet; ingest jobs and retry")
 		return
@@ -425,10 +594,22 @@ func WriteDrift(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
 		httpError(w, http.StatusBadRequest, "limit: %v", err)
 		return
 	}
+	etag := p.ETag
+	if etag == "" {
+		etag = SnapshotETag(snap)
+	}
+	w.Header().Set("ETag", etag)
+	if p.MaxAgeSeconds > 0 {
+		w.Header().Set("Cache-Control", fmt.Sprintf("max-age=%d", p.MaxAgeSeconds))
+	}
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	delta := snap.Delta
-	resp := driftResponse{Seq: snap.Seq, PrevSeq: snap.Seq - 1, Jaccard: delta.Jaccard}
+	resp := driftResponse{Seq: snap.Seq, PrevSeq: snap.PrevSeq, Jaccard: delta.Jaccard}
 	if keyword := q.Get("keyword"); keyword != "" {
-		item, name, err := resolveKeyword(snap.View.Catalog, keyword)
+		item, name, err := snapIndex(snap).Resolve(keyword)
 		if err != nil {
 			status := http.StatusNotFound
 			if strings.Contains(err.Error(), "ambiguous") {
@@ -539,6 +720,30 @@ func intParam(raw string, def int) (int, error) {
 		return 0, fmt.Errorf("want a positive integer, got %q", raw)
 	}
 	return v, nil
+}
+
+func nonNegIntParam(raw string, def int) (int, error) {
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("want a non-negative integer, got %q", raw)
+	}
+	return v, nil
+}
+
+// floatParam parses an optional non-negative float; ok reports whether the
+// parameter was present.
+func floatParam(raw string) (v float64, ok bool, err error) {
+	if raw == "" {
+		return 0, false, nil
+	}
+	v, err = strconv.ParseFloat(raw, 64)
+	if err != nil || math.IsNaN(v) || v < 0 {
+		return 0, false, fmt.Errorf("want a non-negative number, got %q", raw)
+	}
+	return v, true, nil
 }
 
 func truncate(rs []rules.Rule, limit int) []rules.Rule {

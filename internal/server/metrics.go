@@ -55,6 +55,8 @@ func (s *Server) metricsView() map[string]any {
 		"mine_incremental_total":  s.metrics.mineIncremental.Load(),
 		"mine_full_rebuild_total": s.metrics.mineFullRebuilds.Load(),
 		"degraded":                s.metrics.degraded.Load() != degradedNone,
+		"watch_subscribers":       s.watch.Subscribers(),
+		"watch_events_total":      s.watch.EventsPublished(),
 		"checkpoints":             s.metrics.checkpoints.Load(),
 		"checkpoint_errors":       s.metrics.checkpointErrors.Load(),
 		"checkpoint_fallbacks":    s.metrics.checkpointFallbacks.Load(),
@@ -82,6 +84,11 @@ func (s *Server) metricsView() map[string]any {
 		out["snapshot_age_s"] = time.Since(snap.MinedAt).Seconds()
 		out["snapshot_stale"] = snap.Stale
 		out["observed_total"] = snap.View.Total
+		if snap.Index != nil {
+			hits, misses := snap.Index.CacheStats()
+			out["keyword_cache_hits"] = hits
+			out["keyword_cache_misses"] = misses
+		}
 	}
 	return out
 }

@@ -1,0 +1,252 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// A malformed query with a matching If-None-Match must come back 400, not
+// 304: revalidation says "your cached copy of THIS response is current",
+// and an invalid query has no response to be current against. Validation
+// therefore runs before the conditional check.
+func TestQueryValidatedBeforeConditional(t *testing.T) {
+	snap := testSnapshot(3, false)
+	etag := SnapshotETag(snap)
+
+	rulesCases := []string{
+		"/v1/rules?limit=bogus",
+		"/v1/rules?limit=-1",
+		"/v1/rules?offset=bogus",
+		"/v1/rules?sort=bogus",
+		"/v1/rules?min_lift=bogus",
+		"/v1/rules?min_support=-0.5",
+		"/v1/rules?kind=bogus",
+	}
+	for _, url := range rulesCases {
+		req := httptest.NewRequest("GET", url, nil)
+		req.Header.Set("If-None-Match", etag)
+		rec := httptest.NewRecorder()
+		WriteRules(rec, req, snap, RulesParams{Shard: -1})
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s with matching If-None-Match: %d, want 400", url, rec.Code)
+		}
+	}
+
+	req := httptest.NewRequest("GET", "/v1/drift?limit=bogus", nil)
+	req.Header.Set("If-None-Match", etag)
+	rec := httptest.NewRecorder()
+	WriteDrift(rec, req, snap, DriftParams{})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("/v1/drift?limit=bogus with matching If-None-Match: %d, want 400", rec.Code)
+	}
+
+	// A valid query still revalidates.
+	req = httptest.NewRequest("GET", "/v1/rules?limit=5", nil)
+	req.Header.Set("If-None-Match", etag)
+	rec = httptest.NewRecorder()
+	WriteRules(rec, req, snap, RulesParams{Shard: -1})
+	if rec.Code != http.StatusNotModified {
+		t.Errorf("valid conditional GET: %d, want 304", rec.Code)
+	}
+}
+
+// Declared CSV bool columns must parse with strconv semantics — accepting
+// the full 1/t/T/TRUE/true/True family — and reject anything unparseable
+// instead of smuggling it through as a string.
+func TestCSVBoolColumns(t *testing.T) {
+	dec := NewDecoder(Spec{Bools: []string{"multi_task"}})
+	cases := []struct {
+		raw      string
+		want     bool
+		rejected bool
+	}{
+		{raw: "true", want: true},
+		{raw: "True", want: true},
+		{raw: "TRUE", want: true},
+		{raw: "t", want: true},
+		{raw: "1", want: true},
+		{raw: "false", want: false},
+		{raw: "False", want: false},
+		{raw: "FALSE", want: false},
+		{raw: "f", want: false},
+		{raw: "0", want: false},
+		{raw: "yes", rejected: true},
+		{raw: "no", rejected: true},
+		{raw: "2", rejected: true},
+		{raw: "truthy", rejected: true},
+		{raw: " true", rejected: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.raw, func(t *testing.T) {
+			body := fmt.Sprintf("color,multi_task\nred,%q\n", tc.raw)
+			var events []Event
+			var rejects []error
+			stopped, err := dec.Decode("text/csv", strings.NewReader(body),
+				func(line int, ev Event) bool { events = append(events, ev); return true },
+				func(line int, err error) { rejects = append(rejects, err) })
+			if err != nil || stopped {
+				t.Fatalf("Decode: stopped=%v err=%v", stopped, err)
+			}
+			if tc.rejected {
+				if len(rejects) != 1 || len(events) != 0 {
+					t.Fatalf("%q: %d rejects %d events, want the row rejected", tc.raw, len(rejects), len(events))
+				}
+				if !strings.Contains(rejects[0].Error(), "multi_task") {
+					t.Fatalf("reject error %q does not name the column", rejects[0])
+				}
+				return
+			}
+			if len(rejects) != 0 || len(events) != 1 {
+				t.Fatalf("%q: %d rejects %d events, want the row accepted", tc.raw, len(rejects), len(events))
+			}
+			if got, ok := events[0]["multi_task"].(bool); !ok || got != tc.want {
+				t.Fatalf("%q decoded as %#v, want bool %v", tc.raw, events[0]["multi_task"], tc.want)
+			}
+		})
+	}
+
+	// An empty cell is absence, not false.
+	var events []Event
+	_, err := dec.Decode("text/csv", strings.NewReader("color,multi_task\nred,\n"),
+		func(line int, ev Event) bool { events = append(events, ev); return true },
+		func(line int, err error) { t.Fatalf("empty cell rejected: %v", err) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, present := events[0]["multi_task"]; present {
+		t.Fatalf("empty bool cell produced a value: %#v", events[0])
+	}
+}
+
+// An NDJSON line past the scanner bound must not erase the work before it:
+// the response is a 400 carrying the partial ingestResult — accepted count
+// intact, dropped_at_line pointing at the unreadable line — so the client
+// resumes instead of re-sending (and double-counting) the committed prefix.
+func TestOverlongNDJSONLinePartialResult(t *testing.T) {
+	_, ts := newTestServer(t, Config{Spec: Spec{}, MineInterval: time.Hour})
+
+	var body bytes.Buffer
+	body.WriteString(`{"color":"red"}` + "\n")
+	body.WriteString(`{"color":"blue"}` + "\n")
+	body.WriteString(`{"pad":"` + strings.Repeat("x", maxLineBytes+1) + `"}` + "\n")
+	body.WriteString(`{"color":"green"}` + "\n") // never reached
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/x-ndjson", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	var res ingestResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != 2 {
+		t.Fatalf("accepted = %d, want the 2 lines before the overflow", res.Accepted)
+	}
+	if res.DroppedAtLine != 3 {
+		t.Fatalf("dropped_at_line = %d, want 3", res.DroppedAtLine)
+	}
+	if !strings.Contains(res.Error, "token too long") {
+		t.Fatalf("error %q does not explain the over-long line", res.Error)
+	}
+}
+
+// failingReader yields its payload, then a permanent transport error.
+type failingReader struct {
+	data io.Reader
+	err  error
+}
+
+func (r *failingReader) Read(p []byte) (int, error) {
+	n, err := r.data.Read(p)
+	if err == io.EOF {
+		return n, r.err
+	}
+	return n, err
+}
+
+// A CSV body whose underlying reader dies must abort with a ReadError
+// naming the failed line — not spin forever re-reading the same failure,
+// and not silently succeed.
+func TestCSVReaderFailureAborts(t *testing.T) {
+	dec := NewDecoder(Spec{})
+	boom := errors.New("connection reset")
+	var events []Event
+	stopped, err := dec.Decode("text/csv",
+		&failingReader{data: strings.NewReader("color\nred\nblue\n"), err: boom},
+		func(line int, ev Event) bool { events = append(events, ev); return true },
+		func(line int, err error) { t.Fatalf("line rejected instead of abort: %v", err) })
+	if stopped {
+		t.Fatal("emit-stop reported for a read failure")
+	}
+	var re *ReadError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want a *ReadError", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("ReadError does not wrap the transport error: %v", err)
+	}
+	if re.Line != len(events)+2 {
+		t.Fatalf("ReadError line %d with %d parsed events", re.Line, len(events))
+	}
+}
+
+// /v1/drift carries the same snapshot ETag as /v1/rules, answers 304 to a
+// matching If-None-Match, and reports prev_seq only when a predecessor
+// exists — the first snapshot must not invent a phantom seq 0.
+func TestDriftETagAndPrevSeq(t *testing.T) {
+	first := testSnapshot(1, false) // PrevSeq zero: no predecessor
+	rec := httptest.NewRecorder()
+	WriteDrift(rec, httptest.NewRequest("GET", "/v1/drift", nil), first, DriftParams{MaxAgeSeconds: 2})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("first drift GET: %d", rec.Code)
+	}
+	etag := rec.Header().Get("ETag")
+	if etag == "" || etag != SnapshotETag(first) {
+		t.Fatalf("drift ETag %q, want %q", etag, SnapshotETag(first))
+	}
+	if cc := rec.Header().Get("Cache-Control"); cc != "max-age=2" {
+		t.Fatalf("Cache-Control %q, want max-age=2", cc)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, present := raw["prev_seq"]; present {
+		t.Fatalf("first snapshot reported prev_seq: %s", rec.Body)
+	}
+
+	req := httptest.NewRequest("GET", "/v1/drift", nil)
+	req.Header.Set("If-None-Match", etag)
+	rec = httptest.NewRecorder()
+	WriteDrift(rec, req, first, DriftParams{})
+	if rec.Code != http.StatusNotModified {
+		t.Fatalf("conditional drift GET: %d, want 304", rec.Code)
+	}
+
+	later := testSnapshot(7, false)
+	later.PrevSeq = 6
+	rec = httptest.NewRecorder()
+	WriteDrift(rec, httptest.NewRequest("GET", "/v1/drift", nil), later, DriftParams{})
+	var resp struct {
+		Seq     int64 `json:"seq"`
+		PrevSeq int64 `json:"prev_seq"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Seq != 7 || resp.PrevSeq != 6 {
+		t.Fatalf("seq/prev_seq = %d/%d, want 7/6", resp.Seq, resp.PrevSeq)
+	}
+}

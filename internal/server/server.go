@@ -76,6 +76,9 @@ type Config struct {
 	// QueueSize bounds the ingest queue; a full queue turns POSTs into
 	// 429 responses. Zero means 8192.
 	QueueSize int
+	// WatchHistory is how many published drift events /v1/drift/watch
+	// retains for Last-Event-ID resume; zero means 64.
+	WatchHistory int
 	// Workers sets the mining parallelism (FP-Growth conditional subtrees
 	// and rule-generation shards). Zero means GOMAXPROCS; 1 forces serial
 	// mining. Snapshots are identical for any worker count.
@@ -157,6 +160,9 @@ func (c Config) withDefaults() Config {
 	if c.QueueSize == 0 {
 		c.QueueSize = 8192
 	}
+	if c.WatchHistory == 0 {
+		c.WatchHistory = 64
+	}
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = 1
 	}
@@ -174,11 +180,18 @@ func (c Config) withDefaults() Config {
 type Snapshot struct {
 	// Seq increments with every publish; the first snapshot is 1.
 	Seq int64
+	// PrevSeq is the seq of the snapshot Delta was computed against; 0 for
+	// the first snapshot, which has no predecessor.
+	PrevSeq int64
 	// MinedAt and MineDuration time the re-mine that produced it.
 	MinedAt      time.Time
 	MineDuration time.Duration
 	// View carries the rules plus the frozen catalog to render them.
 	View *stream.View
+	// Index is the read-path query index built at publish time. Handlers
+	// must go through snapIndex, which builds a throwaway index when a
+	// hand-assembled snapshot (tests, external callers) left this nil.
+	Index *RuleIndex
 	// Delta is the structural diff against the previous snapshot.
 	Delta stream.Delta
 	// Stale marks a republished snapshot: the mine that should have
@@ -250,6 +263,7 @@ type Server struct {
 	lastApplied atomic.Uint64
 
 	snap    atomic.Pointer[Snapshot]
+	watch   *WatchHub
 	metrics metrics
 	started time.Time
 	mux     *http.ServeMux
@@ -288,11 +302,13 @@ func New(cfg Config) (*Server, error) {
 		done:    make(chan struct{}),
 		abort:   make(chan struct{}),
 		started: time.Now(),
+		watch:   NewWatchHub(cfg.WatchHistory),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleIngest)
 	s.mux.HandleFunc("GET /v1/rules", s.handleRules)
 	s.mux.HandleFunc("GET /v1/drift", s.handleDrift)
+	s.mux.HandleFunc("GET /v1/drift/watch", s.handleWatch)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	enc := newEncoder(s.idx, cfg.Bootstrap, cfg.MaxPrevalence, cfg.KeepItems)
@@ -553,6 +569,9 @@ func (s *Server) flushGuarded(enc *encoder) (txns [][]string) {
 // race-free under concurrent ingest and query load.
 func (s *Server) loop(miner *stream.Miner, enc *encoder) {
 	defer close(s.done)
+	// Closing the hub ends every /v1/drift/watch stream, so an http.Server
+	// shutdown is not held open by idle SSE subscribers.
+	defer s.watch.Close()
 	defer func() {
 		if s.wal != nil {
 			_ = s.wal.Close()
@@ -715,26 +734,35 @@ func (s *Server) publish(view *stream.View, took time.Duration) {
 	// republishes the checkpointed window under its recorded seq, so
 	// numbering continues exactly where the previous instance stopped.
 	seq := int64(1)
+	prevSeq := int64(0)
 	if s.seqBase > 0 {
 		seq = s.seqBase
 	}
 	if prev != nil {
 		delta = stream.Diff(prev.View.Rules, view.Rules)
 		seq = prev.Seq + 1
+		prevSeq = prev.Seq
 	} else {
 		delta = stream.Diff(nil, view.Rules)
 	}
 	snap := &Snapshot{
 		Seq:          seq,
+		PrevSeq:      prevSeq,
 		MinedAt:      time.Now(),
 		MineDuration: took,
 		View:         view,
+		Index:        NewRuleIndex(view),
 		Delta:        delta,
 	}
 	s.snap.Store(snap)
+	s.watch.Publish(snap)
 	s.metrics.mineCount.Add(1)
 	s.metrics.lastMineNanos.Store(int64(took))
 }
+
+// Watch exposes the drift push hub, so a fronting tier (the shard cluster)
+// can route /v1/drift/watch traffic or hang a merge trigger off publishes.
+func (s *Server) Watch() *WatchHub { return s.watch }
 
 // PAISpec is the live-serving counterpart of core.PAIPipeline: the same
 // bins, tiers and aggregations, declared over event fields instead of

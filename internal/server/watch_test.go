@@ -1,0 +1,470 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// watchSnapshot builds the minimal snapshot Publish needs: a seq, a
+// predecessor, and an (empty) delta over an empty view.
+func watchSnapshot(seq int64) *Snapshot {
+	snap := testSnapshot(seq, false)
+	if seq > 1 {
+		snap.PrevSeq = seq - 1
+	}
+	return snap
+}
+
+// collectSeqs drains backlog plus n live events from a subscription,
+// returning the seqs in arrival order.
+func collectSeqs(t *testing.T, backlog []hubEvent, ch <-chan hubEvent, n int) []int64 {
+	t.Helper()
+	var seqs []int64
+	for _, ev := range backlog {
+		seqs = append(seqs, ev.seq)
+	}
+	for len(seqs) < n {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				t.Fatalf("channel closed after %d of %d events", len(seqs), n)
+			}
+			seqs = append(seqs, ev.seq)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out after %d of %d events", len(seqs), n)
+		}
+	}
+	return seqs
+}
+
+// The hub must deliver every published snapshot exactly once and in order,
+// and a re-subscription with the last seen seq must resume without
+// duplicates or gaps — the invariant /v1/drift/watch clients rely on across
+// reconnects.
+func TestWatchHubExactlyOnceInOrder(t *testing.T) {
+	hub := NewWatchHub(8)
+	defer hub.Close()
+
+	backlog, ch, cancel := hub.Subscribe(0)
+	if len(backlog) != 0 {
+		t.Fatalf("fresh hub backlog: %d events", len(backlog))
+	}
+	for seq := int64(1); seq <= 4; seq++ {
+		hub.Publish(watchSnapshot(seq))
+	}
+	seqs := collectSeqs(t, nil, ch, 4)
+	for i, want := range []int64{1, 2, 3, 4} {
+		if seqs[i] != want {
+			t.Fatalf("seqs %v, want 1..4 in order", seqs)
+		}
+	}
+	cancel()
+	cancel() // idempotent
+
+	// Published while unsubscribed; the ring carries them to the resume.
+	hub.Publish(watchSnapshot(5))
+	hub.Publish(watchSnapshot(6))
+	backlog, ch, cancel = hub.Subscribe(4)
+	defer cancel()
+	hub.Publish(watchSnapshot(7))
+	seqs = collectSeqs(t, backlog, ch, 3)
+	for i, want := range []int64{5, 6, 7} {
+		if seqs[i] != want {
+			t.Fatalf("resumed seqs %v, want 5,6,7", seqs)
+		}
+	}
+	if got := hub.EventsPublished(); got != 7 {
+		t.Fatalf("EventsPublished = %d, want 7", got)
+	}
+	if got := hub.LatestSeq(); got != 7 {
+		t.Fatalf("LatestSeq = %d, want 7", got)
+	}
+}
+
+// A subscriber that stops draining must be disconnected instead of
+// stalling Publish, and the ring must hold only the newest history events.
+func TestWatchHubOverflowAndRingBound(t *testing.T) {
+	hub := NewWatchHub(4)
+	defer hub.Close()
+
+	_, ch, cancel := hub.Subscribe(0)
+	defer cancel()
+	for seq := int64(1); seq <= int64(watchSubBuffer)+2; seq++ {
+		hub.Publish(watchSnapshot(seq))
+	}
+	// The channel holds watchSubBuffer events then was closed by Publish.
+	n := 0
+	for range ch {
+		n++
+	}
+	if n != watchSubBuffer {
+		t.Fatalf("drained %d events before disconnect, want %d", n, watchSubBuffer)
+	}
+
+	backlog, _, cancel2 := hub.Subscribe(0)
+	defer cancel2()
+	if len(backlog) != 4 {
+		t.Fatalf("ring backlog %d events, want history cap 4", len(backlog))
+	}
+	if got, want := backlog[0].seq, int64(watchSubBuffer-1); got != want {
+		t.Fatalf("oldest retained seq %d, want %d", got, want)
+	}
+}
+
+// Closing the hub must end every subscription, and later subscriptions get
+// an already-closed channel so handlers return instead of hanging.
+func TestWatchHubClose(t *testing.T) {
+	hub := NewWatchHub(0)
+	_, ch, _ := hub.Subscribe(0)
+	hub.Close()
+	hub.Close() // idempotent
+	if _, ok := <-ch; ok {
+		t.Fatal("subscription channel still open after Close")
+	}
+	_, ch2, cancel := hub.Subscribe(0)
+	defer cancel()
+	if _, ok := <-ch2; ok {
+		t.Fatal("post-Close subscription channel not closed")
+	}
+	hub.Publish(watchSnapshot(1)) // no-op, must not panic
+}
+
+// sseEvent is one parsed text/event-stream frame.
+type sseEvent struct {
+	id    int64
+	event string
+	data  string
+}
+
+// readSSE parses frames off a live event stream until n events arrive.
+func readSSE(t *testing.T, body io.Reader, n int) []sseEvent {
+	t.Helper()
+	var (
+		events []sseEvent
+		cur    sseEvent
+	)
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.event != "" {
+				events = append(events, cur)
+				if len(events) == n {
+					return events
+				}
+			}
+			cur = sseEvent{}
+		case strings.HasPrefix(line, "id: "):
+			id, err := strconv.ParseInt(line[len("id: "):], 10, 64)
+			if err != nil {
+				t.Fatalf("bad id line %q: %v", line, err)
+			}
+			cur.id = id
+		case strings.HasPrefix(line, "event: "):
+			cur.event = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			cur.data = line[len("data: "):]
+		}
+	}
+	t.Fatalf("stream ended after %d of %d events: %v", len(events), n, sc.Err())
+	return nil
+}
+
+// The SSE endpoint must replay history past Last-Event-ID, push each new
+// publish exactly once in order, and resume seamlessly across a reconnect —
+// the exactly-once guarantee at the HTTP layer.
+func TestServeWatchSSEReconnect(t *testing.T) {
+	hub := NewWatchHub(16)
+	defer hub.Close()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ServeWatch(w, r, hub)
+	}))
+	defer ts.Close()
+
+	for seq := int64(1); seq <= 3; seq++ {
+		hub.Publish(watchSnapshot(seq))
+	}
+
+	req, _ := http.NewRequest("GET", ts.URL, nil)
+	req.Header.Set("Last-Event-ID", "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	// Backlog 2,3 then a live push of 4.
+	go hub.Publish(watchSnapshot(4))
+	events := readSSE(t, resp.Body, 3)
+	resp.Body.Close()
+	var last int64
+	for i, want := range []int64{2, 3, 4} {
+		ev := events[i]
+		if ev.id != want || ev.event != "drift" {
+			t.Fatalf("event %d: id=%d type=%q, want id=%d type=drift", i, ev.id, ev.event, want)
+		}
+		var we WatchEvent
+		if err := json.Unmarshal([]byte(ev.data), &we); err != nil {
+			t.Fatalf("event %d data: %v", i, err)
+		}
+		if we.Seq != want {
+			t.Fatalf("event %d payload seq %d, want %d", i, we.Seq, want)
+		}
+		last = ev.id
+	}
+
+	// Reconnect with the last delivered id: only newer events may arrive.
+	hub.Publish(watchSnapshot(5))
+	req2, _ := http.NewRequest("GET", ts.URL+"?last_event_id="+strconv.FormatInt(last, 10), nil)
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	events = readSSE(t, resp2.Body, 1)
+	if events[0].id != 5 {
+		t.Fatalf("after reconnect got id %d, want 5", events[0].id)
+	}
+}
+
+// A fresh SSE subscriber (no Last-Event-ID) starts from "now": events
+// published before the connection are /v1/drift's job, not the stream's.
+func TestServeWatchSSEFreshStartsAtNow(t *testing.T) {
+	hub := NewWatchHub(16)
+	defer hub.Close()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ServeWatch(w, r, hub)
+	}))
+	defer ts.Close()
+
+	hub.Publish(watchSnapshot(1))
+	hub.Publish(watchSnapshot(2))
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// Wait for the subscription to land before publishing the live event.
+	deadline := time.Now().Add(5 * time.Second)
+	for hub.Subscribers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscriber never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	hub.Publish(watchSnapshot(3))
+	events := readSSE(t, resp.Body, 1)
+	if events[0].id != 3 {
+		t.Fatalf("fresh subscriber got id %d, want only the post-connect 3", events[0].id)
+	}
+}
+
+// The stream must carry comment heartbeats so idle connections stay alive
+// through proxies.
+func TestServeWatchHeartbeat(t *testing.T) {
+	old := watchHeartbeat
+	watchHeartbeat = 20 * time.Millisecond
+	defer func() { watchHeartbeat = old }()
+
+	hub := NewWatchHub(16)
+	defer hub.Close()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ServeWatch(w, r, hub)
+	}))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	deadline := time.After(5 * time.Second)
+	got := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), ": ping") {
+				got <- sc.Text()
+				return
+			}
+		}
+	}()
+	select {
+	case <-got:
+	case <-deadline:
+		t.Fatal("no heartbeat within 5s")
+	}
+}
+
+func pollEvents(t *testing.T, url string) []WatchEvent {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("poll status %d", resp.StatusCode)
+	}
+	var pr pollResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	events := make([]WatchEvent, len(pr.Events))
+	for i, raw := range pr.Events {
+		if err := json.Unmarshal(raw, &events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return events
+}
+
+// The long-poll fallback must return buffered events immediately, an empty
+// list when the wait expires with nothing new, and wake on a concurrent
+// publish.
+func TestServeWatchPoll(t *testing.T) {
+	hub := NewWatchHub(16)
+	defer hub.Close()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ServeWatch(w, r, hub)
+	}))
+	defer ts.Close()
+
+	hub.Publish(watchSnapshot(1))
+	hub.Publish(watchSnapshot(2))
+
+	// No resume point: everything in the ring comes back at once.
+	events := pollEvents(t, ts.URL+"?mode=poll")
+	if len(events) != 2 || events[0].Seq != 1 || events[1].Seq != 2 {
+		t.Fatalf("first poll: %+v, want seqs 1,2", events)
+	}
+	if events[1].PrevSeq != 1 {
+		t.Fatalf("seq 2 prev_seq = %d, want 1", events[1].PrevSeq)
+	}
+
+	// Caught up + short wait: empty response after the timeout.
+	start := time.Now()
+	events = pollEvents(t, ts.URL+"?mode=poll&last_event_id=2&wait_s=1")
+	if len(events) != 0 {
+		t.Fatalf("caught-up poll returned %+v", events)
+	}
+	if time.Since(start) < 900*time.Millisecond {
+		t.Fatal("caught-up poll returned before the wait elapsed")
+	}
+
+	// A publish during the wait ends it early with that event.
+	go func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for hub.Subscribers() == 0 {
+			if time.Now().After(deadline) {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		hub.Publish(watchSnapshot(3))
+	}()
+	events = pollEvents(t, ts.URL+"?mode=poll&last_event_id=2&wait_s=30")
+	if len(events) != 1 || events[0].Seq != 3 {
+		t.Fatalf("woken poll: %+v, want seq 3", events)
+	}
+}
+
+// Malformed watch parameters must be rejected up front.
+func TestServeWatchBadParams(t *testing.T) {
+	hub := NewWatchHub(16)
+	defer hub.Close()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ServeWatch(w, r, hub)
+	}))
+	defer ts.Close()
+
+	for _, url := range []string{
+		"?last_event_id=bogus",
+		"?last_event_id=-3",
+		"?mode=push",
+		"?mode=poll&wait_s=bogus",
+	} {
+		resp, err := http.Get(ts.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", url, resp.StatusCode)
+		}
+	}
+}
+
+// End to end on a real server: ingest triggers a mine, the publish pushes a
+// drift event to a live SSE stream, and Stop ends the stream promptly.
+func TestServerWatchEndToEnd(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Spec:         PAISpec(),
+		WindowSize:   2000,
+		Bootstrap:    200,
+		MineBatch:    500,
+		MineInterval: 50 * time.Millisecond,
+	})
+
+	resp, err := http.Get(ts.URL + "/v1/drift/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	lines := paiNDJSON(t, 1500, 11)
+	postChunks(t, ts.URL, lines, 500)
+
+	events := readSSE(t, resp.Body, 1)
+	if events[0].id < 1 || events[0].event != "drift" {
+		t.Fatalf("first pushed event: %+v", events[0])
+	}
+	var we WatchEvent
+	if err := json.Unmarshal([]byte(events[0].data), &we); err != nil {
+		t.Fatal(err)
+	}
+	if we.Seq != events[0].id {
+		t.Fatalf("payload seq %d != frame id %d", we.Seq, events[0].id)
+	}
+	if we.Seq == 1 && we.PrevSeq != 0 {
+		t.Fatalf("first snapshot pushed prev_seq %d, want omitted/0", we.PrevSeq)
+	}
+
+	// Poll mode agrees through the server's own mux.
+	var pr pollResponse
+	if code := getJSON(t, fmt.Sprintf("%s/v1/drift/watch?mode=poll&wait_s=1", ts.URL), &pr); code != http.StatusOK {
+		t.Fatalf("poll status %d", code)
+	}
+	if len(pr.Events) == 0 {
+		t.Fatal("poll saw no events after a publish")
+	}
+
+	// Stop must close the hub and end the live stream quickly.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Stop(ctx); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE stream still open 5s after Stop")
+	}
+}

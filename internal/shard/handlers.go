@@ -40,6 +40,9 @@ type ingestResult struct {
 	QuotaRejected int         `json:"quota_rejected,omitempty"`
 	Errors        []lineError `json:"errors,omitempty"`
 	DroppedAtLine int         `json:"dropped_at_line,omitempty"`
+	// Error describes why ingest stopped mid-body (for a 400 whose earlier
+	// lines were already committed — those counts stand).
+	Error string `json:"error,omitempty"`
 }
 
 // handleIngest decodes the batch once at the front tier, then routes each
@@ -82,7 +85,15 @@ func (c *Cluster) handleIngest(w http.ResponseWriter, r *http.Request) {
 	_, readErr := c.dec.Decode(r.Header.Get("Content-Type"), r.Body, emit, reject)
 	switch {
 	case readErr != nil:
-		httpError(w, http.StatusBadRequest, "reading body: %v", readErr)
+		// Events routed before the body broke are committed on their
+		// shards; answer with the partial result so the client resumes from
+		// DroppedAtLine instead of re-sending them.
+		var re *server.ReadError
+		if errors.As(readErr, &re) {
+			res.DroppedAtLine = re.Line
+		}
+		res.Error = fmt.Sprintf("reading body: %v", readErr)
+		writeJSON(w, http.StatusBadRequest, res)
 	case errors.Is(stopErr, server.ErrDraining):
 		httpError(w, http.StatusServiceUnavailable, "server is draining")
 	case errors.Is(stopErr, server.ErrWAL):
@@ -101,18 +112,41 @@ func (c *Cluster) handleIngest(w http.ResponseWriter, r *http.Request) {
 func (c *Cluster) handleRules(w http.ResponseWriter, r *http.Request) {
 	snap, etag := c.Merged()
 	server.WriteRules(w, r, snap, server.RulesParams{
-		CLift:  c.cfg.Shard.CLift,
-		CSupp:  c.cfg.Shard.CSupp,
-		ETag:   etag,
-		Shard:  -1,
-		Shards: len(c.shards),
+		CLift:         c.cfg.Shard.CLift,
+		CSupp:         c.cfg.Shard.CSupp,
+		ETag:          etag,
+		Shard:         -1,
+		Shards:        len(c.shards),
+		MaxAgeSeconds: c.maxAgeSeconds(),
 	})
 }
 
+// maxAgeSeconds is the cluster's Cache-Control lifetime: the shard mine
+// cadence, which bounds how soon a merged response can change.
+func (c *Cluster) maxAgeSeconds() int { return c.shards[0].RetryAfterSeconds() }
+
 // handleDrift diffs consecutive merged snapshots.
 func (c *Cluster) handleDrift(w http.ResponseWriter, r *http.Request) {
-	snap, _ := c.Merged()
-	server.WriteDrift(w, r, snap)
+	snap, etag := c.Merged()
+	server.WriteDrift(w, r, snap, server.DriftParams{ETag: etag, MaxAgeSeconds: c.maxAgeSeconds()})
+}
+
+// handleWatch streams merged drift events: the notifier remerges on every
+// shard publish, so subscribers see cluster-level appear/vanish churn
+// without polling.
+func (c *Cluster) handleWatch(w http.ResponseWriter, r *http.Request) {
+	server.ServeWatch(w, r, c.mergedWatch)
+}
+
+// handleTenantWatch streams the drift events of the tenant's own shard —
+// the push counterpart of /v1/tenants/{tenant}/rules.
+func (c *Cluster) handleTenantWatch(w http.ResponseWriter, r *http.Request) {
+	tenant := r.PathValue("tenant")
+	if strings.TrimSpace(tenant) == "" {
+		httpError(w, http.StatusBadRequest, "empty tenant")
+		return
+	}
+	server.ServeWatch(w, r, c.shards[c.ShardFor(tenant)].Watch())
 }
 
 // handleTenantRules serves one tenant's view: the snapshot of the shard
@@ -127,10 +161,11 @@ func (c *Cluster) handleTenantRules(w http.ResponseWriter, r *http.Request) {
 	}
 	shard := c.ShardFor(tenant)
 	server.WriteRules(w, r, c.shards[shard].Snapshot(), server.RulesParams{
-		CLift:  c.cfg.Shard.CLift,
-		CSupp:  c.cfg.Shard.CSupp,
-		Tenant: tenant,
-		Shard:  shard,
+		CLift:         c.cfg.Shard.CLift,
+		CSupp:         c.cfg.Shard.CSupp,
+		Tenant:        tenant,
+		Shard:         shard,
+		MaxAgeSeconds: c.maxAgeSeconds(),
 	})
 }
 
@@ -194,12 +229,14 @@ func (c *Cluster) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		shards[i] = s.Metrics()
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"shards":                 len(c.shards),
-		"tenant_field":           c.cfg.TenantField,
-		"rejected_total":         c.rejected.Load(),
-		"quota_rejections_total": c.quotaRejections.Load(),
-		"tenants":                tenants,
-		"shard":                  shards,
+		"shards":                    len(c.shards),
+		"tenant_field":              c.cfg.TenantField,
+		"rejected_total":            c.rejected.Load(),
+		"quota_rejections_total":    c.quotaRejections.Load(),
+		"merged_watch_subscribers":  c.mergedWatch.Subscribers(),
+		"merged_watch_events_total": c.mergedWatch.EventsPublished(),
+		"tenants":                   tenants,
+		"shard":                     shards,
 	})
 }
 

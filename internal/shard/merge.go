@@ -149,21 +149,28 @@ func (c *Cluster) remerge(snaps []*server.Snapshot, key string) *mergedSnap {
 		Total:     totalObserved,
 	}
 	seq := int64(1)
+	prevSeq := int64(0)
 	var delta stream.Delta
 	if prev := c.merged.Load(); prev != nil {
 		seq = prev.snap.Seq + 1
+		prevSeq = prev.snap.Seq
 		delta = stream.Diff(prev.snap.View.Rules, rs)
 	} else {
 		delta = stream.Diff(nil, rs)
 	}
 	snap := &server.Snapshot{
 		Seq:          seq,
+		PrevSeq:      prevSeq,
 		MinedAt:      time.Now(),
 		MineDuration: time.Since(start),
 		View:         view,
-		Delta:        delta,
-		Stale:        stale,
+		// One index per merge-key: every request against this cached merge
+		// shares the posting lists, sort orders and analysis cache.
+		Index: server.NewRuleIndex(view),
+		Delta: delta,
+		Stale: stale,
 	}
+	c.mergedWatch.Publish(snap)
 	return &mergedSnap{snap: snap, key: key, etag: mergedETag(seq, key)}
 }
 

@@ -123,6 +123,18 @@ type Cluster struct {
 	mergeMu      sync.Mutex
 	merged       atomic.Pointer[mergedSnap]
 	mergeCatalog *itemset.Catalog
+
+	// mergedWatch pushes merged drift events to /v1/drift/watch. The
+	// notifier goroutine wakes on any shard publish (via each shard hub's
+	// coalescing NotifyOn channel) and remerges, so merged events flow
+	// without request traffic; per-tenant watches go straight to the
+	// tenant's shard hub.
+	mergedWatch  *server.WatchHub
+	notifyCh     chan struct{}
+	notifyOff    []func()
+	notifierQuit chan struct{}
+	notifierDone chan struct{}
+	stopOnce     sync.Once
 }
 
 // New starts every shard miner and returns the cluster. Each shard derives
@@ -169,10 +181,36 @@ func New(cfg Config) (*Cluster, error) {
 	c.mux.HandleFunc("POST /v1/jobs", c.handleIngest)
 	c.mux.HandleFunc("GET /v1/rules", c.handleRules)
 	c.mux.HandleFunc("GET /v1/drift", c.handleDrift)
+	c.mux.HandleFunc("GET /v1/drift/watch", c.handleWatch)
 	c.mux.HandleFunc("GET /v1/tenants/{tenant}/rules", c.handleTenantRules)
+	c.mux.HandleFunc("GET /v1/tenants/{tenant}/drift/watch", c.handleTenantWatch)
 	c.mux.HandleFunc("GET /healthz", c.handleHealth)
 	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
+	c.mergedWatch = server.NewWatchHub(cfg.Shard.WatchHistory)
+	c.notifyCh = make(chan struct{}, 1)
+	c.notifierQuit = make(chan struct{})
+	c.notifierDone = make(chan struct{})
+	for _, s := range c.shards {
+		c.notifyOff = append(c.notifyOff, s.Watch().NotifyOn(c.notifyCh))
+	}
+	go c.notifier()
 	return c, nil
+}
+
+// notifier remerges whenever any shard publishes, so merged drift events
+// push to /v1/drift/watch subscribers instead of waiting for the next
+// query. The channel coalesces bursts: N near-simultaneous shard publishes
+// cost one remerge (the seq/stale vector is re-read under the merge lock).
+func (c *Cluster) notifier() {
+	defer close(c.notifierDone)
+	for {
+		select {
+		case <-c.notifierQuit:
+			return
+		case <-c.notifyCh:
+			c.Merged()
+		}
+	}
 }
 
 // shardDirName is the per-shard state subdirectory under the cluster roots.
@@ -191,8 +229,18 @@ func (c *Cluster) Shard(i int) *server.Server { return c.shards[i] }
 func (c *Cluster) Handler() http.Handler { return c.mux }
 
 // Stop drains every shard concurrently; each flushes its final snapshot and
-// checkpoint exactly as a standalone server would.
+// checkpoint exactly as a standalone server would. The merge notifier and
+// the merged watch hub shut down first, ending every /v1/drift/watch
+// stream.
 func (c *Cluster) Stop(ctx context.Context) error {
+	c.stopOnce.Do(func() {
+		for _, off := range c.notifyOff {
+			off()
+		}
+		close(c.notifierQuit)
+		<-c.notifierDone
+		c.mergedWatch.Close()
+	})
 	errs := make([]error, len(c.shards))
 	var wg sync.WaitGroup
 	for i, s := range c.shards {

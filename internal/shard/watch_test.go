@@ -1,0 +1,107 @@
+package shard
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// pollWatch long-polls a drift watch route on the cluster mux, returning
+// the decoded events.
+func pollWatch(t *testing.T, c *Cluster, path string) []server.WatchEvent {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	c.Handler().ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("%s: %d %s", path, rec.Code, rec.Body.String())
+	}
+	var pr struct {
+		Events []json.RawMessage `json:"events"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &pr); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	events := make([]server.WatchEvent, len(pr.Events))
+	for i, raw := range pr.Events {
+		if err := json.Unmarshal(raw, &events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return events
+}
+
+// A shard publish must propagate to the merged /v1/drift/watch without any
+// read traffic forcing the remerge: the notifier goroutine hears the shard
+// hub, remerges, and the merged hub pushes. Tenant-scoped watch routes tap
+// the owning shard's hub directly.
+func TestMergedWatchPushesOnShardPublish(t *testing.T) {
+	cfg := testShardConfig()
+	cfg.MineBatch = 20 // publish mid-stream so the push is notifier-driven
+	c := mustCluster(t, Config{Shards: 2, Shard: cfg})
+	tenants := pickTenants(t, c)
+
+	for i := 0; i < 30; i++ {
+		if err := c.Ingest(server.Event{"tenant": tenants[0], "color": "red", "shape": "circle"}); err != nil {
+			t.Fatalf("ingest: %v", err)
+		}
+		if err := c.Ingest(server.Event{"tenant": tenants[1], "color": "blue", "shape": "square"}); err != nil {
+			t.Fatalf("ingest: %v", err)
+		}
+	}
+
+	// The merged push is asynchronous (ingest → shard mine → hub notify →
+	// remerge → merged publish); the long poll waits for it.
+	events := pollWatch(t, c, "/v1/drift/watch?mode=poll&wait_s=10")
+	if len(events) == 0 {
+		t.Fatal("merged watch saw no events after shard publishes")
+	}
+	if events[0].Seq <= 0 {
+		t.Fatalf("merged watch event seq = %d", events[0].Seq)
+	}
+
+	// Per-tenant watch serves the owning shard's own stream.
+	events = pollWatch(t, c, "/v1/tenants/"+tenants[0]+"/drift/watch?mode=poll&wait_s=10")
+	if len(events) == 0 {
+		t.Fatalf("tenant %s watch saw no events", tenants[0])
+	}
+
+	// The cluster metrics must account for the merged pushes.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		req := httptest.NewRequest("GET", "/metrics", nil)
+		rec := httptest.NewRecorder()
+		c.Handler().ServeHTTP(rec, req)
+		var m struct {
+			MergedWatchEvents int64 `json:"merged_watch_events_total"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+			t.Fatalf("metrics: %v", err)
+		}
+		if m.MergedWatchEvents > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("merged_watch_events_total never rose above 0")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Stop must shut the notifier and merged hub down cleanly even when no
+// events ever flowed, and a watch poll after Stop must not hang.
+func TestClusterWatchStopIdle(t *testing.T) {
+	c := mustCluster(t, Config{Shards: 2, Shard: testShardConfig()})
+	stopCluster(t, c)
+	start := time.Now()
+	events := pollWatch(t, c, "/v1/drift/watch?mode=poll&wait_s=30")
+	if len(events) != 0 {
+		t.Fatalf("idle stopped cluster returned events: %+v", events)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("watch poll on a stopped cluster waited instead of returning")
+	}
+}

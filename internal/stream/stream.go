@@ -368,6 +368,49 @@ func (pv *PendingView) Mine() *View {
 	}
 }
 
+// Postings is an inverted item→rule index over one immutable rule list:
+// Postings[item] lists the indices (ascending) of every rule whose
+// antecedent or consequent contains the item. Built once when a snapshot is
+// published, it turns the keyword filter — previously a scan over every
+// rule per request — into a single slice lookup.
+type Postings [][]int32
+
+// IndexRules builds the inverted index for rs over a catalog of items
+// ids. Rule indices appear in each posting list in rule order, so
+// materializing a list reproduces exactly the subsequence a linear
+// Contains scan would have produced.
+func IndexRules(rs []rules.Rule, items int) Postings {
+	p := make(Postings, items)
+	add := func(it itemset.Item, idx int32) {
+		// Defensive growth: a rule item beyond the declared catalog length
+		// (impossible for views built by this package) must not panic the
+		// read path.
+		if int(it) >= len(p) {
+			grown := make(Postings, int(it)+1)
+			copy(grown, p)
+			p = grown
+		}
+		p[it] = append(p[it], idx)
+	}
+	for i, r := range rs {
+		for _, it := range r.Antecedent {
+			add(it, int32(i))
+		}
+		for _, it := range r.Consequent {
+			add(it, int32(i))
+		}
+	}
+	return p
+}
+
+// For returns the posting list for item (nil when the item indexes no rule).
+func (p Postings) For(item itemset.Item) []int32 {
+	if item < 0 || int(item) >= len(p) {
+		return nil
+	}
+	return p[item]
+}
+
 // Delta describes how the rule set changed between two snapshots.
 type Delta struct {
 	// Appeared holds rules present now but not before; Vanished the

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # bench.sh — run the mining hot-path benchmarks and record the numbers in
-# BENCH_mining.json at the repo root.
+# BENCH_mining.json at the repo root, then the serving read-path
+# benchmarks into BENCH_serving.json.
 #
 # Usage:
 #   scripts/bench.sh                 # refresh the "current" numbers
@@ -10,6 +11,11 @@
 # comparing against (e.g. before a performance change) and left alone
 # afterwards: a plain run preserves whatever baseline the file already
 # holds, so the JSON always shows before/after side by side.
+#
+# BENCH_serving.json needs no cross-commit baseline: the pre-index linear
+# read path is kept in-tree as the equivalence oracle, so every run
+# measures before (Linear) and after (Indexed) on the same snapshot and
+# reports the speedup directly.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -70,3 +76,28 @@ jq -n --argjson current "$current" --argjson baseline "$baseline" \
    note: "ns/B/allocs are per op; baseline is the pre-optimization capture, current the latest run",
    baseline: $baseline, current: $current}' >"$OUT"
 echo "wrote $OUT" >&2
+
+# Serving read path: repeated /v1/rules queries against one 20k-job
+# snapshot, the indexed handlers against the in-tree linear oracle.
+SERVING_OUT=BENCH_serving.json
+: >"$raw"
+run ./internal/server 'BenchmarkServing'
+
+jq -Rn --arg go "$(go version | awk '{print $3}')" --arg benchtime "$BENCHTIME" '
+  [inputs | split("\t") |
+   {name: .[1], iterations: (.[2] | tonumber),
+    ns_per_op: (.[3] | tonumber), bytes_per_op: (.[4] | tonumber),
+    allocs_per_op: (.[5] | tonumber)}]
+  | map({key: .name, value: .}) | from_entries as $b
+  | {generated_by: "scripts/bench.sh", go: $go, benchtime: $benchtime,
+     note: "before is the pre-index linear scan (kept as the equivalence oracle), after the indexed read path, on the same 20k-job snapshot",
+     results: [
+       {query: "repeated ?keyword= analysis",
+        before: $b.BenchmarkServingKeywordLinear,
+        after: $b.BenchmarkServingKeywordIndexed},
+       {query: "?sort=support&min_lift= page",
+        before: $b.BenchmarkServingSortLinear,
+        after: $b.BenchmarkServingSortIndexed}
+     ] | map(. + {speedup: ((.before.ns_per_op / .after.ns_per_op) * 10 | round / 10)})}
+  ' <"$raw" >"$SERVING_OUT"
+echo "wrote $SERVING_OUT" >&2
