@@ -1,0 +1,201 @@
+// Command armlint runs the repo's invariant suite (internal/lint): five
+// custom analyzers guarding the seams no compiler checks — the
+// faultinject.Clock time seam, publish-then-freeze immutability, the
+// never-block-while-locked rule, durability Sync/Close error handling,
+// and atomic publish-point discipline.
+//
+// Two modes:
+//
+//	armlint ./...                          # standalone multichecker
+//	go vet -vettool=$(which armlint) ./... # vet tool protocol
+//
+// Standalone mode loads packages itself (via `go list -export`) and
+// prints one line per finding; it exits 0 when clean, 1 on findings, 2
+// on failure to run. Vet-tool mode speaks the go command's unitchecker
+// protocol: -V=full for the tool ID, then one invocation per package
+// with a JSON .cfg file naming sources and export data. Test files are
+// skipped in both modes — the invariants guard production code, and
+// tests legitimately sleep, block, and poke struct fields.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/driver"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// The go command probes a vettool before using it: -V=full asks for
+	// a stable tool ID, -flags for the JSON flag schema (empty here).
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			fmt.Println("armlint version 1")
+			return 0
+		case "-flags", "--flags":
+			fmt.Println("[]")
+			return 0
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return runVetTool(args[0])
+	}
+
+	fs := flag.NewFlagSet("armlint", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: armlint [packages]\n\nanalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(fs.Output(), "  %-12s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := driver.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	diags, err := driver.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Printf("%s\n", d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "armlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the package description the go command hands a vettool,
+// one JSON file per package. Field names follow the unitchecker wire
+// format.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetTool analyzes one package under the go vet protocol. Exit 0
+// means clean; any diagnostic exits 2 with findings on stderr, which go
+// vet relays as a failure.
+func runVetTool(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "armlint: read vet config: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "armlint: parse vet config: %v\n", err)
+		return 1
+	}
+	// The go command requires the facts file to exist even though
+	// armlint's analyzers exchange no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("armlint\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "armlint: write vetx: %v\n", err)
+			return 1
+		}
+	}
+	// Dependencies are analyzed only for facts; test variants (the
+	// "pkg [pkg.test]" and "pkg.test" packages) are skipped wholesale.
+	if cfg.VetxOnly || strings.Contains(cfg.ImportPath, " [") || strings.HasSuffix(cfg.ImportPath, ".test") {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "armlint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return 0
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "armlint: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	pkg := &driver.Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        filepath.Dir(cfgPath),
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+	diags, err := driver.Run([]*driver.Package{pkg}, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "armlint: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -93,6 +93,7 @@ func (osFS) SyncDir(path string) error {
 	// Directory fsync is advisory on some filesystems; a failed sync of an
 	// otherwise-healthy directory should not fail the write that preceded
 	// it, so only real open errors propagate.
+	//armlint:allow syncerr advisory by design, per the comment above
 	_ = d.Sync()
 	return d.Close()
 }
@@ -289,6 +290,7 @@ func (jf *injectedFile) Close() error {
 	if err, _ := jf.in.step(OpClose); err != nil {
 		// Close the real handle anyway: leaking descriptors across 25
 		// chaos iterations would exhaust the test process.
+		//armlint:allow syncerr the injected error is the one under test; the real close is best-effort cleanup
 		_ = jf.f.Close()
 		return err
 	}
@@ -338,6 +340,7 @@ func (c *ManualClock) After(d time.Duration) <-chan time.Time {
 	ch := make(chan time.Time, 1)
 	at := c.now.Add(d)
 	if d <= 0 {
+		//armlint:allow locksend ch is freshly made with capacity 1; the send cannot block
 		ch <- c.now
 		return ch
 	}
@@ -354,6 +357,7 @@ func (c *ManualClock) Advance(d time.Duration) {
 	kept := c.waiters[:0]
 	for _, w := range c.waiters {
 		if !w.at.After(c.now) {
+			//armlint:allow locksend each waiter channel has capacity 1 and exactly one send; it cannot block
 			w.ch <- c.now
 		} else {
 			kept = append(kept, w)

@@ -366,6 +366,9 @@ func (inc *Incremental) Freeze() *FrozenTree {
 
 // FrozenTree is a point-in-time copy of an Incremental tree. Mine may be
 // called once or many times, from any single goroutine at a time.
+//
+// armlint:immutable — no field writes outside this file (enforced by
+// immutcheck; see internal/lint).
 type FrozenTree struct {
 	t    tree
 	txns int

@@ -1,0 +1,69 @@
+// Package analysis is a self-contained reimplementation of the
+// golang.org/x/tools/go/analysis surface this repo's custom checkers
+// need. The toolchain image pins the module graph to the standard
+// library, so instead of importing x/tools we mirror the three types the
+// ecosystem standardized on — Analyzer, Pass, Diagnostic — with the same
+// field names and the same Run contract. A checker written against this
+// package is source-compatible with the upstream framework: if the
+// dependency ever becomes available, swapping the import path is the
+// whole migration.
+//
+// What is deliberately not here: Facts (cross-package state; our
+// checkers configure cross-package knowledge explicitly instead),
+// Requires/ResultOf (no inter-analyzer dependencies), and SuggestedFixes
+// (armlint reports, humans fix). See internal/lint/driver for the loader
+// that stands in for unitchecker/checker.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker: a name diagnostics are
+// attributed to (and which //armlint:allow comments reference), a doc
+// string for -help output, and the Run function applied once per
+// package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppression
+	// comments. It must be a valid identifier.
+	Name string
+	// Doc is the help text: first line is the summary.
+	Doc string
+	// Run applies the analyzer to one package. It reports findings via
+	// pass.Report and returns an error only for analyzer malfunction —
+	// a finding is a Diagnostic, never an error.
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass carries one package's worth of material to an Analyzer.Run: the
+// parsed syntax, the type-checked package, and the Report sink. Mirrors
+// x/tools' analysis.Pass minus facts and inter-analyzer results.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one finding. Set by the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	End      token.Pos // optional: token.NoPos means unknown
+	Category string    // optional sub-category within the analyzer
+	Message  string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

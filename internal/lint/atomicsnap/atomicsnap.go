@@ -1,0 +1,96 @@
+// Package atomicsnap keeps the snapshot-publish discipline honest:
+// fields of sync/atomic types (atomic.Pointer[Snapshot], the metric
+// counters, mineHook) are only meaningful through their Load/Store/
+// CompareAndSwap methods. Copying one — by assignment, by passing it as
+// a value argument, by ranging over a struct — silently forks the value
+// and detaches readers from the writer (and copies the internal noCopy
+// sentinel, which `go vet -copylocks` only catches for whole structs).
+// Taking a field's address and letting the pointer escape aliases the
+// publish point behind a name reviewers won't grep for. The checker
+// flags any use of a sync/atomic-typed field selector that is not the
+// receiver of a method call.
+package atomicsnap
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// atomicTypes are the sync/atomic named types guarded by the checker.
+var atomicTypes = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Pointer": true,
+	"Uint32": true, "Uint64": true, "Uintptr": true, "Value": true,
+}
+
+// New builds the analyzer.
+func New() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "atomicsnap",
+		Doc:  "require sync/atomic struct fields to be accessed only via their methods, never copied or aliased",
+		Run:  run,
+	}
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if sel, ok := n.(*ast.SelectorExpr); ok && isAtomicExpr(pass, sel) {
+				checkUse(pass, sel, stack)
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isAtomicExpr reports whether the selector denotes a field or variable
+// of a sync/atomic type (not a pointer to one — method calls through a
+// pointer field are resolved the same way, and the pointer itself may
+// be shared freely).
+func isAtomicExpr(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	tv, ok := pass.TypesInfo.Types[sel]
+	if !ok || !tv.IsValue() {
+		// Type expressions (field declarations, var types, conversions)
+		// name the atomic type without touching a value.
+		return false
+	}
+	named, ok := types.Unalias(tv.Type).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync/atomic" && atomicTypes[named.Obj().Name()]
+}
+
+// checkUse inspects the parent of an atomic-typed selector: legal only
+// as the receiver of a further selector (x.counter.Add — the method
+// lookup), anything else copies or aliases the value.
+func checkUse(pass *analysis.Pass, sel *ast.SelectorExpr, stack []ast.Node) {
+	var parent ast.Node
+	if len(stack) > 0 {
+		parent = stack[len(stack)-1]
+	}
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		if p.X == sel {
+			return // x.field.Load() — the only sanctioned shape
+		}
+	case *ast.UnaryExpr:
+		if p.Op.String() == "&" && p.X == sel {
+			pass.Reportf(sel.Pos(),
+				"address of atomic field %s taken: aliasing the publish point hides writers; call its methods directly",
+				sel.Sel.Name)
+			return
+		}
+	}
+	pass.Reportf(sel.Pos(),
+		"atomic field %s used as a value: copies detach readers from writers; access it only via Load/Store/CompareAndSwap",
+		sel.Sel.Name)
+}

@@ -1,0 +1,14 @@
+package atomicsnap_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/atomicsnap"
+	"repro/internal/lint/linttest"
+)
+
+// TestFixture: Load/Store/CompareAndSwap/Add through the field are
+// legal; copying the field or taking its address fires.
+func TestFixture(t *testing.T) {
+	linttest.Run(t, atomicsnap.New(), "testdata/src/a")
+}

@@ -1,0 +1,38 @@
+// Fixture for atomicsnap: atomic fields are a publish protocol, not
+// plain data — method calls are legal, copies and aliases fire.
+package a
+
+import "sync/atomic"
+
+type state struct {
+	snap  atomic.Pointer[int]
+	count atomic.Int64
+	flag  atomic.Bool
+}
+
+func good(s *state) int64 {
+	s.snap.Store(new(int))
+	_ = s.snap.Load()
+	if s.snap.CompareAndSwap(nil, new(int)) {
+		s.flag.Store(true)
+	}
+	return s.count.Add(1)
+}
+
+func copies(s *state) {
+	p := s.snap // want `atomic field snap used as a value`
+	_ = p
+	var c atomic.Int64
+	c = s.count // want `atomic field count used as a value`
+	_ = c.Load()
+}
+
+func aliases(s *state) *atomic.Int64 {
+	q := &s.count // want `address of atomic field count taken`
+	return q
+}
+
+func allowEscape(s *state) *atomic.Int64 {
+	//armlint:allow atomicsnap fixture: proving the escape hatch works
+	return &s.count
+}

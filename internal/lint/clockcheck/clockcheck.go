@@ -1,0 +1,123 @@
+// Package clockcheck enforces the repo's time seam: packages wired to
+// faultinject.Clock must never read the wall clock directly. The 25-seed
+// crash-equivalence and watchdog suites assume every timestamp and timer
+// in the durability/mining path is driven by the injected clock — one
+// stray time.Now() makes a "deterministic" replay diverge in a field the
+// oracle diff then has to special-case. The checker forbids the
+// time-package calls that observe or schedule real time; construction
+// helpers that merely manipulate time.Time values (time.Unix, time.Date,
+// d.Seconds()) remain fine.
+package clockcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// forbidden is the set of time-package functions that read or wait on
+// the real clock.
+var forbidden = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Sleep":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Config scopes the checker.
+type Config struct {
+	// Packages lists import-path prefixes the invariant applies to.
+	// Empty means every package the driver loads (fixture tests use
+	// this).
+	Packages []string
+	// AllowRecvs names receiver types whose methods may call time
+	// directly — the realClock implementation is the one place the seam
+	// touches the wall clock on purpose.
+	AllowRecvs []string
+}
+
+// New builds the analyzer for one Config.
+func New(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "clockcheck",
+		Doc:  "forbid direct time.Now/After/Sleep/NewTimer/NewTicker in packages wired to faultinject.Clock",
+		Run: func(pass *analysis.Pass) (any, error) {
+			if !cfg.applies(pass.Pkg.Path()) {
+				return nil, nil
+			}
+			allowRecv := make(map[string]bool, len(cfg.AllowRecvs))
+			for _, r := range cfg.AllowRecvs {
+				allowRecv[r] = true
+			}
+			for _, file := range pass.Files {
+				for _, decl := range file.Decls {
+					fn, ok := decl.(*ast.FuncDecl)
+					if !ok {
+						continue
+					}
+					if allowRecv[recvTypeName(fn)] {
+						continue
+					}
+					checkFunc(pass, fn)
+				}
+			}
+			return nil, nil
+		},
+	}
+}
+
+func (cfg Config) applies(path string) bool {
+	if len(cfg.Packages) == 0 {
+		return true
+	}
+	for _, p := range cfg.Packages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// recvTypeName returns the receiver's base type name, "" for plain
+// functions.
+func recvTypeName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return ""
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || !forbidden[sel.Sel.Name] {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+		if !ok || pkgName.Imported().Path() != "time" {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"direct call to time.%s in a clock-gated package: route it through the injected faultinject.Clock",
+			sel.Sel.Name)
+		return true
+	})
+}

@@ -1,0 +1,35 @@
+package clockcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/clockcheck"
+	"repro/internal/lint/linttest"
+)
+
+// TestFixture: the checker fires on every direct wall-clock call, stays
+// silent for the realClock receiver, time.Time arithmetic, and allowed
+// lines.
+func TestFixture(t *testing.T) {
+	a := clockcheck.New(clockcheck.Config{AllowRecvs: []string{"realClock"}})
+	linttest.Run(t, a, "testdata/src/a")
+}
+
+// TestPackageScoping: a package outside the configured set is not
+// checked at all.
+func TestPackageScoping(t *testing.T) {
+	a := clockcheck.New(clockcheck.Config{
+		Packages: []string{"repro/internal/server", "repro/internal/wal"},
+	})
+	linttest.Run(t, a, "testdata/src/scoped")
+}
+
+// TestPackagePrefixMatch: scoping is by import-path prefix, so the
+// fixture package is in scope when its own path is configured.
+func TestPackagePrefixMatch(t *testing.T) {
+	a := clockcheck.New(clockcheck.Config{
+		Packages:   []string{"repro/internal/lint/clockcheck/testdata"},
+		AllowRecvs: []string{"realClock"},
+	})
+	linttest.Run(t, a, "testdata/src/a")
+}

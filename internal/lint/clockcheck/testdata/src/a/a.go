@@ -1,0 +1,32 @@
+// Fixture for clockcheck: direct wall-clock reads in a clock-gated
+// package, the realClock allowlist, and the allow escape hatch.
+package a
+
+import "time"
+
+// realClock mirrors faultinject's wall-clock implementation: the one
+// receiver allowed to touch the time package.
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+func bad() time.Time {
+	t := time.Now()                 // want `direct call to time\.Now`
+	time.Sleep(time.Millisecond)    // want `direct call to time\.Sleep`
+	_ = time.Since(t)               // want `direct call to time\.Since`
+	_ = time.NewTicker(time.Second) // want `direct call to time\.NewTicker`
+	_ = time.NewTimer(time.Second)  // want `direct call to time\.NewTimer`
+	<-time.After(0)                 // want `direct call to time\.After`
+	return t
+}
+
+func allowed() time.Time {
+	//armlint:allow clockcheck fixture: proving the escape hatch works
+	return time.Now()
+}
+
+func constructorsAreFine() time.Time {
+	u := time.Unix(42, 0)
+	return u.Add(3 * time.Second)
+}

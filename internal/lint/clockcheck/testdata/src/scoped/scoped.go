@@ -1,0 +1,8 @@
+// Fixture for clockcheck package scoping: this package is outside the
+// configured clock-gated set, so its wall-clock reads are legal and the
+// fixture carries no want comments.
+package scoped
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,247 @@
+// Package driver loads Go packages for analysis without importing
+// golang.org/x/tools: it shells out to `go list -export -deps -json` for
+// package metadata and compiled export data (the same material the go
+// command hands a `go vet -vettool`), parses each target package's
+// sources, type-checks them against the export data through the standard
+// gc importer, and runs the configured analyzers.
+//
+// The driver also owns the suppression protocol shared by every armlint
+// checker: a comment of the form
+//
+//	//armlint:allow <name>[,<name>...] <justification>
+//
+// on the offending line, or on the line directly above it, silences
+// those analyzers for that line. The justification text is free-form but
+// the convention is mandatory-in-review: an allow without a reason says
+// nothing to the next reader.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Package is one loaded, type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Category string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// listedPackage is the subset of `go list -json` output the driver
+// consumes. Field names match the go command's.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns (resolved relative to dir; empty dir means the
+// current one), type-checks every matched package, and returns them in
+// listing order. Test files are not loaded: armlint guards production
+// invariants, and tests legitimately sleep, block, and poke struct
+// fields.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("driver: go list: %v\n%s", err, stderr.String())
+	}
+
+	exportFile := make(map[string]string) // import path -> export data file
+	importMap := make(map[string]string)  // source import path -> resolved path
+	var targets []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("driver: decode go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("driver: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exportFile[p.ImportPath] = p.Export
+		}
+		for from, to := range p.ImportMap {
+			importMap[from] = to
+		}
+		if !p.DepOnly {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		f, ok := exportFile[path]
+		if !ok {
+			return nil, fmt.Errorf("driver: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("driver: parse %s: %v", name, err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("driver: typecheck %s: %v", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			ImportPath: t.ImportPath,
+			Dir:        t.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			TypesInfo:  info,
+		})
+	}
+	return pkgs, nil
+}
+
+// Run applies every analyzer to every package, drops suppressed findings,
+// and returns the rest sorted by position. Analyzer malfunction (a Run
+// returning an error) aborts the whole run: a checker that cannot run is
+// a broken gate, not a clean one.
+func Run(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allow := allowedLines(pkg)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if allow[suppressKey{pos.Filename, pos.Line, name}] ||
+					allow[suppressKey{pos.Filename, pos.Line - 1, name}] {
+					return
+				}
+				diags = append(diags, Diagnostic{
+					Analyzer: name,
+					Category: d.Category,
+					Pos:      pos,
+					Message:  d.Message,
+				})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("driver: %s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+type suppressKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+var allowRE = regexp.MustCompile(`^\s*armlint:allow\s+([A-Za-z0-9_,]+)`)
+
+// allowedLines indexes every //armlint:allow comment in the package by
+// (file, line, analyzer). A finding matches if the allow sits on the
+// finding's line (trailing comment) or the line above it.
+func allowedLines(pkg *Package) map[suppressKey]bool {
+	allow := make(map[suppressKey]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				m := allowRE.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, name := range strings.Split(m[1], ",") {
+					allow[suppressKey{pos.Filename, pos.Line, strings.TrimSpace(name)}] = true
+				}
+			}
+		}
+	}
+	return allow
+}

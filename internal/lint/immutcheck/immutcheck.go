@@ -1,0 +1,163 @@
+// Package immutcheck enforces publish-then-freeze: types marked
+// immutable — the served Snapshot, the per-publish RuleIndex, the
+// incremental miner's FrozenTree — must not have fields written outside
+// their constructor file. Readers on every request path hold these
+// structs without locks; the only thing that makes that safe is that no
+// code mutates them after the atomic publish. The checker flags field
+// writes reached through a pointer (or any aliasing expression); writes
+// to a plain local value variable are copies and stay legal — that is
+// exactly how degrade() republishes a stale Snapshot.
+//
+// A type is marked either by a `// armlint:immutable` line in its doc
+// comment (enforced in the declaring package, constructor file = the
+// declaring file) or by an entry in Config.Types (enforced everywhere
+// the driver looks, for cross-package writes).
+package immutcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Type names one immutable type and the files allowed to initialize it.
+type Type struct {
+	Path             string // package import path
+	Name             string // type name
+	ConstructorFiles []string
+}
+
+// Config is the cross-package mark list.
+type Config struct {
+	Types []Type
+}
+
+// New builds the analyzer for one Config.
+func New(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "immutcheck",
+		Doc:  "forbid field writes to immutable (publish-then-freeze) types outside their constructor file",
+		Run: func(pass *analysis.Pass) (any, error) {
+			marked := make(map[string][]string) // "pkgpath.Type" -> constructor files
+			for _, t := range cfg.Types {
+				marked[t.Path+"."+t.Name] = t.ConstructorFiles
+			}
+			collectMarked(pass, marked)
+			if len(marked) == 0 {
+				return nil, nil
+			}
+			for _, file := range pass.Files {
+				base := filepath.Base(pass.Fset.Position(file.Pos()).Filename)
+				ast.Inspect(file, func(n ast.Node) bool {
+					switch st := n.(type) {
+					case *ast.AssignStmt:
+						for _, lhs := range st.Lhs {
+							checkWrite(pass, lhs, base, marked)
+						}
+					case *ast.IncDecStmt:
+						checkWrite(pass, st.X, base, marked)
+					}
+					return true
+				})
+			}
+			return nil, nil
+		},
+	}
+}
+
+// collectMarked adds types whose doc comment carries the
+// armlint:immutable marker, declared in the package under analysis.
+func collectMarked(pass *analysis.Pass, marked map[string][]string) {
+	for _, file := range pass.Files {
+		base := filepath.Base(pass.Fset.Position(file.Pos()).Filename)
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if hasMarker(gd.Doc) || hasMarker(ts.Doc) || hasMarker(ts.Comment) {
+					key := pass.Pkg.Path() + "." + ts.Name.Name
+					if _, dup := marked[key]; !dup {
+						marked[key] = []string{base}
+					}
+				}
+			}
+		}
+	}
+}
+
+func hasMarker(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.Contains(c.Text, "armlint:immutable") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkWrite flags lhs when it is a field selector whose base reaches a
+// marked type through a pointer or alias, outside a constructor file.
+func checkWrite(pass *analysis.Pass, lhs ast.Expr, file string, marked map[string][]string) {
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return
+	}
+	named := namedOf(tv.Type)
+	if named == nil || named.Obj().Pkg() == nil {
+		return
+	}
+	key := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	ctors, isMarked := marked[key]
+	if !isMarked {
+		return
+	}
+	// A write to a plain local value variable mutates a private copy;
+	// the invariant is about the shared, published instance, which is
+	// only reachable through a pointer (or deref/index/field chains).
+	if _, isPtr := tv.Type.(*types.Pointer); !isPtr {
+		if id, okID := sel.X.(*ast.Ident); okID {
+			if v, okVar := pass.TypesInfo.Uses[id].(*types.Var); okVar && !v.IsField() {
+				return
+			}
+		}
+	}
+	for _, f := range ctors {
+		if f == file {
+			return
+		}
+	}
+	pass.Reportf(lhs.Pos(),
+		"write to field %s of immutable type %s outside its constructor file (%s)",
+		sel.Sel.Name, key, strings.Join(ctors, ", "))
+}
+
+// namedOf unwraps pointers and aliases down to a named struct type.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		case *types.Alias:
+			t = types.Unalias(t)
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package immutcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/immutcheck"
+	"repro/internal/lint/linttest"
+)
+
+// TestMarkerFixture: a type marked by the armlint:immutable doc comment
+// is writable only in its declaring file; pointer/deref/slice-element
+// writes elsewhere fire, value-copy writes and allowed lines don't.
+func TestMarkerFixture(t *testing.T) {
+	linttest.Run(t, immutcheck.New(immutcheck.Config{}), "testdata/src/a")
+}
+
+// TestConfiguredFixture: a type marked by configuration (the
+// cross-package mechanism the real tree uses for server.Snapshot,
+// server.RuleIndex and fpgrowth.FrozenTree) is enforced against its
+// configured constructor file.
+func TestConfiguredFixture(t *testing.T) {
+	a := immutcheck.New(immutcheck.Config{Types: []immutcheck.Type{{
+		Path:             "repro/internal/lint/immutcheck/testdata/src/configured",
+		Name:             "Frozen",
+		ConstructorFiles: []string{"d.go"},
+	}}})
+	linttest.Run(t, a, "testdata/src/configured")
+}

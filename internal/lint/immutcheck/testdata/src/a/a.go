@@ -1,0 +1,21 @@
+// Fixture for immutcheck, constructor side: Snap is marked immutable,
+// and this file — the one declaring it — is its constructor file, so
+// field writes here are legal.
+package a
+
+// Snap stands in for a published snapshot: built once, then shared with
+// readers that hold no locks.
+//
+// armlint:immutable
+type Snap struct {
+	Seq   int
+	Stale bool
+}
+
+// New may initialize fields freely: it runs before publish.
+func New(seq int) *Snap {
+	s := &Snap{}
+	s.Seq = seq
+	s.Stale = false
+	return s
+}

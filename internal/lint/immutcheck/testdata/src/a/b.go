@@ -1,0 +1,28 @@
+// Fixture for immutcheck, violation side: writes reached through a
+// pointer outside the constructor file fire; writes to a local value
+// copy stay legal (that is how a stale snapshot is republished).
+package a
+
+func tweak(s *Snap) {
+	s.Seq++        // want `write to field Seq of immutable type .*Snap outside its constructor file`
+	s.Stale = true // want `write to field Stale of immutable type .*Snap`
+}
+
+func throughDeref(s *Snap) {
+	(*s).Stale = true // want `write to field Stale of immutable type .*Snap`
+}
+
+func throughSlice(snaps []Snap) {
+	snaps[0].Seq = 7 // want `write to field Seq of immutable type .*Snap`
+}
+
+func copyIsLegal(s *Snap) Snap {
+	c := *s
+	c.Stale = true // a private copy: the shared instance is untouched
+	return c
+}
+
+func allowEscape(s *Snap) {
+	//armlint:allow immutcheck fixture: proving the escape hatch works
+	s.Seq = 9
+}

@@ -1,0 +1,14 @@
+// Fixture for immutcheck's Config.Types path: Frozen carries no marker
+// comment — the mark arrives from configuration, the way the real tree
+// marks types for cross-package enforcement — and names d.go (not this
+// file) as the constructor, so the write here fires.
+package configured
+
+// Frozen has no armlint:immutable marker on purpose.
+type Frozen struct {
+	Rank int
+}
+
+func mutate(f *Frozen) {
+	f.Rank = 3 // want `write to field Rank of immutable type .*Frozen outside its constructor file \(d\.go\)`
+}

@@ -1,0 +1,8 @@
+package configured
+
+// Build is the configured constructor file: writes here are legal.
+func Build(rank int) *Frozen {
+	f := &Frozen{}
+	f.Rank = rank
+	return f
+}

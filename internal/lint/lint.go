@@ -1,0 +1,69 @@
+// Package lint assembles this repo's invariant suite: the five armlint
+// analyzers, configured for the seams the chaos and equivalence tests
+// depend on. cmd/armlint drives them from the command line (standalone
+// or as a `go vet -vettool`), and the meta-test in this package pins the
+// tree to zero diagnostics.
+//
+// The invariants, one per analyzer:
+//
+//   - clockcheck: all time in the serving/durability stack flows through
+//     faultinject.Clock, so the 25-seed crash-equivalence suites can
+//     replay runs deterministically.
+//   - immutcheck: published Snapshot/RuleIndex/FrozenTree instances are
+//     frozen after construction; lock-free readers depend on it.
+//   - locksend: nothing blocks while a mutex is held — the WatchHub's
+//     never-block-publish contract, generalized.
+//   - syncerr: Sync/Close errors on durability handles are never
+//     dropped; an unacknowledged fsync is an unwritten record.
+//   - atomicsnap: atomic publish points are used only through their
+//     methods, never copied or aliased.
+package lint
+
+import (
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/atomicsnap"
+	"repro/internal/lint/clockcheck"
+	"repro/internal/lint/immutcheck"
+	"repro/internal/lint/locksend"
+	"repro/internal/lint/syncerr"
+)
+
+// Analyzers returns the suite with this repo's configuration.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		clockcheck.New(clockcheck.Config{
+			// The packages wired to faultinject.Clock. faultinject itself
+			// is included so nothing but the realClock receiver touches
+			// the wall clock there.
+			Packages: []string{
+				"repro/internal/server",
+				"repro/internal/shard",
+				"repro/internal/stream",
+				"repro/internal/wal",
+				"repro/internal/faultinject",
+			},
+			AllowRecvs: []string{"realClock"},
+		}),
+		immutcheck.New(immutcheck.Config{Types: []immutcheck.Type{
+			// Cross-package marks; each type also carries the
+			// armlint:immutable doc marker at its declaration.
+			{Path: "repro/internal/server", Name: "Snapshot", ConstructorFiles: []string{"server.go"}},
+			{Path: "repro/internal/server", Name: "RuleIndex", ConstructorFiles: []string{"index.go"}},
+			{Path: "repro/internal/fpgrowth", Name: "FrozenTree", ConstructorFiles: []string{"incremental.go"}},
+		}}),
+		locksend.New(),
+		syncerr.New(syncerr.Config{
+			Types: []string{
+				"repro/internal/faultinject.File",
+				"repro/internal/faultinject.FS",
+				"repro/internal/wal.WAL",
+			},
+			OSFilePackages: []string{
+				"repro/internal/faultinject",
+				"repro/internal/wal",
+				"repro/internal/server",
+			},
+		}),
+		atomicsnap.New(),
+	}
+}

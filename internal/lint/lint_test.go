@@ -1,0 +1,32 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/driver"
+)
+
+// TestTreeIsClean is the meta-test: the whole module must produce zero
+// armlint diagnostics. A finding here means either a real invariant
+// violation slipped in, or a justified exception is missing its
+// //armlint:allow comment — both belong in the diff that caused them.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module")
+	}
+	pkgs, err := driver.Load("", "repro/...")
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded zero packages")
+	}
+	diags, err := driver.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		t.Fatalf("run analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,117 @@
+// Package linttest is the fixture harness for armlint checkers — the
+// stand-in for golang.org/x/tools/go/analysis/analysistest, speaking the
+// same fixture dialect: a testdata package whose lines carry
+//
+//	code() // want "regexp"
+//
+// comments naming the diagnostics the analyzer must report on that
+// line. Run loads the fixture through the real driver (so the
+// //armlint:allow escape hatch is exercised exactly as in production),
+// runs one analyzer, and fails the test on any missing, unexpected, or
+// mismatched diagnostic.
+package linttest
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/driver"
+)
+
+// expectation is one `// want` entry: a position and the regexps that
+// must each match one diagnostic reported there.
+type expectation struct {
+	file string
+	line int
+	res  []*regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// Run loads the package rooted at dir (relative to the test's working
+// directory) and checks a's diagnostics against the fixture's want
+// comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkgs, err := driver.Load(dir, ".")
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: loaded %d packages, want 1", dir, len(pkgs))
+	}
+	pkg := pkgs[0]
+	diags, err := driver.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on fixture %s: %v", a.Name, dir, err)
+	}
+
+	wants := collectWants(t, pkg.Fset, pkg.Files)
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		for _, re := range w.res {
+			found := false
+			for i, d := range diags {
+				if matched[i] || d.Pos.Line != w.line || !strings.HasSuffix(d.Pos.Filename, w.file) {
+					continue
+				}
+				if re.MatchString(d.Message) {
+					matched[i] = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, re)
+			}
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("unexpected diagnostic at %s: %s", d.Pos, d.Message)
+		}
+	}
+}
+
+// collectWants parses every `// want "re" ["re"...]` comment in the
+// fixture.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []expectation {
+	t.Helper()
+	var wants []expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				exp := expectation{file: pos.Filename, line: pos.Line}
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					if rest[0] != '"' && rest[0] != '`' {
+						t.Fatalf("%s:%d: malformed want comment at %q", pos.Filename, pos.Line, rest)
+					}
+					str, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want pattern: %v", pos.Filename, pos.Line, err)
+					}
+					pat, _ := strconv.Unquote(str)
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					exp.res = append(exp.res, re)
+					rest = strings.TrimSpace(rest[len(str):])
+				}
+				wants = append(wants, exp)
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,258 @@
+// Package locksend protects the never-block-while-locked invariant: the
+// WatchHub publishes to subscribers and the mining loop hands off work
+// while holding sync mutexes, and both stay deadlock-free only because
+// every channel operation under a lock is non-blocking. The checker
+// walks each function tracking which mutexes are held (Lock/RLock
+// through Unlock/RUnlock, or to the end of the function after a deferred
+// unlock) and flags, inside a held region:
+//
+//   - a plain channel send statement (`ch <- v`)
+//   - a channel receive expression (`<-ch`)
+//   - a select with no default clause (all of its cases block)
+//   - sync.WaitGroup.Wait / sync.Cond.Wait
+//   - time.Sleep
+//
+// Sends and receives inside a select that has a default clause are
+// non-blocking and stay legal — that is the WatchHub publish pattern.
+// The analysis is intra-procedural and path-insensitive by design: a
+// branch that unlocks and returns does not clear the held state of the
+// fallthrough path.
+package locksend
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// New builds the analyzer.
+func New() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "locksend",
+		Doc:  "forbid blocking channel operations and waits while a sync.Mutex/RWMutex is held",
+		Run:  run,
+	}
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		// Every function body — declarations and literals, at any nesting
+		// depth — is walked exactly once with a fresh held set: the
+		// statement walker never descends into a nested FuncLit, and this
+		// Inspect visits each literal node itself. A literal invoked
+		// inline would inherit the caller's locks in reality; tracking
+		// that is interprocedural, so the walker stays conservative.
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					walkStmts(pass, fn.Body.List, map[string]bool{})
+				}
+			case *ast.FuncLit:
+				walkStmts(pass, fn.Body.List, map[string]bool{})
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// walkStmts scans stmts in order, mutating held as locks are taken and
+// released. Nested control-flow bodies are walked with a copy of the
+// current held set, so an unlock on an early-return branch does not
+// leak into the fallthrough path.
+func walkStmts(pass *analysis.Pass, stmts []ast.Stmt, held map[string]bool) {
+	for _, s := range stmts {
+		walkStmt(pass, s, held)
+	}
+}
+
+func walkStmt(pass *analysis.Pass, s ast.Stmt, held map[string]bool) {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if key, op := lockOp(pass, st.X); op != "" {
+			switch op {
+			case "Lock", "RLock":
+				held[key] = true
+			case "Unlock", "RUnlock":
+				delete(held, key)
+			}
+			return
+		}
+		checkExpr(pass, st.X, held)
+	case *ast.DeferStmt:
+		if key, op := lockOp(pass, st.Call); op == "Unlock" || op == "RUnlock" {
+			// The lock is held until the function returns; keep it in
+			// held so everything after the defer is checked.
+			_ = key
+			return
+		}
+		// A deferred call runs after the critical section; don't check
+		// its body against the current held set.
+	case *ast.GoStmt:
+		// The goroutine runs concurrently; its literal body is walked by
+		// run's own FuncLit visit, with no inherited locks.
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			pass.Reportf(st.Pos(), "blocking channel send while %s is held", anyHeld(held))
+		}
+		checkExpr(pass, st.Value, held)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault && len(held) > 0 {
+			pass.Reportf(st.Pos(), "blocking select (no default case) while %s is held", anyHeld(held))
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				walkStmts(pass, cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			checkExpr(pass, e, held)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			walkStmt(pass, st.Init, held)
+		}
+		checkExpr(pass, st.Cond, held)
+		walkStmts(pass, st.Body.List, copyHeld(held))
+		if st.Else != nil {
+			walkStmt(pass, st.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		walkStmts(pass, st.Body.List, copyHeld(held))
+	case *ast.RangeStmt:
+		if len(held) > 0 {
+			if tv, ok := pass.TypesInfo.Types[st.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					pass.Reportf(st.Pos(), "blocking range over channel while %s is held", anyHeld(held))
+				}
+			}
+		}
+		checkExpr(pass, st.X, held)
+		walkStmts(pass, st.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				walkStmts(pass, cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				walkStmts(pass, cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.BlockStmt:
+		walkStmts(pass, st.List, held)
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			checkExpr(pass, e, held)
+		}
+	case *ast.LabeledStmt:
+		walkStmt(pass, st.Stmt, held)
+	}
+}
+
+// checkExpr flags blocking expressions — receives, Wait calls,
+// time.Sleep — evaluated while locks are held.
+func checkExpr(pass *analysis.Pass, e ast.Expr, held map[string]bool) {
+	if len(held) == 0 || e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // not evaluated here
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" {
+				pass.Reportf(x.Pos(), "blocking channel receive while %s is held", anyHeld(held))
+			}
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				if t := recvNamed(pass, sel.X); t != nil && t.Obj().Pkg() != nil &&
+					t.Obj().Pkg().Path() == "sync" {
+					pass.Reportf(x.Pos(), "sync.%s.Wait while %s is held", t.Obj().Name(), anyHeld(held))
+				}
+			}
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Sleep" {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "time" {
+						pass.Reportf(x.Pos(), "time.Sleep while %s is held", anyHeld(held))
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// lockOp recognizes x as a Lock/Unlock-family method call on a
+// sync.Mutex or sync.RWMutex and returns the lock's identity (the
+// rendered receiver expression) and the operation name.
+func lockOp(pass *analysis.Pass, x ast.Expr) (key, op string) {
+	call, ok := x.(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", ""
+	}
+	named := recvNamed(pass, sel.X)
+	if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return "", ""
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+		return types.ExprString(sel.X), sel.Sel.Name
+	}
+	return "", ""
+}
+
+// recvNamed resolves the named type of a method receiver expression,
+// unwrapping pointers.
+func recvNamed(pass *analysis.Pass, x ast.Expr) *types.Named {
+	tv, ok := pass.TypesInfo.Types[x]
+	if !ok {
+		return nil
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// anyHeld names one held lock for the message (deterministically: the
+// lexicographically first).
+func anyHeld(held map[string]bool) string {
+	best := ""
+	for k := range held {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}

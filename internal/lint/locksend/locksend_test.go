@@ -1,0 +1,15 @@
+package locksend_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/locksend"
+)
+
+// TestFixture: blocking sends/receives/waits/selects under Mutex and
+// RWMutex fire; select-with-default publishes, early-unlock branches,
+// goroutine bodies, and allowed lines stay silent.
+func TestFixture(t *testing.T) {
+	linttest.Run(t, locksend.New(), "testdata/src/a")
+}

@@ -1,0 +1,91 @@
+// Fixture for locksend: blocking operations inside mutex critical
+// sections fire; the WatchHub publish pattern (select with default) and
+// operations after release stay legal.
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+type hub struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	subs map[chan int]bool
+}
+
+func (h *hub) bad(ch chan int, wg *sync.WaitGroup) {
+	h.mu.Lock()
+	ch <- 1                      // want `blocking channel send while h\.mu is held`
+	<-ch                         // want `blocking channel receive while h\.mu is held`
+	wg.Wait()                    // want `sync\.WaitGroup\.Wait while h\.mu is held`
+	time.Sleep(time.Millisecond) // want `time\.Sleep while h\.mu is held`
+	h.mu.Unlock()
+	ch <- 2 // released: legal
+}
+
+func (h *hub) badUnderRLock(ch chan int) {
+	h.rw.RLock()
+	defer h.rw.RUnlock()
+	v := <-ch // want `blocking channel receive while h\.rw is held`
+	_ = v
+}
+
+func (h *hub) blockingSelect(ch chan int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	select { // want `blocking select \(no default case\) while h\.mu is held`
+	case v := <-ch:
+		_ = v
+	}
+}
+
+func (h *hub) rangeOverChannel(ch chan int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for v := range ch { // want `blocking range over channel while h\.mu is held`
+		_ = v
+	}
+}
+
+// publish is the sanctioned shape: every send under the lock is
+// non-blocking via select-with-default.
+func (h *hub) publish(v int) {
+	h.mu.Lock()
+	for ch := range h.subs {
+		select {
+		case ch <- v:
+		default:
+		}
+	}
+	h.mu.Unlock()
+}
+
+// earlyUnlockBranch: the branch releases and returns; the fallthrough
+// path releases before the send, so nothing fires.
+func (h *hub) earlyUnlockBranch(ch chan int) {
+	h.mu.Lock()
+	if len(h.subs) == 0 {
+		h.mu.Unlock()
+		return
+	}
+	h.mu.Unlock()
+	ch <- 1
+}
+
+// goroutineStartsUnlocked: a literal launched under the lock runs
+// concurrently and does not inherit the critical section.
+func (h *hub) goroutineStartsUnlocked(ch chan int) {
+	h.mu.Lock()
+	go func() {
+		ch <- 1
+	}()
+	h.mu.Unlock()
+}
+
+func (h *hub) allowEscape(ch chan int) {
+	h.mu.Lock()
+	//armlint:allow locksend fixture: proving the escape hatch works
+	ch <- 1
+	h.mu.Unlock()
+}

@@ -1,0 +1,147 @@
+// Package syncerr guards the durability contract: an fsync or close
+// whose error is thrown away is a write that may not exist, and the
+// WAL's exactly-once recovery story is only as strong as the weakest
+// acknowledged Sync. The checker flags discarded error results from
+// Sync/Close/Flush/SyncDir calls on durability handles — the
+// faultinject.File/FS seam every WAL and checkpoint write flows
+// through, *wal.WAL itself, and (inside the configured durability
+// packages) raw *os.File. "Discarded" means a bare expression
+// statement, an assignment of every result to blank, a defer, or a go
+// statement. A discard that is genuinely correct gets an explicit
+// `_ =` plus an //armlint:allow syncerr comment saying why.
+package syncerr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Config scopes the checker.
+type Config struct {
+	// Methods are the method names whose error results must be
+	// consumed. Empty means the default set.
+	Methods []string
+	// Types lists receiver types ("pkgpath.TypeName", pointer or not)
+	// that are durability handles everywhere.
+	Types []string
+	// OSFilePackages lists import paths where a *os.File receiver also
+	// counts — the packages that implement the seam itself.
+	OSFilePackages []string
+}
+
+var defaultMethods = []string{"Sync", "Close", "Flush", "SyncDir"}
+
+// New builds the analyzer for one Config.
+func New(cfg Config) *analysis.Analyzer {
+	methods := cfg.Methods
+	if len(methods) == 0 {
+		methods = defaultMethods
+	}
+	methodSet := make(map[string]bool, len(methods))
+	for _, m := range methods {
+		methodSet[m] = true
+	}
+	typeSet := make(map[string]bool, len(cfg.Types))
+	for _, t := range cfg.Types {
+		typeSet[t] = true
+	}
+	osPkgs := make(map[string]bool, len(cfg.OSFilePackages))
+	for _, p := range cfg.OSFilePackages {
+		osPkgs[p] = true
+	}
+	return &analysis.Analyzer{
+		Name: "syncerr",
+		Doc:  "forbid discarded Sync/Close/Flush errors on durability handles (WAL, checkpoint, faultinject seam)",
+		Run: func(pass *analysis.Pass) (any, error) {
+			check := func(call ast.Expr, how string) {
+				c, ok := call.(*ast.CallExpr)
+				if !ok {
+					return
+				}
+				name, key := durabilityCall(pass, c, methodSet, typeSet, osPkgs)
+				if name == "" {
+					return
+				}
+				pass.Reportf(c.Pos(),
+					"%s error from (%s).%s discarded on a durability path: handle it, or `_ =` it with an //armlint:allow syncerr justification",
+					how, key, name)
+			}
+			for _, file := range pass.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					switch st := n.(type) {
+					case *ast.ExprStmt:
+						check(st.X, "result")
+					case *ast.DeferStmt:
+						check(st.Call, "deferred")
+					case *ast.GoStmt:
+						check(st.Call, "goroutine")
+					case *ast.AssignStmt:
+						if len(st.Rhs) == 1 && allBlank(st.Lhs) {
+							check(st.Rhs[0], "blank-assigned")
+						}
+					}
+					return true
+				})
+			}
+			return nil, nil
+		},
+	}
+}
+
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return len(lhs) > 0
+}
+
+// durabilityCall reports whether c is a guarded method call returning an
+// error on a durability handle; it returns the method name and the
+// receiver type key for the message, or "".
+func durabilityCall(pass *analysis.Pass, c *ast.CallExpr, methods, typeSet, osPkgs map[string]bool) (string, string) {
+	sel, ok := c.Fun.(*ast.SelectorExpr)
+	if !ok || !methods[sel.Sel.Name] {
+		return "", ""
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return "", ""
+	}
+	t := tv.Type
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", ""
+	}
+	key := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	if !typeSet[key] {
+		if !(key == "os.File" && osPkgs[pass.Pkg.Path()]) {
+			return "", ""
+		}
+	}
+	if !returnsError(pass, c) {
+		return "", ""
+	}
+	return sel.Sel.Name, key
+}
+
+// returnsError reports whether the call's last result is error.
+func returnsError(pass *analysis.Pass, c *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[c.Fun]
+	if !ok {
+		return false
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,28 @@
+package syncerr_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/syncerr"
+)
+
+// TestFixture: every discard shape (bare statement, blank assign,
+// defer) fires on the faultinject seam types; handled errors,
+// unguarded methods, out-of-scope *os.File, and allowed lines don't.
+func TestFixture(t *testing.T) {
+	a := syncerr.New(syncerr.Config{Types: []string{
+		"repro/internal/faultinject.File",
+		"repro/internal/faultinject.FS",
+	}})
+	linttest.Run(t, a, "testdata/src/a")
+}
+
+// TestOSFileScope: inside a configured seam package, raw *os.File
+// discards fire too.
+func TestOSFileScope(t *testing.T) {
+	a := syncerr.New(syncerr.Config{
+		OSFilePackages: []string{"repro/internal/lint/syncerr/testdata/src/osfile"},
+	})
+	linttest.Run(t, a, "testdata/src/osfile")
+}

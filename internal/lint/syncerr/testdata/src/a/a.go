@@ -1,0 +1,52 @@
+// Fixture for syncerr: discarded Sync/Close/SyncDir errors on the
+// faultinject durability seam fire in every discard shape; handled
+// errors, out-of-scope *os.File receivers, and allowed lines stay
+// silent.
+package a
+
+import (
+	"os"
+
+	"repro/internal/faultinject"
+)
+
+func bare(f faultinject.File) {
+	f.Close() // want `result error from \(repro/internal/faultinject\.File\)\.Close discarded`
+	f.Sync()  // want `result error from \(repro/internal/faultinject\.File\)\.Sync discarded`
+}
+
+func blankAssigned(f faultinject.File) {
+	_ = f.Sync() // want `blank-assigned error from \(repro/internal/faultinject\.File\)\.Sync discarded`
+}
+
+func deferred(f faultinject.File) {
+	defer f.Close() // want `deferred error from \(repro/internal/faultinject\.File\)\.Close discarded`
+}
+
+func fsSeam(fs faultinject.FS) {
+	fs.SyncDir("dir") // want `result error from \(repro/internal/faultinject\.FS\)\.SyncDir discarded`
+}
+
+func handled(f faultinject.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// osFileOutOfScope: *os.File is only a durability handle inside the
+// configured seam packages; this fixture package is not one.
+func osFileOutOfScope(f *os.File) {
+	f.Close()
+}
+
+// writeIsNotGuarded: only the sync/close family is checked — Write
+// errors are the caller's normal control flow.
+func writeIsNotGuarded(f faultinject.File) {
+	f.Write(nil)
+}
+
+func allowEscape(f faultinject.File) {
+	//armlint:allow syncerr fixture: proving the escape hatch works
+	_ = f.Close()
+}

@@ -1,0 +1,11 @@
+// Fixture for syncerr's OSFilePackages scope: this package is
+// configured as a seam package, so raw *os.File sync/close discards
+// fire here.
+package osfile
+
+import "os"
+
+func seal(f *os.File) {
+	f.Sync()  // want `result error from \(os\.File\)\.Sync discarded`
+	f.Close() // want `result error from \(os\.File\)\.Close discarded`
+}

@@ -209,7 +209,7 @@ func (s *Server) saveCheckpoint(miner *stream.Miner, enc *encoder) error {
 		seq = snap.Seq
 	}
 	cp := checkpointFile{
-		SavedAt:    time.Now().UTC(),
+		SavedAt:    s.clock.Now().UTC(),
 		Spec:       s.idx.specFingerprint(),
 		Seq:        seq,
 		WALApplied: s.lastApplied.Load(),
@@ -242,11 +242,13 @@ func (s *Server) saveCheckpoint(miner *stream.Miner, enc *encoder) error {
 		return fmt.Errorf("create temp checkpoint: %w", err)
 	}
 	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
+		//armlint:allow syncerr the write error propagates; the temp file is recreated O_TRUNC on the next attempt
+		_ = tmp.Close()
 		return fmt.Errorf("write checkpoint: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		//armlint:allow syncerr the sync error propagates; the temp file is recreated O_TRUNC on the next attempt
+		_ = tmp.Close()
 		return fmt.Errorf("sync checkpoint: %w", err)
 	}
 	if err := tmp.Close(); err != nil {

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// TestManualClockDeterministicTimestamps pins the clockcheck invariant
+// end to end: with every time source routed through faultinject.Clock, a
+// server driven by a ManualClock stamps MinedAt, MineDuration, and the
+// checkpoint's SavedAt with exactly the injected instants — no wall-clock
+// leakage anywhere on the mine or checkpoint paths.
+func TestManualClockDeterministicTimestamps(t *testing.T) {
+	epoch := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	clock := faultinject.NewManualClock(epoch)
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{
+		Spec:         PAISpec(),
+		WindowSize:   10000,
+		Bootstrap:    300,
+		MineBatch:    1500,
+		MineInterval: time.Hour, // batch-driven: mining points are deterministic
+		QueueSize:    4096,
+		StateDir:     dir,
+		Clock:        clock,
+	})
+
+	lines := paiNDJSON(t, 3000, 13)
+	postChunks(t, ts.URL, lines, 500)
+	waitForSeq(t, s, 2, 3000)
+	snap := s.Snapshot()
+	if !snap.MinedAt.Equal(epoch) {
+		t.Errorf("MinedAt = %v, want the injected epoch %v", snap.MinedAt, epoch)
+	}
+	if snap.MineDuration != 0 {
+		t.Errorf("MineDuration = %v, want 0 (the manual clock never advanced mid-mine)", snap.MineDuration)
+	}
+
+	// Advance the clock and mine again: the new snapshot must be stamped
+	// with exactly the advanced instant.
+	const jump = 90 * time.Minute
+	clock.Advance(jump)
+	later := epoch.Add(jump)
+	more := paiNDJSON(t, 1500, 29)
+	postChunks(t, ts.URL, more, 500)
+	waitForSeq(t, s, 3, 4500)
+	if snap = s.Snapshot(); !snap.MinedAt.Equal(later) {
+		t.Errorf("MinedAt after Advance = %v, want %v", snap.MinedAt, later)
+	}
+
+	// Shutdown writes the final checkpoint; its SavedAt must be the
+	// injected instant in UTC, not the wall clock.
+	stopServer(t, s)
+	data, err := os.ReadFile(filepath.Join(dir, checkpointFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Payload json.RawMessage `json:"payload"`
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatal(err)
+	}
+	var cp struct {
+		SavedAt time.Time `json:"saved_at"`
+	}
+	if err := json.Unmarshal(env.Payload, &cp); err != nil {
+		t.Fatal(err)
+	}
+	if !cp.SavedAt.Equal(later) {
+		t.Errorf("checkpoint SavedAt = %v, want %v", cp.SavedAt, later)
+	}
+}

@@ -653,7 +653,7 @@ func (s *Server) Health() Health {
 	}
 	if snap := s.snap.Load(); snap != nil {
 		h.SnapshotSeq = snap.Seq
-		h.SnapshotAgeS = time.Since(snap.MinedAt).Seconds()
+		h.SnapshotAgeS = s.clock.Now().Sub(snap.MinedAt).Seconds()
 		h.SnapshotStale = snap.Stale
 	}
 	return h

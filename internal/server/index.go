@@ -34,6 +34,9 @@ const resolveCacheCap = 256
 // for ?sort=, a catalog substring-resolution index, and a bounded cache of
 // pruned keyword analyses so repeated ?keyword= queries cost O(result)
 // instead of O(rules).
+//
+// armlint:immutable — no field writes outside this file (enforced by
+// immutcheck; see internal/lint).
 type RuleIndex struct {
 	view     *stream.View
 	postings stream.Postings

@@ -2,7 +2,6 @@ package server
 
 import (
 	"sync/atomic"
-	"time"
 )
 
 // metrics are plain expvar-style counters: atomically bumped on the hot
@@ -39,7 +38,7 @@ type metrics struct {
 // view renders the counters plus the derived gauges into a JSON-ready map.
 func (s *Server) metricsView() map[string]any {
 	out := map[string]any{
-		"uptime_s":                time.Since(s.started).Seconds(),
+		"uptime_s":                s.clock.Now().Sub(s.started).Seconds(),
 		"ingest_accepted":         s.metrics.accepted.Load(),
 		"ingest_rejected":         s.metrics.rejected.Load(),
 		"ingest_throttled":        s.metrics.throttled.Load(),
@@ -81,7 +80,7 @@ func (s *Server) metricsView() map[string]any {
 		out["snapshot_seq"] = snap.Seq
 		out["window_len"] = snap.View.WindowLen
 		out["rules"] = len(snap.View.Rules)
-		out["snapshot_age_s"] = time.Since(snap.MinedAt).Seconds()
+		out["snapshot_age_s"] = s.clock.Now().Sub(snap.MinedAt).Seconds()
 		out["snapshot_stale"] = snap.Stale
 		out["observed_total"] = snap.View.Total
 		if snap.Index != nil {

@@ -283,6 +283,7 @@ func ServeWatch(w http.ResponseWriter, r *http.Request, hub *WatchHub) {
 	}
 	flusher.Flush()
 
+	//armlint:allow clockcheck per-connection SSE keepalive, not mining state; tests shorten the watchHeartbeat var directly
 	heartbeat := time.NewTicker(watchHeartbeat)
 	defer heartbeat.Stop()
 	for {
@@ -324,6 +325,7 @@ func serveWatchPoll(w http.ResponseWriter, r *http.Request, hub *WatchHub, after
 		resp.Events = append(resp.Events, json.RawMessage(ev.data))
 	}
 	if len(resp.Events) == 0 {
+		//armlint:allow clockcheck per-request long-poll deadline, not mining state; tests pass wait=0 to skip it
 		timer := time.NewTimer(wait)
 		defer timer.Stop()
 		select {

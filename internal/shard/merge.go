@@ -23,7 +23,6 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
-	"time"
 
 	"repro/internal/rules"
 	"repro/internal/server"
@@ -95,7 +94,7 @@ func (c *Cluster) Merged() (*server.Snapshot, string) {
 // remerge mines the union of the shard windows. Caller holds mergeMu —
 // c.mergeCatalog and the previous merged snapshot are only touched here.
 func (c *Cluster) remerge(snaps []*server.Snapshot, key string) *mergedSnap {
-	start := time.Now()
+	start := c.clock.Now()
 	dbs := make([]*transaction.DB, 0, len(snaps))
 	totalLen, totalObserved := 0, 0
 	stale := false
@@ -161,8 +160,8 @@ func (c *Cluster) remerge(snaps []*server.Snapshot, key string) *mergedSnap {
 	snap := &server.Snapshot{
 		Seq:          seq,
 		PrevSeq:      prevSeq,
-		MinedAt:      time.Now(),
-		MineDuration: time.Since(start),
+		MinedAt:      c.clock.Now(),
+		MineDuration: c.clock.Now().Sub(start),
 		View:         view,
 		// One index per merge-key: every request against this cached merge
 		// shares the posting lists, sort orders and analysis cache.

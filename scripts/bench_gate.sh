@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# bench_gate.sh — CI perf gate: re-run the headline benchmarks and fail if
+# any regresses more than THRESHOLD_PCT% in ns/op against the numbers
+# checked in at the repo root (BENCH_mining.json "current", the
+# BENCH_serving.json indexed "after" results).
+#
+# Usage:
+#   scripts/bench_gate.sh                 # gate at the default +25%
+#   THRESHOLD_PCT=10 scripts/bench_gate.sh
+#
+# Each benchmark runs COUNT times and the gate takes the fastest run: the
+# checked-in numbers are a floor captured on a quiet machine, so noise can
+# only make a fresh run slower, and min-of-N strips most of it. The
+# threshold absorbs the rest — the gate exists to catch real hot-path
+# regressions (an accidental O(n^2), a lost index), not 5% scheduler
+# jitter. Refresh the checked-in numbers with scripts/bench.sh when a
+# deliberate change moves them.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+THRESHOLD_PCT=${THRESHOLD_PCT:-25}
+BENCHTIME=${BENCHTIME:-1s}
+COUNT=${COUNT:-3}
+
+fail=0
+
+# fresh_ns <pkg> <bench regexp> <name> — min ns/op over COUNT runs.
+fresh_ns() {
+    go test -run=NONE -bench "$2" -benchtime="$BENCHTIME" -count="$COUNT" "$1" |
+        awk -v want="$3" '/^Benchmark/ && /ns\/op/ {
+            n=$1; sub(/-[0-9]+$/, "", n)
+            if (n == want) for (i = 3; i <= NF; i++) if ($i == "ns/op") print $(i-1)
+        }' | sort -n | head -1
+}
+
+# gate <pkg> <bench regexp> <name> <checked-in ns/op>
+gate() {
+    local pkg=$1 re=$2 name=$3 base=$4 fresh allowed
+    if [ -z "$base" ] || [ "$base" = "null" ]; then
+        echo "SKIP $name: no checked-in baseline"
+        return
+    fi
+    fresh=$(fresh_ns "$pkg" "$re" "$name")
+    if [ -z "$fresh" ]; then
+        echo "FAIL $name: benchmark produced no ns/op (renamed or broken?)"
+        fail=1
+        return
+    fi
+    allowed=$(awk -v b="$base" -v t="$THRESHOLD_PCT" 'BEGIN{printf "%.0f", b * (100 + t) / 100}')
+    if awk -v f="$fresh" -v a="$allowed" 'BEGIN{exit !(f > a)}'; then
+        echo "FAIL $name: $fresh ns/op vs checked-in $base (limit $allowed, +$THRESHOLD_PCT%)"
+        fail=1
+    else
+        echo "ok   $name: $fresh ns/op vs checked-in $base (limit $allowed)"
+    fi
+}
+
+mining_ns() { jq -r --arg n "$1" '.current[] | select(.name == $n) | .ns_per_op' BENCH_mining.json; }
+serving_ns() { jq -r --arg n "$1" '.results[].after | select(.name == $n) | .ns_per_op' BENCH_serving.json; }
+
+# The headline set: the windowed-delta incremental mine (the steady-state
+# serving cost), the end-to-end PAI miner, and both indexed read paths.
+gate ./internal/fpgrowth 'BenchmarkIncrementalMine/incremental$' \
+    'BenchmarkIncrementalMine/incremental' "$(mining_ns BenchmarkIncrementalMine/incremental)"
+gate . 'BenchmarkMinerFPGrowth$' \
+    'BenchmarkMinerFPGrowth' "$(mining_ns BenchmarkMinerFPGrowth)"
+gate ./internal/server 'BenchmarkServingKeywordIndexed$' \
+    'BenchmarkServingKeywordIndexed' "$(serving_ns BenchmarkServingKeywordIndexed)"
+gate ./internal/server 'BenchmarkServingSortIndexed$' \
+    'BenchmarkServingSortIndexed' "$(serving_ns BenchmarkServingSortIndexed)"
+
+if [ "$fail" != 0 ]; then
+    echo "bench gate: headline benchmark regressed beyond +$THRESHOLD_PCT% ns/op" >&2
+    exit 1
+fi
+echo "bench gate: all headline benchmarks within +$THRESHOLD_PCT% of checked-in numbers"
